@@ -1,0 +1,112 @@
+// Ablation (§5): cost of stream metadata reconstruction vs the backpointer
+// redundancy factor K, and the price of junk dead-ends.
+//
+// A cold client rebuilds an N-entry stream's linked list by striding
+// backward: ~N/K reads.  Higher K means fewer reads (longer strides) but
+// bigger entry headers.  Junk entries (filled holes) break the chain; when
+// the last K grants of a stream are all junk, the reader degrades to a
+// backward scan.
+
+#include "bench/bench_common.h"
+#include "src/corfu/stream.h"
+
+namespace tangobench {
+namespace {
+
+void Run(const Flags& flags) {
+  const int entries = static_cast<int>(flags.GetInt("entries", 400));
+  const int noise = static_cast<int>(flags.GetInt("noise-entries", 400));
+
+  std::printf(
+      "Ablation: stream reconstruction cost vs backpointer count K\n"
+      "(%d stream entries interleaved with %d entries of other streams)\n\n",
+      entries, noise);
+  PrintHeader({"K", "recon_reads", "reads/entry", "sync_us"});
+
+  for (uint32_t k : {1u, 2u, 4u, 8u, 16u}) {
+    tango::InProcTransport transport;
+    corfu::CorfuCluster::Options options;
+    options.num_storage_nodes = 6;
+    options.replication_factor = 2;
+    options.backpointer_count = k;
+    corfu::CorfuCluster cluster(&transport, options);
+
+    auto writer = cluster.MakeClient();
+    corfu::StreamStore writer_store(writer.get());
+    tango::Rng rng(k);
+    std::vector<uint8_t> payload{1, 2, 3};
+    int written = 0, noise_written = 0;
+    while (written < entries || noise_written < noise) {
+      bool pick_stream =
+          noise_written >= noise ||
+          (written < entries && rng.NextBool(0.5));
+      if (pick_stream) {
+        (void)writer_store.Append(1, payload);
+        ++written;
+      } else {
+        (void)writer_store.Append(2, payload);
+        ++noise_written;
+      }
+    }
+
+    auto cold = cluster.MakeClient();
+    corfu::StreamStore cold_store(cold.get());
+    cold_store.Open(1);
+    Stopwatch timer;
+    if (!cold_store.Sync(1).ok()) {
+      std::fprintf(stderr, "sync failed\n");
+      std::exit(1);
+    }
+    uint64_t sync_us = timer.ElapsedUs();
+    uint64_t reads = cold_store.reconstruction_reads();
+    PrintRow({std::to_string(k), std::to_string(reads),
+              Fmt(static_cast<double>(reads) / entries, 3),
+              std::to_string(sync_us)});
+  }
+
+  std::printf(
+      "\nJunk dead-ends: reconstruction cost when the last J grants of the\n"
+      "stream were filled holes (K=4; J>=K forces a backward scan)\n\n");
+  PrintHeader({"junk_tail", "recon_reads", "sync_us"});
+  for (int junk : {0, 1, 3, 4, 8}) {
+    tango::InProcTransport transport;
+    corfu::CorfuCluster::Options options;
+    options.num_storage_nodes = 6;
+    options.replication_factor = 2;
+    corfu::CorfuCluster cluster(&transport, options);
+
+    auto writer = cluster.MakeClient();
+    corfu::StreamStore writer_store(writer.get());
+    std::vector<uint8_t> payload{1};
+    for (int i = 0; i < 100; ++i) {
+      (void)writer_store.Append(1, payload);
+      (void)writer_store.Append(2, payload);  // interleaved noise
+    }
+    for (int j = 0; j < junk; ++j) {
+      auto grant = corfu::SequencerNext(&transport,
+                                        writer->projection().sequencer,
+                                        writer->projection().epoch, 1, {1});
+      if (grant.ok()) {
+        (void)writer->Fill(grant->start);
+      }
+    }
+
+    auto cold = cluster.MakeClient();
+    corfu::StreamStore cold_store(cold.get());
+    cold_store.Open(1);
+    Stopwatch timer;
+    (void)cold_store.Sync(1);
+    PrintRow({std::to_string(junk),
+              std::to_string(cold_store.reconstruction_reads()),
+              std::to_string(timer.ElapsedUs())});
+  }
+}
+
+}  // namespace
+}  // namespace tangobench
+
+int main(int argc, char** argv) {
+  tangobench::Flags flags(argc, argv);
+  tangobench::Run(flags);
+  return 0;
+}

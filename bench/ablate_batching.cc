@@ -1,0 +1,71 @@
+// Ablation (§6 setup): group-commit batch size.
+//
+// The paper's evaluation batches 4 commit records per 4KB log entry.  This
+// sweep quantifies what that buys: appends per log entry rise with the batch
+// size (fewer sequencer grants and storage IOPS per record) while per-append
+// latency grows by up to the batching window.  Concurrent writer threads on
+// one runtime emulate the multi-request application server of the paper.
+
+#include "bench/bench_common.h"
+#include "src/objects/tango_map.h"
+#include "src/runtime/runtime.h"
+
+namespace tangobench {
+namespace {
+
+void Run(const Flags& flags) {
+  const int duration_ms = static_cast<int>(flags.GetInt("duration-ms", 300));
+  const int writers = static_cast<int>(flags.GetInt("writers", 8));
+  const uint32_t storage_latency_us =
+      static_cast<uint32_t>(flags.GetInt("storage-latency-us", 100));
+
+  std::printf(
+      "Ablation: group-commit batch size (%d writer threads, %uus media)\n\n",
+      writers, storage_latency_us);
+  PrintHeader({"batch", "Kappend/s", "entries", "rec/entry", "p99us"});
+
+  for (uint32_t batch : {1u, 2u, 4u, 8u}) {
+    Testbed bed(6, 2, storage_latency_us);
+    auto client = bed.MakeClient();
+    tango::TangoRuntime::Options options;
+    options.enable_batching = batch > 1;
+    options.batch.max_records = batch;
+    options.batch.window_us = 300;
+    tango::TangoRuntime runtime(client.get(), options);
+    tango::TangoMap map(&runtime, 1);
+    (void)map.Put("seed", "0");
+
+    auto tail_before = client->CheckTail();
+    RunResult result = RunWorkers(
+        writers, duration_ms,
+        [&](int t, std::atomic<bool>* stop, WorkerCounts* counts) {
+          tango::Rng rng(t + 1);
+          while (!stop->load(std::memory_order_relaxed)) {
+            Stopwatch timer;
+            std::string key = "key" + std::to_string(rng.NextBelow(1000));
+            if (map.Put(key, "v").ok()) {
+              counts->good++;
+              counts->latency_us.Record(timer.ElapsedUs());
+            }
+            counts->total++;
+          }
+        });
+    auto tail_after = client->CheckTail();
+    uint64_t entries =
+        tail_after.ok() && tail_before.ok() ? *tail_after - *tail_before : 0;
+    double records = result.good_ops_per_sec * duration_ms / 1000.0;
+    PrintRow({std::to_string(batch), Fmt(result.good_ops_per_sec / 1000.0, 1),
+              std::to_string(entries),
+              Fmt(entries > 0 ? records / entries : 0, 2),
+              std::to_string(result.latency_us.Percentile(0.99))});
+  }
+}
+
+}  // namespace
+}  // namespace tangobench
+
+int main(int argc, char** argv) {
+  tangobench::Flags flags(argc, argv);
+  tangobench::Run(flags);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation (§3.1, History): view instantiation cost with and without
+// checkpoints.
+//
+// A fresh client instantiates a TangoMap view.  Without a checkpoint it
+// replays the whole stream (cost linear in history length); with one it
+// restores a snapshot and replays only the suffix.  This is also what makes
+// forget/trim possible: the table shows rebuild cost staying flat as history
+// grows when checkpoints are taken every `period` updates.
+
+#include "bench/bench_common.h"
+#include "src/objects/tango_map.h"
+#include "src/runtime/runtime.h"
+
+namespace tangobench {
+namespace {
+
+void Run(const Flags& flags) {
+  const int checkpoint_period =
+      static_cast<int>(flags.GetInt("checkpoint-period", 500));
+
+  std::printf(
+      "Ablation: view instantiation time vs history length\n"
+      "(checkpoints every %d updates in the checkpointed column)\n\n",
+      checkpoint_period);
+  PrintHeader({"history", "replay_us", "restore_us", "speedup"});
+
+  for (int history : {100, 500, 1000, 2000, 4000}) {
+    // Build two identical histories: one bare, one with periodic checkpoints.
+    auto build = [&](bool checkpoints) -> uint64_t {
+      Testbed bed(6, 2, 0);
+      {
+        auto writer_client = bed.MakeClient();
+        tango::TangoRuntime writer_rt(writer_client.get());
+        tango::TangoMap map(&writer_rt, 1);
+        for (int i = 0; i < history; ++i) {
+          (void)map.Put("key" + std::to_string(i % 64), "v" + std::to_string(i));
+          if (checkpoints && (i + 1) % checkpoint_period == 0) {
+            (void)writer_rt.WriteCheckpoint(1);
+          }
+        }
+      }
+      auto cold_client = bed.MakeClient();
+      tango::TangoRuntime cold_rt(cold_client.get());
+      tango::TangoMap cold_map(&cold_rt, 1);
+      Stopwatch timer;
+      (void)cold_rt.LoadObject(1);
+      (void)cold_map.Size();  // plays the (remaining) stream
+      return timer.ElapsedUs();
+    };
+
+    uint64_t replay_us = build(false);
+    uint64_t restore_us = build(true);
+    PrintRow({std::to_string(history), std::to_string(replay_us),
+              std::to_string(restore_us),
+              Fmt(static_cast<double>(replay_us) /
+                  std::max<uint64_t>(restore_us, 1), 2)});
+  }
+}
+
+}  // namespace
+}  // namespace tangobench
+
+int main(int argc, char** argv) {
+  tangobench::Flags flags(argc, argv);
+  tangobench::Run(flags);
+  return 0;
+}

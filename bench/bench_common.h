@@ -1,0 +1,212 @@
+// Shared infrastructure for the figure-reproduction benchmarks.
+//
+// Every binary in bench/ regenerates one table or figure from the paper's
+// evaluation (§6); see DESIGN.md for the experiment index.  The cluster is
+// in-process (the paper's 36-machine testbed is simulated per DESIGN.md), so
+// absolute numbers are laptop-scale; the *shapes* are what EXPERIMENTS.md
+// compares.  Storage latency injection (--storage-latency-us) models the SSD
+// cost so that log-size effects (2- vs 18-server saturation) are visible.
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/corfu/cluster.h"
+#include "src/net/inproc_transport.h"
+#include "src/util/histogram.h"
+#include "src/util/random.h"
+#include "src/util/threading.h"
+
+namespace tangobench {
+
+// Parses "--name=value" style flags; unknown flags abort with usage.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      size_t eq = arg.find('=');
+      if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+        std::fprintf(stderr, "bad flag: %s (expected --name=value)\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      values_.emplace_back(arg.substr(2, eq - 2), arg.substr(eq + 1));
+    }
+  }
+
+  int64_t GetInt(const std::string& name, int64_t fallback) const {
+    for (const auto& [k, v] : values_) {
+      if (k == name) {
+        return std::stoll(v);
+      }
+    }
+    return fallback;
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    for (const auto& [k, v] : values_) {
+      if (k == name) {
+        return std::stod(v);
+      }
+    }
+    return fallback;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> values_;
+};
+
+// One measured cell: operations completed, goodput, latency distribution.
+struct RunResult {
+  double ops_per_sec = 0;
+  double good_ops_per_sec = 0;
+  tango::Histogram latency_us;
+};
+
+// Runs `worker(thread_index, stop)` on `threads` threads for `duration_ms`.
+// The worker returns the number of (good, total) ops it completed.
+struct WorkerCounts {
+  uint64_t total = 0;
+  uint64_t good = 0;
+  tango::Histogram latency_us;
+};
+
+inline RunResult RunWorkers(
+    int threads, int duration_ms,
+    const std::function<void(int, std::atomic<bool>*, WorkerCounts*)>& worker) {
+  std::vector<WorkerCounts> counts(threads);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  uint64_t start_ns = tango::NowNanos();
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back(
+        [&worker, &stop, &counts, t] { worker(t, &stop, &counts[t]); });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true);
+  for (std::thread& th : pool) {
+    th.join();
+  }
+  double elapsed_s =
+      static_cast<double>(tango::NowNanos() - start_ns) / 1e9;
+
+  RunResult result;
+  uint64_t total = 0, good = 0;
+  for (WorkerCounts& c : counts) {
+    total += c.total;
+    good += c.good;
+    result.latency_us.Merge(c.latency_us);
+  }
+  result.ops_per_sec = static_cast<double>(total) / elapsed_s;
+  result.good_ops_per_sec = static_cast<double>(good) / elapsed_s;
+  return result;
+}
+
+// Paces a worker at `rate` ops/sec (open loop, per thread).
+class Pacer {
+ public:
+  explicit Pacer(double ops_per_sec)
+      : interval_ns_(ops_per_sec > 0 ? static_cast<uint64_t>(1e9 / ops_per_sec)
+                                     : 0),
+        next_ns_(tango::NowNanos()) {}
+
+  // Sleeps until the next slot; returns false if rate is zero (never fire)
+  // or the stop flag rises.  A pacer that has fallen behind schedule fires
+  // immediately but still honors the stop flag.
+  bool Wait(const std::atomic<bool>& stop) {
+    if (interval_ns_ == 0 || stop.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    next_ns_ += interval_ns_;
+    uint64_t now = tango::NowNanos();
+    while (now < next_ns_) {
+      if (stop.load(std::memory_order_relaxed)) {
+        return false;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(std::min<uint64_t>(next_ns_ - now, 200000)));
+      now = tango::NowNanos();
+    }
+    return true;
+  }
+
+ private:
+  uint64_t interval_ns_;
+  uint64_t next_ns_;
+};
+
+// The standard bench cluster: in-proc transport + CORFU deployment.
+struct Testbed {
+  tango::InProcTransport transport;
+  std::unique_ptr<corfu::CorfuCluster> cluster;
+
+  Testbed(int storage_nodes, int replication, uint32_t storage_latency_us,
+          tango::InProcTransport::Options net = {})
+      : transport(net) {
+    corfu::CorfuCluster::Options options;
+    options.num_storage_nodes = storage_nodes;
+    options.replication_factor = replication;
+    options.storage.write_latency_us = storage_latency_us;
+    options.storage.read_latency_us = storage_latency_us;
+    cluster = std::make_unique<corfu::CorfuCluster>(&transport, options);
+  }
+
+  std::unique_ptr<corfu::CorfuClient> MakeClient() {
+    corfu::CorfuClient::Options options;
+    options.hole_timeout_ms = 10;
+    return cluster->MakeClient(options);
+  }
+};
+
+// Aligned table output, e.g.:
+//   PrintHeader({"clients", "Kreq/s"});
+//   PrintRow({"4", "531.2"});
+inline void PrintHeader(const std::vector<std::string>& columns) {
+  for (const std::string& c : columns) {
+    std::printf("%14s", c.c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%14s", "------------");
+  }
+  std::printf("\n");
+}
+
+inline void PrintRow(const std::vector<std::string>& cells) {
+  for (const std::string& c : cells) {
+    std::printf("%14s", c.c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+inline std::string Fmt(double v, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+// Scoped wall-clock timer in microseconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_ns_(tango::NowNanos()) {}
+  uint64_t ElapsedUs() const { return (tango::NowNanos() - start_ns_) / 1000; }
+
+ private:
+  uint64_t start_ns_;
+};
+
+}  // namespace tangobench
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,148 @@
+// Figure 10 (middle): cross-partition transactions, Tango vs 2PL.
+//
+// The partitioned setup from fig10_partitioned, with a fraction of
+// transactions writing to a remote partition as well as the local one (the
+// "move a key between maps" pattern).  The comparison point is the
+// distributed two-phase-locking protocol of §6.2.  The shape to reproduce:
+// both degrade gracefully as the cross-partition percentage doubles, with
+// similar scaling characteristics — Tango's advantage is fault-tolerance
+// (no locks to strand, no coordinator to crash), not raw speed.
+
+#include "bench/bench_common.h"
+#include "src/baseline/two_phase_locking.h"
+#include "src/objects/tango_map.h"
+#include "src/runtime/runtime.h"
+
+namespace tangobench {
+namespace {
+
+struct TangoNode {
+  std::unique_ptr<corfu::CorfuClient> client;
+  std::unique_ptr<tango::TangoRuntime> runtime;
+  std::unique_ptr<tango::TangoMap> map;
+};
+
+double RunTango(Testbed& bed, int num_nodes, double cross_fraction,
+                int duration_ms) {
+  std::vector<TangoNode> nodes(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) {
+    nodes[i].client = bed.MakeClient();
+    nodes[i].runtime =
+        std::make_unique<tango::TangoRuntime>(nodes[i].client.get());
+    nodes[i].map = std::make_unique<tango::TangoMap>(
+        nodes[i].runtime.get(), static_cast<tango::ObjectId>(i + 1));
+    (void)nodes[i].map->Put("seed", "0");
+    (void)nodes[i].map->Size();
+  }
+
+  RunResult result = RunWorkers(
+      num_nodes, duration_ms,
+      [&](int t, std::atomic<bool>* stop, WorkerCounts* counts) {
+        TangoNode& node = nodes[t];
+        tango::Rng rng(5000 + t);
+        while (!stop->load(std::memory_order_relaxed)) {
+          bool cross = rng.NextBool(cross_fraction);
+          (void)node.runtime->BeginTx();
+          std::string key = "key" + std::to_string(rng.NextBelow(100000));
+          (void)node.map->Get(key);
+          (void)node.map->Put(key, "v");
+          if (cross) {
+            // Remote write to another partition's map (a raw kPut record on
+            // the remote object's stream) — the move-key pattern.
+            int peer = static_cast<int>(rng.NextBelow(num_nodes));
+            if (peer == t) {
+              peer = (t + 1) % num_nodes;
+            }
+            tango::ByteWriter w;
+            w.PutU8(1);  // TangoMap::kPut
+            w.PutString(key);
+            w.PutString("moved");
+            (void)node.runtime->UpdateHelper(
+                static_cast<tango::ObjectId>(peer + 1), w.bytes(),
+                std::hash<std::string>{}(key));
+          }
+          counts->total++;
+          if (node.runtime->EndTx().ok()) {
+            counts->good++;
+          }
+        }
+      });
+  return result.good_ops_per_sec;
+}
+
+double RunTwoPl(int num_nodes, double cross_fraction, int duration_ms,
+                uint32_t link_latency_us) {
+  tango::InProcTransport::Options net;
+  net.link_latency_us = link_latency_us;
+  tango::InProcTransport transport(net);
+  twopl::TimestampOracle oracle(&transport, 1);
+  std::vector<std::unique_ptr<twopl::ItemStore>> stores;
+  std::vector<std::unique_ptr<twopl::TwoPhaseLockingClient>> clients;
+  for (int i = 0; i < num_nodes; ++i) {
+    stores.push_back(std::make_unique<twopl::ItemStore>(&transport, 10 + i));
+    clients.push_back(std::make_unique<twopl::TwoPhaseLockingClient>(
+        &transport, 1, stores.back().get(), 100 + i));
+  }
+
+  RunResult result = RunWorkers(
+      num_nodes, duration_ms,
+      [&](int t, std::atomic<bool>* stop, WorkerCounts* counts) {
+        tango::Rng rng(6000 + t);
+        while (!stop->load(std::memory_order_relaxed)) {
+          bool cross = rng.NextBool(cross_fraction);
+          uint64_t key = rng.NextBelow(100000);
+          std::vector<twopl::TwoPhaseLockingClient::ReadIntent> reads{{key}};
+          std::vector<twopl::TwoPhaseLockingClient::WriteIntent> writes{
+              {static_cast<tango::NodeId>(10 + t), key, 1}};
+          if (cross) {
+            int peer = static_cast<int>(rng.NextBelow(num_nodes));
+            if (peer == t) {
+              peer = (t + 1) % num_nodes;
+            }
+            writes.push_back({static_cast<tango::NodeId>(10 + peer), key, 2});
+          }
+          counts->total++;
+          if (clients[t]->ExecuteTx(reads, writes, 8).ok()) {
+            counts->good++;
+          }
+        }
+      });
+  return result.good_ops_per_sec;
+}
+
+void Run(const Flags& flags) {
+  const int duration_ms = static_cast<int>(flags.GetInt("duration-ms", 300));
+  const int num_nodes = static_cast<int>(flags.GetInt("nodes", 8));
+  // Both protocols pay the same simulated per-hop cost, so the comparison
+  // reflects protocol structure (RPC counts, aborts), not the fact that the
+  // 2PL baseline happens to touch fewer simulated components.
+  const uint32_t link_latency_us =
+      static_cast<uint32_t>(flags.GetInt("link-latency-us", 20));
+
+  std::printf(
+      "Figure 10 (middle): %% cross-partition transactions, Tango vs 2PL "
+      "(%d nodes, %uus links)\n\n",
+      num_nodes, link_latency_us);
+  PrintHeader({"cross_pct", "tango_Ktx/s", "twopl_Ktx/s"});
+
+  for (int pct : {0, 1, 2, 4, 8, 16, 32, 64, 100}) {
+    double fraction = pct / 100.0;
+    tango::InProcTransport::Options net;
+    net.link_latency_us = link_latency_us;
+    Testbed bed(18, 2, 0, net);
+    double tango_tput =
+        RunTango(bed, num_nodes, fraction, duration_ms) / 1000.0;
+    double twopl_tput =
+        RunTwoPl(num_nodes, fraction, duration_ms, link_latency_us) / 1000.0;
+    PrintRow({std::to_string(pct), Fmt(tango_tput, 2), Fmt(twopl_tput, 2)});
+  }
+}
+
+}  // namespace
+}  // namespace tangobench
+
+int main(int argc, char** argv) {
+  tangobench::Flags flags(argc, argv);
+  tangobench::Run(flags);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 10 (right): transactions on a shared object.
+//
+// Four nodes each host a private TangoMap plus a view of one *common*
+// TangoMap shared by everyone (Figure 5(d)).  A fraction of transactions
+// read-write both the private and the shared map.  The paper's shape:
+// throughput falls sharply from 0% to 1% shared (suddenly every client must
+// replay the shared stream and conflict on it), then degrades gracefully as
+// the shared percentage doubles.
+
+#include "bench/bench_common.h"
+#include "src/objects/tango_map.h"
+#include "src/runtime/runtime.h"
+
+namespace tangobench {
+namespace {
+
+void Run(const Flags& flags) {
+  const int duration_ms = static_cast<int>(flags.GetInt("duration-ms", 300));
+  const int num_nodes = static_cast<int>(flags.GetInt("nodes", 4));
+  const uint64_t keys = static_cast<uint64_t>(flags.GetInt("keys", 100000));
+
+  std::printf(
+      "Figure 10 (right): %% transactions touching the shared map "
+      "(%d nodes)\n\n",
+      num_nodes);
+  PrintHeader({"shared_pct", "Ktx/s", "Kgood/s", "good%"});
+
+  for (int pct : {0, 1, 2, 4, 8, 16, 32, 64, 100}) {
+    double fraction = pct / 100.0;
+    Testbed bed(18, 2, 0);
+
+    constexpr tango::ObjectId kSharedOid = 99;
+    struct Node {
+      std::unique_ptr<corfu::CorfuClient> client;
+      std::unique_ptr<tango::TangoRuntime> runtime;
+      std::unique_ptr<tango::TangoMap> private_map;
+      std::unique_ptr<tango::TangoMap> shared_map;
+    };
+    std::vector<Node> nodes(num_nodes);
+    for (int i = 0; i < num_nodes; ++i) {
+      nodes[i].client = bed.MakeClient();
+      nodes[i].runtime =
+          std::make_unique<tango::TangoRuntime>(nodes[i].client.get());
+      nodes[i].private_map = std::make_unique<tango::TangoMap>(
+          nodes[i].runtime.get(), static_cast<tango::ObjectId>(i + 1));
+      // Everyone hosts the shared map but nobody else hosts this node's
+      // private map (the read set), so transactions writing the shared map
+      // need decision records (§4.1) — exactly the paper's marking rule.
+      tango::TangoMap::MapConfig shared_config;
+      shared_config.object.needs_decision_records = true;
+      nodes[i].shared_map = std::make_unique<tango::TangoMap>(
+          nodes[i].runtime.get(), kSharedOid, shared_config);
+      (void)nodes[i].private_map->Put("seed", "0");
+      (void)nodes[i].private_map->Size();
+      (void)nodes[i].shared_map->Size();
+    }
+
+    RunResult result = RunWorkers(
+        num_nodes, duration_ms,
+        [&](int t, std::atomic<bool>* stop, WorkerCounts* counts) {
+          Node& node = nodes[t];
+          tango::Rng rng(8000 + t);
+          while (!stop->load(std::memory_order_relaxed)) {
+            bool shared = rng.NextBool(fraction);
+            std::string key = "key" + std::to_string(rng.NextBelow(keys));
+            (void)node.runtime->BeginTx();
+            (void)node.private_map->Get(key);
+            (void)node.private_map->Put(key, "v");
+            if (shared) {
+              (void)node.shared_map->Get(key);
+              (void)node.shared_map->Put(key, "s");
+            }
+            counts->total++;
+            if (node.runtime->EndTx().ok()) {
+              counts->good++;
+            }
+          }
+        });
+
+    double good_pct =
+        result.ops_per_sec > 0
+            ? 100.0 * result.good_ops_per_sec / result.ops_per_sec
+            : 0;
+    PrintRow({std::to_string(pct), Fmt(result.ops_per_sec / 1000.0, 2),
+              Fmt(result.good_ops_per_sec / 1000.0, 2), Fmt(good_pct)});
+  }
+}
+
+}  // namespace
+}  // namespace tangobench
+
+int main(int argc, char** argv) {
+  tangobench::Flags flags(argc, argv);
+  tangobench::Run(flags);
+  return 0;
+}

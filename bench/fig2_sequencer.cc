@@ -1,0 +1,56 @@
+// Figure 2: sequencer throughput as clients are added.
+//
+// The paper shows a centralized sequencer scaling past 500K requests/sec and
+// plateauing as clients are added, and notes that batching (batch size 4)
+// multiplies throughput at the cost of latency.  We sweep client threads and
+// both batch sizes; the shape to reproduce is throughput rising with client
+// count and then flattening at the sequencer's service capacity.
+
+#include "bench/bench_common.h"
+#include "src/corfu/sequencer.h"
+
+namespace tangobench {
+namespace {
+
+void Run(const Flags& flags) {
+  const int duration_ms = static_cast<int>(flags.GetInt("duration-ms", 300));
+  std::printf("Figure 2: sequencer throughput vs number of clients\n\n");
+  PrintHeader({"clients", "batch", "Kreq/s", "Kgrants/s", "p99us"});
+
+  for (uint32_t batch : {1u, 4u}) {
+    for (int clients : {1, 2, 4, 8, 16, 24, 36}) {
+      tango::InProcTransport transport;
+      corfu::Sequencer sequencer(&transport, 1, /*epoch=*/0, /*K=*/4);
+
+      RunResult result = RunWorkers(
+          clients, duration_ms,
+          [&](int, std::atomic<bool>* stop, WorkerCounts* counts) {
+            while (!stop->load(std::memory_order_relaxed)) {
+              Stopwatch timer;
+              auto grant =
+                  corfu::SequencerNext(&transport, 1, 0, batch, {});
+              if (grant.ok()) {
+                counts->total += 1;
+                counts->good += batch;
+                counts->latency_us.Record(timer.ElapsedUs());
+              }
+            }
+          });
+
+      PrintRow({std::to_string(clients), std::to_string(batch),
+                Fmt(result.ops_per_sec / 1000.0),
+                Fmt(result.good_ops_per_sec / 1000.0),
+                std::to_string(result.latency_us.Percentile(0.99))});
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace tangobench
+
+int main(int argc, char** argv) {
+  tangobench::Flags flags(argc, argv);
+  tangobench::Run(flags);
+  return 0;
+}

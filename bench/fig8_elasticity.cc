@@ -1,0 +1,93 @@
+// Figure 8 (right): elasticity of linearizable reads.
+//
+// Read throughput scales by adding read-only views against a fixed write
+// load, until the shared log saturates.  The paper contrasts an 18-server
+// log (scales to 180K reads/s with 18 readers, each issuing 10K reads/s)
+// with a 2-server log (ceiling ~120K).  Following the paper, each reader
+// view is paced at a fixed rate; saturation appears as achieved aggregate
+// throughput falling below the target and read latency blowing up.  We
+// bound per-server IOPS with serialized simulated media latency, so the
+// 2-server log's single tail node becomes the fetch bottleneck while the
+// 18-server log spreads playback reads over nine replica sets.
+
+#include "bench/bench_common.h"
+#include "src/objects/tango_register.h"
+#include "src/runtime/runtime.h"
+
+namespace tangobench {
+namespace {
+
+void Run(const Flags& flags) {
+  const int duration_ms = static_cast<int>(flags.GetInt("duration-ms", 400));
+  const uint32_t storage_latency_us =
+      static_cast<uint32_t>(flags.GetInt("storage-latency-us", 100));
+  const double write_rate = flags.GetDouble("writes-per-sec", 1000);
+  const double reads_per_view = flags.GetDouble("reads-per-view", 2000);
+
+  std::printf(
+      "Figure 8 (right): paced readers (%g reads/s per view), %g writes/s\n"
+      "(storage latency %uus bounds per-server IOPS)\n\n",
+      reads_per_view, write_rate, storage_latency_us);
+  PrintHeader({"log_servers", "readers", "target_Ks", "achieved_Ks",
+               "read_p99us"});
+
+  for (int servers : {2, 18}) {
+    for (int readers : {1, 2, 4, 8, 12}) {
+      Testbed bed(servers, 2, storage_latency_us);
+
+      auto writer_client = bed.MakeClient();
+      tango::TangoRuntime writer_rt(writer_client.get());
+      tango::TangoRegister writer_view(&writer_rt, 1);
+      (void)writer_view.Write(0);
+
+      std::vector<std::unique_ptr<corfu::CorfuClient>> clients;
+      std::vector<std::unique_ptr<tango::TangoRuntime>> runtimes;
+      std::vector<std::unique_ptr<tango::TangoRegister>> views;
+      for (int r = 0; r < readers; ++r) {
+        clients.push_back(bed.MakeClient());
+        runtimes.push_back(
+            std::make_unique<tango::TangoRuntime>(clients.back().get()));
+        views.push_back(
+            std::make_unique<tango::TangoRegister>(runtimes.back().get(), 1));
+        (void)views.back()->Read();
+      }
+
+      RunResult result = RunWorkers(
+          1 + readers, duration_ms,
+          [&](int t, std::atomic<bool>* stop, WorkerCounts* counts) {
+            if (t == 0) {
+              Pacer pacer(write_rate);
+              while (pacer.Wait(*stop)) {
+                (void)writer_view.Write(1);
+              }
+              return;
+            }
+            tango::TangoRegister& view = *views[t - 1];
+            Pacer pacer(reads_per_view);
+            while (pacer.Wait(*stop)) {
+              Stopwatch timer;
+              if (view.Read().ok()) {
+                counts->good++;
+                counts->latency_us.Record(timer.ElapsedUs());
+              }
+              counts->total++;
+            }
+          });
+
+      PrintRow({std::to_string(servers), std::to_string(readers),
+                Fmt(readers * reads_per_view / 1000.0),
+                Fmt(result.good_ops_per_sec / 1000.0),
+                std::to_string(result.latency_us.Percentile(0.99))});
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace tangobench
+
+int main(int argc, char** argv) {
+  tangobench::Flags flags(argc, argv);
+  tangobench::Run(flags);
+  return 0;
+}

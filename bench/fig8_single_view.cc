@@ -1,0 +1,74 @@
+// Figure 8 (left): latency/throughput on a single TangoRegister view.
+//
+// The paper sweeps the write ratio {0, .1, .5, .9, 1} and the window of
+// outstanding operations (8..256), showing sub-millisecond reads at high
+// throughput and ~2x costlier writes.  Our client API is synchronous, so the
+// window is modeled as closed-loop concurrency (threads = outstanding ops).
+// Shape to reproduce: read-heavy mixes reach higher throughput at lower
+// latency; latency grows along each curve as the window widens.
+
+#include "bench/bench_common.h"
+#include "src/objects/tango_register.h"
+#include "src/runtime/runtime.h"
+
+namespace tangobench {
+namespace {
+
+void Run(const Flags& flags) {
+  const int duration_ms = static_cast<int>(flags.GetInt("duration-ms", 250));
+  const uint32_t storage_latency_us =
+      static_cast<uint32_t>(flags.GetInt("storage-latency-us", 0));
+
+  std::printf(
+      "Figure 8 (left): single view latency vs throughput\n"
+      "(window = closed-loop concurrency)\n\n");
+  PrintHeader(
+      {"write_ratio", "window", "Kops/s", "mean_us", "p50us", "p99us"});
+
+  for (double write_ratio : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    for (int window : {1, 4, 16, 64}) {
+      Testbed bed(18, 2, storage_latency_us);
+      auto client = bed.MakeClient();
+      tango::TangoRuntime runtime(client.get());
+      tango::TangoRegister reg(&runtime, 1);
+      (void)reg.Write(0);
+      (void)reg.Read();
+
+      RunResult result = RunWorkers(
+          window, duration_ms,
+          [&](int t, std::atomic<bool>* stop, WorkerCounts* counts) {
+            tango::Rng rng(1000 + t);
+            while (!stop->load(std::memory_order_relaxed)) {
+              Stopwatch timer;
+              bool ok;
+              if (rng.NextBool(write_ratio)) {
+                ok = reg.Write(static_cast<int64_t>(rng.Next())).ok();
+              } else {
+                ok = reg.Read().ok();
+              }
+              counts->total++;
+              if (ok) {
+                counts->good++;
+                counts->latency_us.Record(timer.ElapsedUs());
+              }
+            }
+          });
+
+      PrintRow({Fmt(write_ratio, 1), std::to_string(window),
+                Fmt(result.good_ops_per_sec / 1000.0),
+                Fmt(result.latency_us.Mean(), 0),
+                std::to_string(result.latency_us.Percentile(0.50)),
+                std::to_string(result.latency_us.Percentile(0.99))});
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace tangobench
+
+int main(int argc, char** argv) {
+  tangobench::Flags flags(argc, argv);
+  tangobench::Run(flags);
+  return 0;
+}

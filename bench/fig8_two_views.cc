@@ -1,0 +1,78 @@
+// Figure 8 (middle): the primary/backup scenario.
+//
+// Two views of one TangoRegister: all writes go to one client, all reads to
+// the other.  As the target write rate rises, the paper shows total
+// throughput flattening (~40K ops/s there) while the read-only backup's
+// latency climbs — the backup does more playback work per read to catch up
+// with the primary.  Either node can serve either role (instant fail-over).
+
+#include "bench/bench_common.h"
+#include "src/objects/tango_register.h"
+#include "src/runtime/runtime.h"
+
+namespace tangobench {
+namespace {
+
+void Run(const Flags& flags) {
+  const int duration_ms = static_cast<int>(flags.GetInt("duration-ms", 400));
+  const int readers = static_cast<int>(flags.GetInt("readers", 2));
+
+  std::printf(
+      "Figure 8 (middle): two views, writes to the primary, reads from the "
+      "backup\n\n");
+  PrintHeader({"target_wKs", "write_Ks", "read_Ks", "read_p50us",
+               "read_p99us"});
+
+  for (double target_writes : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    Testbed bed(18, 2, 0);
+    auto writer_client = bed.MakeClient();
+    auto reader_client = bed.MakeClient();
+    tango::TangoRuntime writer_rt(writer_client.get());
+    tango::TangoRuntime reader_rt(reader_client.get());
+    tango::TangoRegister primary(&writer_rt, 1);
+    tango::TangoRegister backup(&reader_rt, 1);
+    (void)primary.Write(0);
+    (void)backup.Read();
+
+    // Thread 0 is the paced writer (ops land in `total`); the rest are
+    // closed-loop readers (ops land in `good`, latency in the histogram).
+    std::atomic<uint64_t> writes{0};
+    RunResult result = RunWorkers(
+        1 + readers, duration_ms,
+        [&](int t, std::atomic<bool>* stop, WorkerCounts* counts) {
+          if (t == 0) {
+            Pacer pacer(target_writes * 1000.0);
+            while (pacer.Wait(*stop)) {
+              if (primary.Write(1).ok()) {
+                writes.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+          } else {
+            while (!stop->load(std::memory_order_relaxed)) {
+              Stopwatch timer;
+              if (backup.Read().ok()) {
+                counts->good++;
+                counts->latency_us.Record(timer.ElapsedUs());
+              }
+              counts->total++;
+            }
+          }
+        });
+
+    double seconds = duration_ms / 1000.0;
+    double write_ks = static_cast<double>(writes.load()) / seconds / 1000.0;
+    PrintRow({Fmt(target_writes), Fmt(write_ks),
+              Fmt(result.good_ops_per_sec / 1000.0),
+              std::to_string(result.latency_us.Percentile(0.50)),
+              std::to_string(result.latency_us.Percentile(0.99))});
+  }
+}
+
+}  // namespace
+}  // namespace tangobench
+
+int main(int argc, char** argv) {
+  tangobench::Flags flags(argc, argv);
+  tangobench::Run(flags);
+  return 0;
+}

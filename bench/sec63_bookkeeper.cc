@@ -1,0 +1,102 @@
+// §6.3 (BookKeeper): ledger writes run at the speed of the shared log.
+//
+// Each writer owns a ledger and appends entries; an append is one raw stream
+// append (no transaction), so aggregate throughput tracks the raw log append
+// rate measured alongside.  Shape to reproduce: TangoBK adds negligible
+// overhead over the log itself, and scales with writers until the log is
+// the bottleneck.
+
+#include "bench/bench_common.h"
+#include "src/objects/tango_bookkeeper.h"
+#include "src/runtime/runtime.h"
+
+namespace tangobench {
+namespace {
+
+void Run(const Flags& flags) {
+  const int duration_ms = static_cast<int>(flags.GetInt("duration-ms", 300));
+  const int entry_bytes = static_cast<int>(flags.GetInt("entry-bytes", 256));
+
+  std::printf(
+      "Section 6.3: TangoBK ledger appends vs raw log appends "
+      "(%dB entries)\n\n",
+      entry_bytes);
+  PrintHeader({"writers", "ledger_Kw/s", "rawlog_Kw/s", "overhead%"});
+
+  const std::string payload(entry_bytes, 'x');
+  for (int writers : {1, 2, 4, 8}) {
+    double ledger_rate;
+    {
+      Testbed bed(18, 2, 0);
+      struct Writer {
+        std::unique_ptr<corfu::CorfuClient> client;
+        std::unique_ptr<tango::TangoRuntime> runtime;
+        std::unique_ptr<tango::TangoBk> bk;
+        tango::TangoBk::LedgerHandle handle;
+      };
+      std::vector<Writer> pool(writers);
+      for (int i = 0; i < writers; ++i) {
+        pool[i].client = bed.MakeClient();
+        pool[i].runtime =
+            std::make_unique<tango::TangoRuntime>(pool[i].client.get());
+        pool[i].bk = std::make_unique<tango::TangoBk>(pool[i].runtime.get(),
+                                                      1);
+        auto handle = pool[i].bk->CreateLedger();
+        if (!handle.ok()) {
+          std::fprintf(stderr, "ledger creation failed\n");
+          std::exit(1);
+        }
+        pool[i].handle = *handle;
+      }
+      RunResult result = RunWorkers(
+          writers, duration_ms,
+          [&](int t, std::atomic<bool>* stop, WorkerCounts* counts) {
+            while (!stop->load(std::memory_order_relaxed)) {
+              counts->total++;
+              if (pool[t].bk->AddEntry(pool[t].handle, payload).ok()) {
+                counts->good++;
+              }
+            }
+          });
+      ledger_rate = result.good_ops_per_sec;
+    }
+
+    double raw_rate;
+    {
+      Testbed bed(18, 2, 0);
+      std::vector<std::unique_ptr<corfu::CorfuClient>> clients;
+      for (int i = 0; i < writers; ++i) {
+        clients.push_back(bed.MakeClient());
+      }
+      std::vector<uint8_t> bytes(payload.begin(), payload.end());
+      RunResult result = RunWorkers(
+          writers, duration_ms,
+          [&](int t, std::atomic<bool>* stop, WorkerCounts* counts) {
+            while (!stop->load(std::memory_order_relaxed)) {
+              counts->total++;
+              if (clients[t]
+                      ->AppendToStreams(bytes,
+                                        {static_cast<corfu::StreamId>(t + 1)})
+                      .ok()) {
+                counts->good++;
+              }
+            }
+          });
+      raw_rate = result.good_ops_per_sec;
+    }
+
+    double overhead =
+        raw_rate > 0 ? 100.0 * (raw_rate - ledger_rate) / raw_rate : 0;
+    PrintRow({std::to_string(writers), Fmt(ledger_rate / 1000.0, 2),
+              Fmt(raw_rate / 1000.0, 2), Fmt(overhead)});
+  }
+}
+
+}  // namespace
+}  // namespace tangobench
+
+int main(int argc, char** argv) {
+  tangobench::Flags flags(argc, argv);
+  tangobench::Run(flags);
+  return 0;
+}

@@ -1,0 +1,108 @@
+// §6.3 (ZooKeeper): TangoZK performance tracks TangoMap; cross-namespace
+// moves run at an order of magnitude lower but *exist at all* — ZooKeeper
+// cannot move a file between instances atomically.
+//
+// N nodes each run an independent TangoZk namespace; a fraction of
+// operations atomically move a znode to the next node's namespace (which
+// requires hosting both views, so every node also hosts its neighbor's
+// namespace).  Shapes: independent-namespace throughput scales like
+// fig10_partitioned; move throughput is much lower but non-zero.
+
+#include "bench/bench_common.h"
+#include "src/objects/tango_zookeeper.h"
+#include "src/runtime/runtime.h"
+
+namespace tangobench {
+namespace {
+
+void Run(const Flags& flags) {
+  const int duration_ms = static_cast<int>(flags.GetInt("duration-ms", 300));
+  const int num_nodes = static_cast<int>(flags.GetInt("nodes", 4));
+
+  std::printf(
+      "Section 6.3: TangoZK — independent namespaces vs cross-namespace "
+      "moves (%d nodes)\n\n",
+      num_nodes);
+  PrintHeader({"move_pct", "Kops/s", "Kgood/s"});
+
+  for (int pct : {0, 1, 10, 50, 100}) {
+    double fraction = pct / 100.0;
+    Testbed bed(18, 2, 0);
+
+    struct Node {
+      std::unique_ptr<corfu::CorfuClient> client;
+      std::unique_ptr<tango::TangoRuntime> runtime;
+      std::unique_ptr<tango::TangoZk> own;
+      std::unique_ptr<tango::TangoZk> neighbor;  // next node's namespace
+    };
+    std::vector<Node> nodes(num_nodes);
+    // Namespaces are hosted by two nodes each without their full read sets
+    // being co-hosted everywhere, so they are marked as requiring decision
+    // records (§4.1).
+    tango::ObjectConfig needs_decision;
+    needs_decision.needs_decision_records = true;
+    for (int i = 0; i < num_nodes; ++i) {
+      nodes[i].client = bed.MakeClient();
+      nodes[i].runtime =
+          std::make_unique<tango::TangoRuntime>(nodes[i].client.get());
+      nodes[i].own = std::make_unique<tango::TangoZk>(
+          nodes[i].runtime.get(), static_cast<tango::ObjectId>(i + 1),
+          needs_decision);
+      nodes[i].neighbor = std::make_unique<tango::TangoZk>(
+          nodes[i].runtime.get(),
+          static_cast<tango::ObjectId>((i + 1) % num_nodes + 1),
+          needs_decision);
+    }
+    for (int i = 0; i < num_nodes; ++i) {
+      (void)nodes[i].own->Create("/data", "");
+      (void)nodes[i].own->Create("/inbox", "");
+    }
+
+    RunResult result = RunWorkers(
+        num_nodes, duration_ms,
+        [&](int t, std::atomic<bool>* stop, WorkerCounts* counts) {
+          Node& node = nodes[t];
+          tango::Rng rng(3000 + t);
+          uint64_t seq = 0;
+          while (!stop->load(std::memory_order_relaxed)) {
+            counts->total++;
+            if (rng.NextBool(fraction)) {
+              // Create a node, then atomically move it to the neighbor's
+              // namespace (two ops; count the move as the op of record).
+              std::string path = "/data/m" + std::to_string(t) + "-" +
+                                 std::to_string(seq++);
+              if (!node.own->Create(path, "payload").ok()) {
+                continue;
+              }
+              std::string dst = "/inbox/m" + std::to_string(t) + "-" +
+                                std::to_string(seq);
+              if (node.own->MoveTo(path, *node.neighbor, dst).ok()) {
+                counts->good++;
+              }
+            } else {
+              std::string path =
+                  "/data/n" + std::to_string(rng.NextBelow(1000));
+              tango::Status st = node.own->SetData(path, "v");
+              if (st.code() == tango::StatusCode::kNotFound) {
+                st = node.own->Create(path, "v");
+              }
+              if (st.ok()) {
+                counts->good++;
+              }
+            }
+          }
+        });
+
+    PrintRow({std::to_string(pct), Fmt(result.ops_per_sec / 1000.0, 2),
+              Fmt(result.good_ops_per_sec / 1000.0, 2)});
+  }
+}
+
+}  // namespace
+}  // namespace tangobench
+
+int main(int argc, char** argv) {
+  tangobench::Flags flags(argc, argv);
+  tangobench::Run(flags);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Quickstart: the smallest complete Tango program.
+//
+// Builds an in-process CORFU deployment (storage nodes + sequencer +
+// projection store on one transport), attaches two independent clients, and
+// shows the core ideas from the paper in order:
+//   1. a TangoRegister is persistent, consistent and highly available with
+//      no distributed-protocol code (Figure 3);
+//   2. views on different clients converge through the shared log;
+//   3. transactions span objects with plain Begin/EndTX brackets (Figure 4);
+//   4. the whole history is replayable: a brand-new client reconstructs
+//      every view from the log.
+//
+// Run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/corfu/cluster.h"
+#include "src/net/inproc_transport.h"
+#include "src/objects/tango_list.h"
+#include "src/objects/tango_map.h"
+#include "src/objects/tango_register.h"
+#include "src/runtime/runtime.h"
+
+int main() {
+  // --- the shared log --------------------------------------------------------
+  tango::InProcTransport transport;
+  corfu::CorfuCluster::Options options;
+  options.num_storage_nodes = 6;   // 3 replica sets of 2
+  options.replication_factor = 2;
+  corfu::CorfuCluster cluster(&transport, options);
+
+  // --- client A: writes ------------------------------------------------------
+  auto client_a = cluster.MakeClient();
+  tango::TangoRuntime runtime_a(client_a.get());
+  tango::TangoRegister reg_a(&runtime_a, /*oid=*/1);
+
+  if (!reg_a.Write(42).ok()) {
+    std::fprintf(stderr, "write failed\n");
+    return 1;
+  }
+  std::printf("client A wrote 42 to the register\n");
+
+  // --- client B: a second view of the same object -----------------------------
+  auto client_b = cluster.MakeClient();
+  tango::TangoRuntime runtime_b(client_b.get());
+  tango::TangoRegister reg_b(&runtime_b, /*oid=*/1);
+
+  auto value = reg_b.Read();  // linearizable: checks the tail, plays forward
+  std::printf("client B read %lld (via the shared log, no messages between "
+              "clients)\n",
+              static_cast<long long>(value.value_or(-1)));
+
+  // --- a transaction across two objects ---------------------------------------
+  tango::TangoMap owners(&runtime_a, /*oid=*/2);
+  tango::TangoList items(&runtime_a, /*oid=*/3);
+  (void)owners.Put("ledger-1", "me");
+  (void)owners.Get("ledger-1");  // sync the view before transacting
+
+  (void)runtime_a.BeginTx();
+  auto owner = owners.Get("ledger-1");       // records a read-set entry
+  if (owner.ok() && *owner == "me") {
+    (void)items.Add("item-0");               // buffered, not yet in the log
+  }
+  tango::Status tx = runtime_a.EndTx();      // append commit record, validate
+  std::printf("transaction: %s\n", tx.ok() ? "committed" : tx.ToString().c_str());
+
+  // --- durability: a cold client rebuilds everything from the log -------------
+  auto client_c = cluster.MakeClient();
+  tango::TangoRuntime runtime_c(client_c.get());
+  tango::TangoRegister reg_c(&runtime_c, 1);
+  tango::TangoMap owners_c(&runtime_c, 2);
+  tango::TangoList items_c(&runtime_c, 3);
+
+  auto replayed = reg_c.Read();
+  auto size = items_c.Size();
+  std::printf("cold client replayed: register=%lld, list size=%zu\n",
+              static_cast<long long>(replayed.value_or(-1)),
+              size.value_or(0));
+
+  std::printf("quickstart done\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Distributed two-phase locking baseline (§6.2, Figure 10 middle).
+//
+// This is the comparison protocol the paper implements inside EndTX: a
+// Percolator-style design with a centralized timestamp oracle and
+// per-client lock managers, but providing serializability (not snapshot
+// isolation) for a direct comparison with Tango:
+//
+//   1. acquire a timestamp ts from the oracle — the transaction's version;
+//   2. try-lock the read-set items (hosted locally) and validate that none
+//      changed since they were read;
+//   3. try-lock each write-set item at its owner and fetch its version; any
+//      version above ts (write-write conflict) or unavailable lock aborts
+//      the attempt, unlocks everything, and retries with a fresh timestamp
+//      (no waiting, hence no deadlock — at the cost of retries);
+//   4. send commit to every owner: install values at version ts and unlock.
+//
+// Items are (key -> versioned value) pairs; each ItemStore hosts a partition
+// and serves Lock/Commit/Abort RPCs over the shared Transport.
+
+#ifndef SRC_BASELINE_TWO_PHASE_LOCKING_H_
+#define SRC_BASELINE_TWO_PHASE_LOCKING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/transport.h"
+#include "src/util/status.h"
+
+namespace twopl {
+
+using TxTimestamp = uint64_t;
+
+// Centralized timestamp oracle (the paper reuses the CORFU sequencer for
+// this role; we give it its own tiny service).
+class TimestampOracle {
+ public:
+  TimestampOracle(tango::Transport* transport, tango::NodeId node);
+  ~TimestampOracle();
+
+  TimestampOracle(const TimestampOracle&) = delete;
+  TimestampOracle& operator=(const TimestampOracle&) = delete;
+
+ private:
+  tango::Transport* transport_;
+  tango::NodeId node_;
+  std::atomic<TxTimestamp> next_{1};
+  tango::RpcDispatcher dispatcher_;
+};
+
+tango::Result<TxTimestamp> FetchTimestamp(tango::Transport* transport,
+                                          tango::NodeId oracle);
+
+// One partition of items, owned by one client, serving lock RPCs.
+class ItemStore {
+ public:
+  ItemStore(tango::Transport* transport, tango::NodeId node);
+  ~ItemStore();
+
+  ItemStore(const ItemStore&) = delete;
+  ItemStore& operator=(const ItemStore&) = delete;
+
+  tango::NodeId node() const { return node_; }
+
+  // Local (same-process) accessors used for the read phase.
+  struct VersionedValue {
+    int64_t value = 0;
+    TxTimestamp version = 0;
+  };
+  VersionedValue Read(uint64_t key);
+
+  // Try-locks `key` for `txid`; returns its current version, or kUnavailable
+  // if locked by another transaction.  Idempotent per (txid, key).
+  tango::Result<TxTimestamp> Lock(uint64_t txid, uint64_t key);
+  void Unlock(uint64_t txid, uint64_t key);
+  // Installs `value` at version `ts` and releases the lock.
+  tango::Status Commit(uint64_t txid, uint64_t key, int64_t value,
+                       TxTimestamp ts);
+
+ private:
+  struct Item {
+    int64_t value = 0;
+    TxTimestamp version = 0;
+    uint64_t locked_by = 0;  // 0 = unlocked
+  };
+
+  tango::Status HandleLock(tango::ByteReader& req, tango::ByteWriter& resp);
+  tango::Status HandleCommit(tango::ByteReader& req, tango::ByteWriter& resp);
+  tango::Status HandleAbort(tango::ByteReader& req, tango::ByteWriter& resp);
+
+  tango::Transport* transport_;
+  tango::NodeId node_;
+  std::mutex mu_;
+  std::unordered_map<uint64_t, Item> items_;
+  tango::RpcDispatcher dispatcher_;
+};
+
+// Executes transactions against a set of ItemStores.
+class TwoPhaseLockingClient {
+ public:
+  struct WriteIntent {
+    tango::NodeId owner;   // node id of the owning ItemStore
+    uint64_t key;
+    int64_t value;
+  };
+  struct ReadIntent {
+    uint64_t key;          // always local to `local_store`
+  };
+
+  TwoPhaseLockingClient(tango::Transport* transport, tango::NodeId oracle,
+                        ItemStore* local_store, uint64_t client_id);
+
+  // Runs one serializable transaction.  Returns OK on commit, kAborted when
+  // the retry budget is exhausted by conflicts.
+  tango::Status ExecuteTx(const std::vector<ReadIntent>& reads,
+                          const std::vector<WriteIntent>& writes,
+                          int max_retries = 64);
+
+  uint64_t retries() const { return retries_; }
+
+ private:
+  tango::Status TryOnce(const std::vector<ReadIntent>& reads,
+                        const std::vector<WriteIntent>& writes);
+
+  tango::Transport* transport_;
+  tango::NodeId oracle_;
+  ItemStore* local_store_;
+  uint64_t client_id_;
+  uint64_t tx_seq_ = 1;
+  uint64_t retries_ = 0;
+};
+
+}  // namespace twopl
+
+#endif  // SRC_BASELINE_TWO_PHASE_LOCKING_H_

@@ -1,0 +1,163 @@
+#include "src/bindings/tango_c.h"
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/corfu/cluster.h"
+#include "src/corfu/log_client.h"
+#include "src/net/tcp_transport.h"
+#include "src/objects/tango_map.h"
+#include "src/runtime/runtime.h"
+
+struct tango_client {
+  std::unique_ptr<tango::TcpTransport> transport;
+  std::unique_ptr<corfu::CorfuClient> log;
+  std::unique_ptr<tango::TangoRuntime> runtime;
+};
+
+struct tango_map {
+  tango_client* client;
+  std::unique_ptr<tango::TangoMap> map;
+};
+
+namespace {
+
+tango_status ToC(const tango::Status& status) {
+  return static_cast<tango_status>(status.code());
+}
+
+}  // namespace
+
+extern "C" {
+
+tango_client* tango_connect(const char* host, uint16_t base_port,
+                            int storage_nodes) {
+  if (host == nullptr || storage_nodes <= 0) {
+    return nullptr;
+  }
+  auto client = std::make_unique<tango_client>();
+  client->transport = std::make_unique<tango::TcpTransport>();
+
+  // Mirror the node layout of tools/node_layout.h.
+  corfu::CorfuCluster::Options defaults;
+  client->transport->AddRoute(defaults.projection_store_node, host,
+                              base_port);
+  client->transport->AddRoute(defaults.sequencer_node, host,
+                              static_cast<uint16_t>(base_port + 1));
+  for (int i = 0; i < storage_nodes; ++i) {
+    client->transport->AddRoute(defaults.storage_base + i, host,
+                                static_cast<uint16_t>(base_port + 2 + i));
+  }
+
+  // Probe the projection store before committing to the connection (the
+  // CorfuClient constructor CHECK-fails on an unreachable deployment).
+  if (!corfu::FetchProjection(client->transport.get(),
+                              defaults.projection_store_node)
+           .ok()) {
+    return nullptr;
+  }
+  client->log = std::make_unique<corfu::CorfuClient>(
+      client->transport.get(), defaults.projection_store_node);
+  client->runtime = std::make_unique<tango::TangoRuntime>(client->log.get());
+  return client.release();
+}
+
+void tango_disconnect(tango_client* client) { delete client; }
+
+tango_status tango_log_append(tango_client* client, const uint8_t* data,
+                              size_t len, uint64_t* offset_out) {
+  auto offset = client->log->Append(std::span<const uint8_t>(data, len));
+  if (!offset.ok()) {
+    return ToC(offset.status());
+  }
+  if (offset_out != nullptr) {
+    *offset_out = *offset;
+  }
+  return TANGO_OK;
+}
+
+tango_status tango_log_read(tango_client* client, uint64_t offset,
+                            uint8_t* buf, size_t* len_inout) {
+  auto entry = client->log->Read(offset);
+  if (!entry.ok()) {
+    return ToC(entry.status());
+  }
+  if (*len_inout < entry->payload.size()) {
+    *len_inout = entry->payload.size();
+    return static_cast<tango_status>(tango::StatusCode::kOutOfRange);
+  }
+  std::memcpy(buf, entry->payload.data(), entry->payload.size());
+  *len_inout = entry->payload.size();
+  return TANGO_OK;
+}
+
+tango_status tango_log_tail(tango_client* client, uint64_t* tail_out) {
+  auto tail = client->log->CheckTail();
+  if (!tail.ok()) {
+    return ToC(tail.status());
+  }
+  *tail_out = *tail;
+  return TANGO_OK;
+}
+
+tango_map* tango_map_open(tango_client* client, uint32_t oid) {
+  auto map = std::make_unique<tango_map>();
+  map->client = client;
+  map->map = std::make_unique<tango::TangoMap>(client->runtime.get(), oid);
+  return map.release();
+}
+
+void tango_map_close(tango_map* map) { delete map; }
+
+tango_status tango_map_put(tango_map* map, const char* key,
+                           const char* value) {
+  return ToC(map->map->Put(key, value));
+}
+
+tango_status tango_map_get(tango_map* map, const char* key, char* buf,
+                           size_t* len_inout) {
+  auto value = map->map->Get(key);
+  if (!value.ok()) {
+    return ToC(value.status());
+  }
+  if (*len_inout < value->size() + 1) {
+    *len_inout = value->size();
+    return static_cast<tango_status>(tango::StatusCode::kOutOfRange);
+  }
+  std::memcpy(buf, value->c_str(), value->size() + 1);
+  *len_inout = value->size();
+  return TANGO_OK;
+}
+
+tango_status tango_map_remove(tango_map* map, const char* key) {
+  return ToC(map->map->Remove(key));
+}
+
+tango_status tango_map_size(tango_map* map, size_t* size_out) {
+  auto size = map->map->Size();
+  if (!size.ok()) {
+    return ToC(size.status());
+  }
+  *size_out = *size;
+  return TANGO_OK;
+}
+
+tango_status tango_tx_begin(tango_client* client) {
+  return ToC(client->runtime->BeginTx());
+}
+
+tango_status tango_tx_end(tango_client* client) {
+  return ToC(client->runtime->EndTx());
+}
+
+void tango_tx_abort(tango_client* client) { client->runtime->AbortTx(); }
+
+const char* tango_status_name(tango_status status) {
+  static thread_local std::string name;
+  name = std::string(
+      tango::StatusCodeName(static_cast<tango::StatusCode>(status)));
+  return name.c_str();
+}
+
+}  // extern "C"

@@ -1,0 +1,82 @@
+/* C bindings for the Tango client stack.
+ *
+ * The paper ships Java and C# bindings over its C++ core; this is the
+ * equivalent foreign-function surface for this implementation — a flat C API
+ * over TcpTransport + CorfuClient + TangoRuntime + TangoMap, sufficient to
+ * write a Tango client in any language with a C FFI.
+ *
+ * All functions are thread-compatible (use one tango_client per thread, or
+ * synchronize externally).  Strings are NUL-terminated UTF-8.  Status codes
+ * mirror tango::StatusCode; 0 is success.
+ *
+ * The (host, base_port, storage_nodes) triple must match the tango_logd
+ * deployment being joined (see tools/node_layout.h for the port scheme).
+ */
+
+#ifndef SRC_BINDINGS_TANGO_C_H_
+#define SRC_BINDINGS_TANGO_C_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef int32_t tango_status;
+#define TANGO_OK 0
+
+typedef struct tango_client tango_client;
+typedef struct tango_map tango_map;
+
+/* --- connection ---------------------------------------------------------- */
+
+/* Connects to a tango_logd deployment.  Returns NULL on failure. */
+tango_client* tango_connect(const char* host, uint16_t base_port,
+                            int storage_nodes);
+void tango_disconnect(tango_client* client);
+
+/* --- raw log ------------------------------------------------------------- */
+
+tango_status tango_log_append(tango_client* client, const uint8_t* data,
+                              size_t len, uint64_t* offset_out);
+/* Reads the entry payload at `offset` into `buf`; *len_inout carries the
+ * buffer capacity in and the payload length out (kOutOfRange if too small).
+ */
+tango_status tango_log_read(tango_client* client, uint64_t offset,
+                            uint8_t* buf, size_t* len_inout);
+tango_status tango_log_tail(tango_client* client, uint64_t* tail_out);
+
+/* --- replicated map ------------------------------------------------------ */
+
+/* Opens a view of the TangoMap on stream `oid` (rebuilt from the log). */
+tango_map* tango_map_open(tango_client* client, uint32_t oid);
+void tango_map_close(tango_map* map);
+
+tango_status tango_map_put(tango_map* map, const char* key,
+                           const char* value);
+/* *len_inout: capacity in, value length out (excluding the NUL, which is
+ * written when it fits). */
+tango_status tango_map_get(tango_map* map, const char* key, char* buf,
+                           size_t* len_inout);
+tango_status tango_map_remove(tango_map* map, const char* key);
+tango_status tango_map_size(tango_map* map, size_t* size_out);
+
+/* --- transactions -------------------------------------------------------- */
+
+/* Transactions are per-thread, bracketing map calls on the same client. */
+tango_status tango_tx_begin(tango_client* client);
+/* Returns TANGO_OK on commit; the kAborted code on a read-set conflict. */
+tango_status tango_tx_end(tango_client* client);
+void tango_tx_abort(tango_client* client);
+
+/* --- misc ---------------------------------------------------------------- */
+
+/* Stable name for a status code ("OK", "ABORTED", ...). */
+const char* tango_status_name(tango_status status);
+
+#ifdef __cplusplus
+}  /* extern "C" */
+#endif
+
+#endif  /* SRC_BINDINGS_TANGO_C_H_ */

@@ -1,0 +1,83 @@
+// CorfuCluster: an in-process CORFU deployment for tests, benches and
+// examples.
+//
+// Stands in for the paper's testbed (e.g. 18 storage nodes in a 9x2
+// configuration plus a dedicated sequencer).  All services are registered on
+// one Transport; clients created with MakeClient() speak the full protocol
+// to them.
+
+#ifndef SRC_CORFU_CLUSTER_H_
+#define SRC_CORFU_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/corfu/log_client.h"
+#include "src/corfu/projection.h"
+#include "src/corfu/sequencer.h"
+#include "src/corfu/storage_node.h"
+#include "src/net/transport.h"
+#include "src/util/status.h"
+
+namespace corfu {
+
+class CorfuCluster {
+ public:
+  struct Options {
+    // Total storage nodes and chain length; nodes/replication = replica sets.
+    // The paper's default deployment is 18 nodes in a 9x2 configuration.
+    int num_storage_nodes = 18;
+    int replication_factor = 2;
+    uint32_t page_size = 4096;
+    uint32_t backpointer_count = kDefaultBackpointerCount;
+    StorageNode::Options storage;
+    // When non-empty, each storage node journals to
+    // <journal_dir>/node-<id>.journal and reloads it on construction, so the
+    // whole log survives a full cluster restart.
+    std::string journal_dir;
+    // Node-id layout (storage nodes occupy [base, base+n)).
+    tango::NodeId storage_base = 100;
+    tango::NodeId sequencer_node = 10;
+    tango::NodeId projection_store_node = 11;
+  };
+
+  CorfuCluster(tango::Transport* transport, Options options);
+  ~CorfuCluster();
+
+  CorfuCluster(const CorfuCluster&) = delete;
+  CorfuCluster& operator=(const CorfuCluster&) = delete;
+
+  std::unique_ptr<CorfuClient> MakeClient(
+      CorfuClient::Options options = CorfuClient::Options{}) const;
+
+  // Simulates a sequencer crash (drops its RPC registration) and installs a
+  // replacement at a fresh node id via reconfiguration, driven by `client`.
+  tango::Status ReplaceSequencer(CorfuClient* client);
+
+  // Spawns an empty storage node at `node` (for ReplaceStorageNode tests and
+  // capacity expansion).  The node serves RPCs but carries no data until a
+  // reconfiguration copies a chain onto it.
+  void SpawnStorageNode(tango::NodeId node);
+
+  tango::Transport* transport() const { return transport_; }
+  tango::NodeId projection_store_node() const {
+    return options_.projection_store_node;
+  }
+  Sequencer* sequencer() const { return sequencer_.get(); }
+  const std::vector<std::unique_ptr<StorageNode>>& storage_nodes() const {
+    return storage_nodes_;
+  }
+  const Options& options() const { return options_; }
+
+ private:
+  tango::Transport* transport_;
+  Options options_;
+  std::vector<std::unique_ptr<StorageNode>> storage_nodes_;
+  std::unique_ptr<Sequencer> sequencer_;
+  std::unique_ptr<ProjectionStore> projection_store_;
+  tango::NodeId next_sequencer_node_;
+};
+
+}  // namespace corfu
+
+#endif  // SRC_CORFU_CLUSTER_H_

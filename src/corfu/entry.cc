@@ -1,0 +1,121 @@
+#include "src/corfu/entry.h"
+
+namespace corfu {
+
+using tango::ByteReader;
+using tango::ByteWriter;
+using tango::Result;
+using tango::Status;
+using tango::StatusCode;
+
+namespace {
+
+constexpr uint32_t kAbsoluteFormatBit = 0x80000000u;
+
+}  // namespace
+
+const StreamHeader* LogEntry::FindHeader(StreamId stream) const {
+  for (const StreamHeader& h : headers) {
+    if (h.stream == stream) {
+      return &h;
+    }
+  }
+  return nullptr;
+}
+
+Result<std::vector<uint8_t>> EncodeEntry(const LogEntry& entry,
+                                         LogOffset self_offset) {
+  ByteWriter w(64 + entry.payload.size());
+  w.PutU32(entry.epoch);
+  w.PutU8(static_cast<uint8_t>(entry.type));
+  if (entry.headers.size() > 255) {
+    return Status(StatusCode::kOutOfRange, "too many stream headers");
+  }
+  w.PutU8(static_cast<uint8_t>(entry.headers.size()));
+
+  for (const StreamHeader& h : entry.headers) {
+    if (h.stream > kMaxStreamId) {
+      return Status(StatusCode::kInvalidArgument, "stream id exceeds 31 bits");
+    }
+    if (h.backpointers.size() > 255) {
+      return Status(StatusCode::kOutOfRange, "too many backpointers");
+    }
+    // Decide the format: relative 2-byte deltas if every pointer fits.
+    bool relative_ok = true;
+    for (LogOffset bp : h.backpointers) {
+      if (bp == kInvalidOffset) {
+        continue;
+      }
+      if (bp >= self_offset || self_offset - bp > 0xffff) {
+        relative_ok = false;
+        break;
+      }
+    }
+    if (relative_ok) {
+      w.PutU32(h.stream);
+      w.PutU8(static_cast<uint8_t>(h.backpointers.size()));
+      for (LogOffset bp : h.backpointers) {
+        uint16_t delta =
+            bp == kInvalidOffset
+                ? 0
+                : static_cast<uint16_t>(self_offset - bp);
+        w.PutU16(delta);
+      }
+    } else {
+      // Absolute fallback: keep ceil(K/4) pointers, matching the paper's
+      // space budget (K 2-byte deltas == K/4 8-byte offsets).
+      size_t keep = (h.backpointers.size() + 3) / 4;
+      w.PutU32(h.stream | kAbsoluteFormatBit);
+      w.PutU8(static_cast<uint8_t>(keep));
+      for (size_t i = 0; i < keep; ++i) {
+        w.PutU64(h.backpointers[i]);
+      }
+    }
+  }
+  w.PutBlob(entry.payload);
+  return w.Take();
+}
+
+Result<LogEntry> DecodeEntry(std::span<const uint8_t> bytes,
+                             LogOffset self_offset) {
+  ByteReader r(bytes);
+  LogEntry entry;
+  entry.epoch = r.GetU32();
+  entry.type = static_cast<EntryType>(r.GetU8());
+  uint8_t header_count = r.GetU8();
+  entry.headers.reserve(header_count);
+  for (int i = 0; i < header_count; ++i) {
+    uint32_t id_and_format = r.GetU32();
+    uint8_t pointer_count = r.GetU8();
+    StreamHeader h;
+    h.stream = id_and_format & kMaxStreamId;
+    h.backpointers.reserve(pointer_count);
+    if ((id_and_format & kAbsoluteFormatBit) != 0) {
+      for (int j = 0; j < pointer_count; ++j) {
+        h.backpointers.push_back(r.GetU64());
+      }
+    } else {
+      for (int j = 0; j < pointer_count; ++j) {
+        uint16_t delta = r.GetU16();
+        h.backpointers.push_back(delta == 0 ? kInvalidOffset
+                                            : self_offset - delta);
+      }
+    }
+    entry.headers.push_back(std::move(h));
+  }
+  entry.payload = r.GetBlob();
+  if (!r.ok()) {
+    return Status(StatusCode::kInvalidArgument, "malformed log entry");
+  }
+  return entry;
+}
+
+std::vector<uint8_t> EncodeJunkEntry(Epoch epoch) {
+  LogEntry junk;
+  junk.epoch = epoch;
+  junk.type = EntryType::kJunk;
+  // Junk encoding never fails: no headers, empty payload.
+  return EncodeEntry(junk, 0).value();
+}
+
+}  // namespace corfu

@@ -1,0 +1,78 @@
+// Log entry wire format, including per-stream backpointer headers (§5).
+//
+// Layout (little-endian):
+//   u32 epoch
+//   u8  type            (kData | kJunk)
+//   u8  header_count    (number of stream headers; 0 for junk)
+//   stream headers...
+//   u32 payload_len | payload bytes
+//
+// Each stream header is:
+//   u32 id_and_format   (bit 31 = 1 → absolute format, bits 0..30 = stream id)
+//   u8  pointer_count
+//   pointer_count * (u16 relative delta | u64 absolute offset)
+//
+// Relative deltas are distances back from the entry's own offset; a delta of
+// 0 means "no earlier entry" (the entry's own offset is never a valid target
+// of its own backpointer, so 0 is free to act as the null pointer).  When any
+// delta would exceed 65535, the encoder switches the header to the absolute
+// format, storing ceil(K/4) 8-byte offsets instead of K 2-byte deltas —
+// exactly the fallback described in the paper.
+
+#ifndef SRC_CORFU_ENTRY_H_
+#define SRC_CORFU_ENTRY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/corfu/types.h"
+#include "src/util/serialize.h"
+#include "src/util/status.h"
+
+namespace corfu {
+
+enum class EntryType : uint8_t {
+  kData = 0,
+  // A hole filled by the CORFU `fill` primitive.  Junk entries carry no
+  // stream headers and no payload; stream readers skip them and backpointer
+  // chains cannot cross them without a fallback scan.
+  kJunk = 1,
+};
+
+struct StreamHeader {
+  StreamId stream = kInvalidStreamId;
+  // Absolute offsets of the previous entries in this stream, most recent
+  // first.  kInvalidOffset slots mean "no earlier entry".
+  std::vector<LogOffset> backpointers;
+};
+
+struct LogEntry {
+  Epoch epoch = 0;
+  EntryType type = EntryType::kData;
+  std::vector<StreamHeader> headers;
+  std::vector<uint8_t> payload;
+
+  bool is_junk() const { return type == EntryType::kJunk; }
+
+  // Returns the header for `stream`, or nullptr.
+  const StreamHeader* FindHeader(StreamId stream) const;
+};
+
+// Encodes `entry` as it would be written at `self_offset` (needed to compute
+// relative backpointers).  Fails if a header has more than 255 pointers or
+// the stream id exceeds 31 bits.
+tango::Result<std::vector<uint8_t>> EncodeEntry(const LogEntry& entry,
+                                                LogOffset self_offset);
+
+// Decodes bytes read from `self_offset` back into a LogEntry with absolute
+// backpointers.
+tango::Result<LogEntry> DecodeEntry(std::span<const uint8_t> bytes,
+                                    LogOffset self_offset);
+
+// Builds the canonical junk entry used by fill().
+std::vector<uint8_t> EncodeJunkEntry(Epoch epoch);
+
+}  // namespace corfu
+
+#endif  // SRC_CORFU_ENTRY_H_

@@ -1,0 +1,554 @@
+#include "src/corfu/log_client.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/util/logging.h"
+#include "src/util/threading.h"
+
+namespace corfu {
+
+using tango::ByteReader;
+using tango::ByteWriter;
+using tango::NodeId;
+using tango::Result;
+using tango::Status;
+using tango::StatusCode;
+
+namespace {
+
+Status StorageWrite(tango::Transport* t, NodeId node, Epoch epoch,
+                    LogOffset local, const std::vector<uint8_t>& bytes) {
+  ByteWriter w(16 + bytes.size());
+  w.PutU32(epoch);
+  w.PutU64(local);
+  w.PutBlob(bytes);
+  return t->Call(node, kStorageWrite, w.bytes(), nullptr);
+}
+
+Result<std::vector<uint8_t>> StorageRead(tango::Transport* t, NodeId node,
+                                         Epoch epoch, LogOffset local) {
+  ByteWriter w(12);
+  w.PutU32(epoch);
+  w.PutU64(local);
+  std::vector<uint8_t> resp;
+  Status st = t->Call(node, kStorageRead, w.bytes(), &resp);
+  if (!st.ok()) {
+    return st;
+  }
+  ByteReader r(resp);
+  std::vector<uint8_t> page = r.GetBlob();
+  if (!r.ok()) {
+    return Status(StatusCode::kInternal, "malformed read response");
+  }
+  return page;
+}
+
+}  // namespace
+
+CorfuClient::CorfuClient(tango::Transport* transport, NodeId projection_store,
+                         Options options)
+    : transport_(transport),
+      projection_store_(projection_store),
+      options_(options) {
+  Status st = RefreshProjection();
+  TANGO_CHECK(st.ok()) << "initial projection fetch failed: " << st.ToString();
+}
+
+Projection CorfuClient::Snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(projection_mu_);
+  return projection_;
+}
+
+Projection CorfuClient::projection() const { return Snapshot(); }
+
+Status CorfuClient::RefreshProjection() {
+  Result<Projection> p = FetchProjection(transport_, projection_store_);
+  if (!p.ok()) {
+    return p.status();
+  }
+  std::unique_lock<std::shared_mutex> lock(projection_mu_);
+  if (p->epoch >= projection_.epoch) {
+    projection_ = std::move(p).value();
+  }
+  return Status::Ok();
+}
+
+Status CorfuClient::WithEpochRetry(
+    const std::function<Status(const Projection&)>& op) {
+  // kSealedEpoch means our projection is stale; kUnavailable may mean the
+  // node we are calling was replaced by a reconfiguration we have not seen
+  // yet.  Both refresh and retry with backoff.
+  auto retryable = [](const Status& st) {
+    return st == StatusCode::kSealedEpoch || st == StatusCode::kUnavailable;
+  };
+  Status st = op(Snapshot());
+  for (int attempt = 0;
+       retryable(st) && attempt < options_.max_epoch_retries; ++attempt) {
+    TANGO_RETURN_IF_ERROR(RefreshProjection());
+    st = op(Snapshot());
+    if (retryable(st)) {
+      // A reconfiguration is mid-flight (sealed but not yet proposed); give
+      // the reconfiguring client a moment to install the new projection.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+    }
+  }
+  return st;
+}
+
+Status CorfuClient::ChainWrite(const Projection& p, LogOffset offset,
+                               const std::vector<uint8_t>& bytes) {
+  const std::vector<NodeId>& chain = p.ChainFor(offset);
+  LogOffset local = p.LocalOffsetFor(offset);
+
+  // Write the head first; it decides who owns the offset.
+  Status head = StorageWrite(transport_, chain[0], p.epoch, local, bytes);
+  if (!head.ok() && head != StatusCode::kWritten) {
+    return head;
+  }
+
+  const std::vector<uint8_t>* value = &bytes;
+  std::vector<uint8_t> winner;
+  if (head == StatusCode::kWritten) {
+    // Someone else owns this offset.  Complete the chain with *their* value
+    // so the tail converges, then report the loss.
+    Result<std::vector<uint8_t>> existing =
+        StorageRead(transport_, chain[0], p.epoch, local);
+    if (!existing.ok()) {
+      return existing.status();
+    }
+    winner = std::move(existing).value();
+    value = &winner;
+  }
+
+  for (size_t i = 1; i < chain.size(); ++i) {
+    Status st = StorageWrite(transport_, chain[i], p.epoch, local, *value);
+    if (!st.ok() && st != StatusCode::kWritten) {
+      return st;
+    }
+  }
+  return head;  // OK if we won, kWritten if we lost
+}
+
+Result<std::vector<uint8_t>> CorfuClient::ChainRead(const Projection& p,
+                                                    LogOffset offset) {
+  const std::vector<NodeId>& chain = p.ChainFor(offset);
+  LogOffset local = p.LocalOffsetFor(offset);
+  return StorageRead(transport_, chain.back(), p.epoch, local);
+}
+
+Result<LogOffset> CorfuClient::Append(std::span<const uint8_t> payload) {
+  return AppendToStreams(payload, {});
+}
+
+Result<LogOffset> CorfuClient::AppendToStreams(
+    std::span<const uint8_t> payload, const std::vector<StreamId>& streams) {
+  for (int attempt = 0; attempt < options_.max_epoch_retries; ++attempt) {
+    Projection p = Snapshot();
+    Result<SequencerGrant> grant = SequencerNext(
+        transport_, p.sequencer, p.epoch, /*count=*/1, streams);
+    if (!grant.ok()) {
+      if (grant.status() == StatusCode::kSealedEpoch ||
+          grant.status() == StatusCode::kUnavailable) {
+        // Sealed, or the sequencer died: refresh and retry on the (possibly
+        // reconfigured) projection.
+        TANGO_RETURN_IF_ERROR(RefreshProjection());
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      return grant.status();
+    }
+
+    LogEntry entry;
+    entry.epoch = p.epoch;
+    entry.type = EntryType::kData;
+    entry.headers.reserve(streams.size());
+    for (size_t i = 0; i < streams.size(); ++i) {
+      StreamHeader h;
+      h.stream = streams[i];
+      h.backpointers = grant->backpointers[i];
+      while (h.backpointers.size() < p.backpointer_count) {
+        h.backpointers.push_back(kInvalidOffset);
+      }
+      entry.headers.push_back(std::move(h));
+    }
+    entry.payload.assign(payload.begin(), payload.end());
+
+    Result<std::vector<uint8_t>> encoded = EncodeEntry(entry, grant->start);
+    if (!encoded.ok()) {
+      return encoded.status();
+    }
+    if (encoded->size() > p.page_size) {
+      return Status(StatusCode::kOutOfRange, "entry exceeds page size");
+    }
+
+    Status st = ChainWrite(p, grant->start, *encoded);
+    if (st.ok()) {
+      return grant->start;
+    }
+    if (st == StatusCode::kWritten || st == StatusCode::kTrimmed) {
+      // Lost the offset (a filler beat us after a stall, or GC passed us by).
+      // Grab a fresh offset and try again.
+      continue;
+    }
+    if (st == StatusCode::kSealedEpoch) {
+      TANGO_RETURN_IF_ERROR(RefreshProjection());
+      continue;
+    }
+    return st;
+  }
+  return Status(StatusCode::kTimeout, "append retries exhausted");
+}
+
+Result<LogEntry> CorfuClient::Read(LogOffset offset) {
+  std::vector<uint8_t> page;
+  Status st = WithEpochRetry([&](const Projection& p) {
+    Result<std::vector<uint8_t>> r = ChainRead(p, offset);
+    if (r.ok()) {
+      page = std::move(r).value();
+    }
+    return r.status();
+  });
+  if (!st.ok()) {
+    return st;
+  }
+  return DecodeEntry(page, offset);
+}
+
+Result<LogEntry> CorfuClient::ReadRepair(LogOffset offset) {
+  Result<LogEntry> entry = Read(offset);
+  if (entry.ok() || entry.status() != StatusCode::kUnwritten) {
+    return entry;
+  }
+  // Wait for a straggling writer, then declare a hole and fill it.
+  uint64_t deadline = tango::NowMicros() +
+                      static_cast<uint64_t>(options_.hole_timeout_ms) * 1000;
+  while (tango::NowMicros() < deadline) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    entry = Read(offset);
+    if (entry.ok() || entry.status() != StatusCode::kUnwritten) {
+      return entry;
+    }
+  }
+  TANGO_RETURN_IF_ERROR(Fill(offset));
+  return Read(offset);
+}
+
+Result<LogOffset> CorfuClient::CheckTail() {
+  LogOffset tail = 0;
+  Status st = WithEpochRetry([&](const Projection& p) -> Status {
+    Result<SequencerTailInfo> info =
+        SequencerTail(transport_, p.sequencer, p.epoch, {});
+    if (!info.ok()) {
+      return info.status();
+    }
+    tail = info->tail;
+    return Status::Ok();
+  });
+  if (!st.ok()) {
+    return st;
+  }
+  return tail;
+}
+
+Result<LogOffset> CorfuClient::CheckTailSlow() {
+  Projection p = Snapshot();
+  LogOffset tail = 0;
+  for (size_t set = 0; set < p.replica_sets.size(); ++set) {
+    const std::vector<NodeId>& chain = p.replica_sets[set];
+    ByteWriter w(4);
+    w.PutU32(p.epoch);
+    std::vector<uint8_t> resp;
+    Status st =
+        transport_->Call(chain.back(), kStorageLocalTail, w.bytes(), &resp);
+    if (!st.ok()) {
+      return st;
+    }
+    ByteReader r(resp);
+    LogOffset local_tail = r.GetU64();
+    if (local_tail > 0) {
+      tail = std::max(tail, p.GlobalOffsetFor(set, local_tail - 1) + 1);
+    }
+  }
+  return tail;
+}
+
+Status CorfuClient::Trim(LogOffset offset) {
+  return WithEpochRetry([&](const Projection& p) -> Status {
+    const std::vector<NodeId>& chain = p.ChainFor(offset);
+    LogOffset local = p.LocalOffsetFor(offset);
+    ByteWriter w(12);
+    w.PutU32(p.epoch);
+    w.PutU64(local);
+    for (NodeId node : chain) {
+      TANGO_RETURN_IF_ERROR(
+          transport_->Call(node, kStorageTrim, w.bytes(), nullptr));
+    }
+    return Status::Ok();
+  });
+}
+
+Status CorfuClient::TrimPrefix(LogOffset limit) {
+  return WithEpochRetry([&](const Projection& p) -> Status {
+    size_t num_sets = p.replica_sets.size();
+    for (size_t set = 0; set < num_sets; ++set) {
+      // Local offsets below this limit map to global offsets < limit.
+      LogOffset local_limit =
+          limit > set ? (limit - set + num_sets - 1) / num_sets : 0;
+      ByteWriter w(12);
+      w.PutU32(p.epoch);
+      w.PutU64(local_limit);
+      for (NodeId node : p.replica_sets[set]) {
+        TANGO_RETURN_IF_ERROR(
+            transport_->Call(node, kStorageTrimPrefix, w.bytes(), nullptr));
+      }
+    }
+    return Status::Ok();
+  });
+}
+
+Status CorfuClient::Fill(LogOffset offset) {
+  return WithEpochRetry([&](const Projection& p) -> Status {
+    std::vector<uint8_t> junk = EncodeJunkEntry(p.epoch);
+    Status st = ChainWrite(p, offset, junk);
+    if (st == StatusCode::kWritten) {
+      return Status::Ok();  // a real value won; hole resolved either way
+    }
+    return st;
+  });
+}
+
+Result<SequencerTailInfo> CorfuClient::StreamTails(
+    const std::vector<StreamId>& streams) {
+  SequencerTailInfo out;
+  Status st = WithEpochRetry([&](const Projection& p) -> Status {
+    Result<SequencerTailInfo> info =
+        SequencerTail(transport_, p.sequencer, p.epoch, streams);
+    if (!info.ok()) {
+      return info.status();
+    }
+    out = std::move(info).value();
+    return Status::Ok();
+  });
+  if (!st.ok()) {
+    return st;
+  }
+  return out;
+}
+
+Result<std::unordered_map<StreamId, StreamTail>>
+CorfuClient::RebuildSequencerState(uint64_t max_entries) {
+  Result<LogOffset> tail = CheckTailSlow();
+  if (!tail.ok()) {
+    return tail.status();
+  }
+  Projection p = Snapshot();
+  std::unordered_map<StreamId, StreamTail> state;
+  uint64_t scanned = 0;
+  for (LogOffset o = *tail; o > 0 && scanned < max_entries; --o, ++scanned) {
+    Result<LogEntry> entry = Read(o - 1);
+    if (!entry.ok()) {
+      if (entry.status() == StatusCode::kTrimmed) {
+        break;  // everything below is gone
+      }
+      continue;  // unwritten hole mid-log: skip
+    }
+    for (const StreamHeader& h : entry->headers) {
+      StreamTail& t = state[h.stream];
+      if (t.size() < p.backpointer_count) {
+        t.push_back(o - 1);  // backward scan yields most-recent-first order
+      }
+    }
+    if (entry->FindHeader(kSequencerStateStream) != nullptr) {
+      // A sequencer checkpoint: everything older is summarized here, so the
+      // scan stops.  Offsets collected above (newer) take precedence; the
+      // checkpoint backfills each stream's list up to K.
+      ByteReader r(entry->payload);
+      Result<Sequencer::DumpedState> dump = DecodeSequencerState(r);
+      if (dump.ok()) {
+        for (auto& [stream, offsets] : dump->streams) {
+          StreamTail& t = state[stream];
+          for (LogOffset older : offsets) {
+            if (t.size() >= p.backpointer_count) {
+              break;
+            }
+            if (t.empty() || older < t.back()) {
+              t.push_back(older);
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+  return state;
+}
+
+Result<LogOffset> CorfuClient::WriteSequencerCheckpoint() {
+  Projection p = Snapshot();
+  Result<Sequencer::DumpedState> dump =
+      SequencerDump(transport_, p.sequencer, p.epoch);
+  if (!dump.ok()) {
+    return dump.status();
+  }
+  ByteWriter w;
+  EncodeSequencerState(dump->tail, dump->streams, w);
+  return AppendToStreams(w.bytes(), {kSequencerStateStream});
+}
+
+Status Reconfigure(CorfuClient* client,
+                   const std::function<void(Projection&)>& mutate,
+                   uint64_t rebuild_scan_limit) {
+  // Rebuild stream state from the log *before* sealing (reads still work
+  // either way, but this keeps the sealed window short).
+  Result<std::unordered_map<StreamId, StreamTail>> state =
+      client->RebuildSequencerState(rebuild_scan_limit);
+  if (!state.ok()) {
+    return state.status();
+  }
+
+  Projection current = client->projection();
+  Projection next = current;
+  mutate(next);
+  next.epoch = current.epoch + 1;
+
+  // Seal every storage node at the new epoch, collecting tails.
+  LogOffset tail = 0;
+  for (size_t set = 0; set < next.replica_sets.size(); ++set) {
+    for (tango::NodeId node : next.replica_sets[set]) {
+      ByteWriter w(4);
+      w.PutU32(next.epoch);
+      std::vector<uint8_t> resp;
+      Status st =
+          client->transport()->Call(node, kStorageSeal, w.bytes(), &resp);
+      if (!st.ok()) {
+        return st;
+      }
+      ByteReader r(resp);
+      LogOffset local_tail = r.GetU64();
+      if (local_tail > 0) {
+        tail = std::max(tail, next.GlobalOffsetFor(set, local_tail - 1) + 1);
+      }
+    }
+  }
+
+  // Install the new projection; if we lose the race, adopt the winner and
+  // report the conflict to the caller.
+  Status proposed =
+      ProposeProjection(client->transport(), client->projection_store(), next);
+  if (!proposed.ok()) {
+    (void)client->RefreshProjection();
+    return proposed;
+  }
+
+  // Bring the (possibly new) sequencer up to speed: sealed tail plus the
+  // backpointer state recovered from the log.
+  TANGO_RETURN_IF_ERROR(SequencerBootstrap(client->transport(), next.sequencer,
+                                           next.epoch, tail, *state));
+  return client->RefreshProjection();
+}
+
+Status ReplaceStorageNode(CorfuClient* client, tango::NodeId failed,
+                          tango::NodeId replacement) {
+  Projection current = client->projection();
+  size_t set_index = current.replica_sets.size();
+  size_t chain_pos = 0;
+  for (size_t s = 0; s < current.replica_sets.size(); ++s) {
+    for (size_t r = 0; r < current.replica_sets[s].size(); ++r) {
+      if (current.replica_sets[s][r] == failed) {
+        set_index = s;
+        chain_pos = r;
+      }
+    }
+  }
+  if (set_index == current.replica_sets.size()) {
+    return Status(StatusCode::kNotFound, "node not in any chain");
+  }
+
+  // Copy the chain's surviving pages onto the replacement.  Prefer the head
+  // as the source: it holds a superset of every replica below it.
+  tango::NodeId source = tango::kInvalidNodeId;
+  for (tango::NodeId node : current.replica_sets[set_index]) {
+    if (node != failed) {
+      source = node;
+      break;
+    }
+  }
+  if (source == tango::kInvalidNodeId) {
+    return Status(StatusCode::kFailedPrecondition, "no surviving replica");
+  }
+
+  ByteWriter tail_req(4);
+  tail_req.PutU32(current.epoch);
+  std::vector<uint8_t> tail_resp;
+  TANGO_RETURN_IF_ERROR(client->transport()->Call(source, kStorageLocalTail,
+                                                  tail_req.bytes(),
+                                                  &tail_resp));
+  ByteReader tail_reader(tail_resp);
+  LogOffset local_tail = tail_reader.GetU64();
+
+  for (LogOffset local = 0; local < local_tail; ++local) {
+    ByteWriter read_req(12);
+    read_req.PutU32(current.epoch);
+    read_req.PutU64(local);
+    std::vector<uint8_t> page_resp;
+    Status read = client->transport()->Call(source, kStorageRead,
+                                            read_req.bytes(), &page_resp);
+    if (read == StatusCode::kUnwritten || read == StatusCode::kTrimmed) {
+      continue;  // holes stay holes; trimmed pages stay reclaimed
+    }
+    if (!read.ok()) {
+      return read;
+    }
+    ByteReader page_reader(page_resp);
+    std::vector<uint8_t> page = page_reader.GetBlob();
+    ByteWriter write_req(16 + page.size());
+    write_req.PutU32(current.epoch);
+    write_req.PutU64(local);
+    write_req.PutBlob(page);
+    Status written = client->transport()->Call(replacement, kStorageWrite,
+                                               write_req.bytes(), nullptr);
+    if (!written.ok() && written != StatusCode::kWritten) {
+      return written;
+    }
+  }
+
+  // Swap the nodes, seal the new membership at epoch+1, and propose.  The
+  // failed node is not sealed (it is presumed dead); the fencing that
+  // matters is on the survivors and the replacement.
+  Projection next = current;
+  next.epoch = current.epoch + 1;
+  next.replica_sets[set_index][chain_pos] = replacement;
+  LogOffset tail = 0;
+  for (size_t s = 0; s < next.replica_sets.size(); ++s) {
+    for (tango::NodeId node : next.replica_sets[s]) {
+      ByteWriter seal_req(4);
+      seal_req.PutU32(next.epoch);
+      std::vector<uint8_t> seal_resp;
+      Status sealed =
+          client->transport()->Call(node, kStorageSeal, seal_req.bytes(),
+                                    &seal_resp);
+      if (!sealed.ok()) {
+        return sealed;
+      }
+      ByteReader seal_reader(seal_resp);
+      LogOffset node_tail = seal_reader.GetU64();
+      if (node_tail > 0) {
+        tail = std::max(tail, next.GlobalOffsetFor(s, node_tail - 1) + 1);
+      }
+    }
+  }
+
+  Status proposed =
+      ProposeProjection(client->transport(), client->projection_store(), next);
+  if (!proposed.ok()) {
+    (void)client->RefreshProjection();
+    return proposed;
+  }
+  // The sequencer keeps its soft state; it only needs the new epoch.
+  TANGO_RETURN_IF_ERROR(SequencerBootstrap(client->transport(), next.sequencer,
+                                           next.epoch, tail, {}));
+  return client->RefreshProjection();
+}
+
+}  // namespace corfu

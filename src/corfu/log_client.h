@@ -1,0 +1,157 @@
+// CorfuClient: the client-side library of the shared log (§2.2).
+//
+// Exposes the four CORFU verbs (append, read, check, trim) plus fill, the
+// streaming multiappend, and the recovery operations (slow tail check,
+// sequencer state rebuild, reconfiguration).  Replication is client-driven
+// chain replication: the client writes replicas head-to-tail and reads from
+// the tail, so a partially replicated entry is never observable.  Every
+// request carries the client's projection epoch; on kSealedEpoch the client
+// refreshes its projection from the projection store and retries.
+//
+// Thread safety: all operations may be called concurrently.  Each operation
+// snapshots the current projection under a shared lock, so a reconfiguration
+// racing with data operations is safe — the losers are fenced by the sealed
+// epoch and retry on the new projection.
+
+#ifndef SRC_CORFU_LOG_CLIENT_H_
+#define SRC_CORFU_LOG_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/corfu/entry.h"
+#include "src/corfu/projection.h"
+#include "src/corfu/sequencer.h"
+#include "src/corfu/types.h"
+#include "src/net/transport.h"
+#include "src/util/status.h"
+
+namespace corfu {
+
+class CorfuClient {
+ public:
+  struct Options {
+    // How long a reader waits on an unwritten offset before filling the
+    // presumed hole (paper default: 100 ms).
+    uint32_t hole_timeout_ms = 100;
+    // Retry budget for sealed-epoch refresh loops.
+    int max_epoch_retries = 8;
+  };
+
+  CorfuClient(tango::Transport* transport, tango::NodeId projection_store)
+      : CorfuClient(transport, projection_store, Options{}) {}
+  CorfuClient(tango::Transport* transport, tango::NodeId projection_store,
+              Options options);
+
+  // --- Core CORFU interface -------------------------------------------------
+
+  // Appends a raw payload with no stream headers; returns its offset.
+  tango::Result<LogOffset> Append(std::span<const uint8_t> payload);
+
+  // Multiappend (§4): appends one entry that belongs to every stream in
+  // `streams`.  The sequencer supplies the backpointer headers.
+  tango::Result<LogOffset> AppendToStreams(std::span<const uint8_t> payload,
+                                           const std::vector<StreamId>& streams);
+
+  // Reads and decodes the entry at `offset`.
+  tango::Result<LogEntry> Read(LogOffset offset);
+
+  // Reads, waiting up to hole_timeout_ms for a lagging writer, then fills the
+  // hole with junk and reads whatever won.  This is the playback read.
+  tango::Result<LogEntry> ReadRepair(LogOffset offset);
+
+  // Fast check: one round trip to the sequencer.  Returns the next unwritten
+  // offset (i.e. entries [0, tail) are potentially written).
+  tango::Result<LogOffset> CheckTail();
+
+  // Slow check: queries every replica set's tail storage node and inverts
+  // the mapping function.  Works with no sequencer at all.
+  tango::Result<LogOffset> CheckTailSlow();
+
+  // Marks `offset` as garbage-collectable on its replica set.
+  tango::Status Trim(LogOffset offset);
+  // Trims every offset below `limit` (used by the Tango directory's forget).
+  tango::Status TrimPrefix(LogOffset limit);
+
+  // Writes a junk entry at `offset` (first-writer-wins); used to patch holes
+  // left by crashed clients.  Returns OK whether junk or an existing value
+  // won — either way the hole is resolved.
+  tango::Status Fill(LogOffset offset);
+
+  // --- Streaming support ----------------------------------------------------
+
+  // Tail + last-K backpointers for `streams`, without incrementing.
+  tango::Result<SequencerTailInfo> StreamTails(
+      const std::vector<StreamId>& streams);
+
+  // --- Recovery -------------------------------------------------------------
+
+  // Scans backward from the tail collecting per-stream last-K offsets, for
+  // bootstrapping a replacement sequencer.  Scans at most `max_entries`, or
+  // until it meets a sequencer-state checkpoint (below), whichever first.
+  tango::Result<std::unordered_map<StreamId, StreamTail>>
+  RebuildSequencerState(uint64_t max_entries);
+
+  // Dumps the live sequencer's full backpointer state and appends it to the
+  // reserved kSequencerStateStream (§5's planned optimization: periodic
+  // sequencer checkpoints bound the recovery scan to the checkpoint
+  // interval).  Returns the checkpoint's log offset.
+  tango::Result<LogOffset> WriteSequencerCheckpoint();
+
+  tango::Status RefreshProjection();
+  // Returns a copy of the current projection (safe under concurrency).
+  Projection projection() const;
+  tango::Transport* transport() const { return transport_; }
+  tango::NodeId projection_store() const { return projection_store_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Projection Snapshot() const;
+
+  // Writes `bytes` at `offset` through the chain.  If another writer already
+  // owns the offset, completes the chain with the winner's value and returns
+  // kWritten.
+  tango::Status ChainWrite(const Projection& p, LogOffset offset,
+                           const std::vector<uint8_t>& bytes);
+
+  // Reads the raw page from the chain's tail replica.
+  tango::Result<std::vector<uint8_t>> ChainRead(const Projection& p,
+                                                LogOffset offset);
+
+  // Runs `op(projection snapshot)`, refreshing on kSealedEpoch and retrying.
+  tango::Status WithEpochRetry(
+      const std::function<tango::Status(const Projection&)>& op);
+
+  tango::Transport* transport_;
+  tango::NodeId projection_store_;
+  Options options_;
+
+  mutable std::shared_mutex projection_mu_;
+  Projection projection_;
+};
+
+// Reconfiguration (§5, Failure Handling): seals the cluster at epoch+1,
+// applies `mutate` to a copy of `client`'s projection (e.g. replacing the
+// sequencer), proposes it, and bootstraps the new sequencer with the sealed
+// tail plus backpointer state rebuilt by scanning backward up to
+// `rebuild_scan_limit` entries.  On success the client's projection is
+// refreshed in place.
+tango::Status Reconfigure(CorfuClient* client,
+                          const std::function<void(Projection&)>& mutate,
+                          uint64_t rebuild_scan_limit = 65536);
+
+// Replaces a failed storage node with `replacement` (baseline CORFU's
+// reconfiguration for storage failures, which Tango inherits): copies every
+// surviving page of the failed node's chain from a healthy replica onto the
+// replacement, then reconfigures the projection to swap the nodes.  The
+// replacement must already be registered on the transport and empty.
+tango::Status ReplaceStorageNode(CorfuClient* client, tango::NodeId failed,
+                                 tango::NodeId replacement);
+
+}  // namespace corfu
+
+#endif  // SRC_CORFU_LOG_CLIENT_H_

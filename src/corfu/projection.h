@@ -1,0 +1,87 @@
+// Projection: the membership view of a CORFU deployment (§5, "Failure
+// Handling").
+//
+// A projection names the replica sets of storage nodes, the page size, the
+// backpointer redundancy K, and — unlike baseline CORFU — the sequencer as a
+// first-class member, so that replacing a failed sequencer is an epoch
+// change like any other reconfiguration.  Projections are stored in a
+// ProjectionStore service with compare-and-swap semantics (standing in for
+// the auxiliary/Paxos box of the original protocol).
+
+#ifndef SRC_CORFU_PROJECTION_H_
+#define SRC_CORFU_PROJECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/corfu/types.h"
+#include "src/net/transport.h"
+#include "src/util/serialize.h"
+#include "src/util/status.h"
+
+namespace corfu {
+
+struct Projection {
+  Epoch epoch = 0;
+  uint32_t page_size = 4096;
+  uint32_t backpointer_count = kDefaultBackpointerCount;
+  tango::NodeId sequencer = tango::kInvalidNodeId;
+  // replica_sets[i] is the chain (head..tail) for extent i.
+  std::vector<std::vector<tango::NodeId>> replica_sets;
+
+  // Deterministic mapping from the global address space to replica sets:
+  // offset o lives on set (o mod S) at local offset (o div S).
+  size_t SetIndexFor(LogOffset offset) const {
+    return static_cast<size_t>(offset % replica_sets.size());
+  }
+  LogOffset LocalOffsetFor(LogOffset offset) const {
+    return offset / replica_sets.size();
+  }
+  // Inverse: the global offset for local offset `local` on set `set`.
+  LogOffset GlobalOffsetFor(size_t set, LogOffset local) const {
+    return local * replica_sets.size() + static_cast<LogOffset>(set);
+  }
+
+  const std::vector<tango::NodeId>& ChainFor(LogOffset offset) const {
+    return replica_sets[SetIndexFor(offset)];
+  }
+
+  void Encode(tango::ByteWriter& w) const;
+  static tango::Result<Projection> Decode(tango::ByteReader& r);
+};
+
+// In-memory CAS store for projections, exposed as an RPC service.
+class ProjectionStore {
+ public:
+  // Installs the service for `node` on `transport` with `initial` at epoch 0.
+  ProjectionStore(tango::Transport* transport, tango::NodeId node,
+                  Projection initial);
+  ~ProjectionStore();
+
+  ProjectionStore(const ProjectionStore&) = delete;
+  ProjectionStore& operator=(const ProjectionStore&) = delete;
+
+  tango::NodeId node() const { return node_; }
+
+ private:
+  tango::Status HandleGet(tango::ByteReader& req, tango::ByteWriter& resp);
+  tango::Status HandlePropose(tango::ByteReader& req, tango::ByteWriter& resp);
+
+  tango::Transport* transport_;
+  tango::NodeId node_;
+  std::mutex mu_;
+  Projection current_;
+  tango::RpcDispatcher dispatcher_;
+};
+
+// Client-side accessors for the store.
+tango::Result<Projection> FetchProjection(tango::Transport* transport,
+                                          tango::NodeId store);
+// Proposes `next` (whose epoch must be current+1); fails with
+// kFailedPrecondition if someone else reconfigured first.
+tango::Status ProposeProjection(tango::Transport* transport,
+                                tango::NodeId store, const Projection& next);
+
+}  // namespace corfu
+
+#endif  // SRC_CORFU_PROJECTION_H_

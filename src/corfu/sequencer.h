@@ -1,0 +1,121 @@
+// Sequencer: the networked tail counter of the shared log (§2.2, §5).
+//
+// The sequencer is soft state.  It hands out new log offsets, and — for the
+// streaming extension — remembers the last K offsets issued for every stream
+// so it can return ready-made backpointer headers with each grant.  If it
+// dies, its state is reconstructed by scanning the log backward (see
+// CorfuClient::RebuildSequencerState) and a replacement is installed via an
+// epoch change; it is an optimization for finding the tail, never the source
+// of durability.
+//
+// RPC surface:
+//   Next(epoch, count, streams[]) -> start offset + per-stream backpointers
+//     (count > 1 is only legal with no streams; it models client batching of
+//      raw offset grants, as in the Figure 2 experiment)
+//   Tail(epoch, streams[])        -> current tail + per-stream backpointers,
+//     without incrementing (the "fast check" and stream-sync primitive)
+//   Bootstrap(epoch, tail, state) -> installs recovered state
+
+#ifndef SRC_CORFU_SEQUENCER_H_
+#define SRC_CORFU_SEQUENCER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/corfu/types.h"
+#include "src/net/transport.h"
+#include "src/util/status.h"
+
+namespace corfu {
+
+// Backpointer state for one stream: last `backpointer_count` offsets issued,
+// most recent first.
+using StreamTail = std::vector<LogOffset>;
+
+struct SequencerGrant {
+  LogOffset start = kInvalidOffset;
+  // Parallel to the requested stream ids: the offsets of the previous K
+  // entries of each stream (before this grant).
+  std::vector<StreamTail> backpointers;
+};
+
+struct SequencerTailInfo {
+  LogOffset tail = 0;  // next offset that would be granted
+  std::vector<StreamTail> backpointers;
+};
+
+class Sequencer {
+ public:
+  Sequencer(tango::Transport* transport, tango::NodeId node, Epoch epoch,
+            uint32_t backpointer_count);
+  ~Sequencer();
+
+  Sequencer(const Sequencer&) = delete;
+  Sequencer& operator=(const Sequencer&) = delete;
+
+  tango::NodeId node() const { return node_; }
+
+  // Direct in-process entry points (also reachable over RPC).
+  tango::Result<SequencerGrant> Next(Epoch epoch, uint32_t count,
+                                     const std::vector<StreamId>& streams);
+  tango::Result<SequencerTailInfo> Tail(Epoch epoch,
+                                        const std::vector<StreamId>& streams);
+  tango::Status Bootstrap(Epoch epoch, LogOffset tail,
+                          std::unordered_map<StreamId, StreamTail> state);
+
+  struct DumpedState {
+    LogOffset tail = 0;
+    std::unordered_map<StreamId, StreamTail> streams;
+  };
+  // Full backpointer state, for checkpointing into the log.
+  tango::Result<DumpedState> Dump(Epoch epoch) const;
+
+  // Approximate memory footprint of the backpointer map (§5 sizes this at
+  // 32 MB per million streams with K=4).
+  size_t StreamCount() const;
+
+ private:
+  tango::Status HandleNext(tango::ByteReader& req, tango::ByteWriter& resp);
+  tango::Status HandleTail(tango::ByteReader& req, tango::ByteWriter& resp);
+  tango::Status HandleBootstrap(tango::ByteReader& req,
+                                tango::ByteWriter& resp);
+  tango::Status HandleDump(tango::ByteReader& req, tango::ByteWriter& resp);
+
+  tango::Transport* transport_;
+  tango::NodeId node_;
+  uint32_t backpointer_count_;
+
+  mutable std::mutex mu_;
+  Epoch epoch_;
+  LogOffset tail_ = 0;
+  std::unordered_map<StreamId, StreamTail> streams_;
+
+  tango::RpcDispatcher dispatcher_;
+};
+
+// Client-side wrappers.
+tango::Result<SequencerGrant> SequencerNext(
+    tango::Transport* transport, tango::NodeId sequencer, Epoch epoch,
+    uint32_t count, const std::vector<StreamId>& streams);
+tango::Result<SequencerTailInfo> SequencerTail(
+    tango::Transport* transport, tango::NodeId sequencer, Epoch epoch,
+    const std::vector<StreamId>& streams);
+tango::Status SequencerBootstrap(
+    tango::Transport* transport, tango::NodeId sequencer, Epoch epoch,
+    LogOffset tail, const std::unordered_map<StreamId, StreamTail>& state);
+tango::Result<Sequencer::DumpedState> SequencerDump(
+    tango::Transport* transport, tango::NodeId sequencer, Epoch epoch);
+
+// Wire helpers for sequencer-state blobs (shared with the log-checkpoint
+// path in CorfuClient).
+void EncodeSequencerState(LogOffset tail,
+                          const std::unordered_map<StreamId, StreamTail>& state,
+                          tango::ByteWriter& w);
+tango::Result<Sequencer::DumpedState> DecodeSequencerState(
+    tango::ByteReader& r);
+
+}  // namespace corfu
+
+#endif  // SRC_CORFU_SEQUENCER_H_

@@ -1,0 +1,287 @@
+#include "src/corfu/storage_node.h"
+
+#include <chrono>
+#include <thread>
+
+namespace corfu {
+
+using tango::ByteReader;
+using tango::ByteWriter;
+using tango::NodeId;
+using tango::Result;
+using tango::Status;
+using tango::StatusCode;
+
+StorageNode::StorageNode(tango::Transport* transport, NodeId node,
+                         Options options)
+    : transport_(transport), node_(node), options_(options) {
+  dispatcher_.Register(kStorageWrite, [this](ByteReader& q, ByteWriter& p) {
+    return HandleWrite(q, p);
+  });
+  dispatcher_.Register(kStorageRead, [this](ByteReader& q, ByteWriter& p) {
+    return HandleRead(q, p);
+  });
+  dispatcher_.Register(kStorageSeal, [this](ByteReader& q, ByteWriter& p) {
+    return HandleSeal(q, p);
+  });
+  dispatcher_.Register(kStorageTrim, [this](ByteReader& q, ByteWriter& p) {
+    return HandleTrim(q, p);
+  });
+  dispatcher_.Register(kStorageTrimPrefix,
+                       [this](ByteReader& q, ByteWriter& p) {
+                         return HandleTrimPrefix(q, p);
+                       });
+  dispatcher_.Register(kStorageLocalTail,
+                       [this](ByteReader& q, ByteWriter& p) {
+                         return HandleLocalTail(q, p);
+                       });
+  if (!options_.journal_path.empty()) {
+    JournalReplay();
+    journal_ = std::fopen(options_.journal_path.c_str(), "ab");
+  }
+  transport_->RegisterNode(node_, dispatcher_.AsHandler());
+}
+
+StorageNode::~StorageNode() {
+  transport_->UnregisterNode(node_);
+  if (journal_ != nullptr) {
+    std::fclose(journal_);
+  }
+}
+
+bool StorageNode::JournalAppend(JournalOp op, Epoch epoch, LogOffset local,
+                                const std::vector<uint8_t>* bytes) {
+  if (journal_ == nullptr) {
+    return true;
+  }
+  tango::ByteWriter w(32 + (bytes != nullptr ? bytes->size() : 0));
+  w.PutU8(op);
+  w.PutU32(epoch);
+  w.PutU64(local);
+  if (bytes != nullptr) {
+    w.PutBlob(*bytes);
+  } else {
+    w.PutU32(0);
+  }
+  if (std::fwrite(w.bytes().data(), 1, w.size(), journal_) != w.size()) {
+    return false;
+  }
+  return std::fflush(journal_) == 0;
+}
+
+void StorageNode::JournalReplay() {
+  std::FILE* in = std::fopen(options_.journal_path.c_str(), "rb");
+  if (in == nullptr) {
+    return;  // fresh node
+  }
+  // Records are self-framing: fixed 13-byte header + u32-length payload.
+  while (true) {
+    uint8_t header[17];
+    if (std::fread(header, 1, sizeof(header), in) != sizeof(header)) {
+      break;  // EOF or torn tail record: stop replaying
+    }
+    tango::ByteReader r(header, sizeof(header));
+    JournalOp op = static_cast<JournalOp>(r.GetU8());
+    Epoch epoch = r.GetU32();
+    LogOffset local = r.GetU64();
+    uint32_t len = r.GetU32();
+    std::vector<uint8_t> bytes(len);
+    if (len > 0 && std::fread(bytes.data(), 1, len, in) != len) {
+      break;
+    }
+    switch (op) {
+      case kJournalWrite:
+        pages_.emplace(local, std::move(bytes));
+        if (local + 1 > local_tail_) {
+          local_tail_ = local + 1;
+        }
+        break;
+      case kJournalSeal:
+        sealed_epoch_ = std::max(sealed_epoch_, epoch);
+        break;
+      case kJournalTrim:
+        pages_.erase(local);
+        trimmed_[local] = true;
+        break;
+      case kJournalTrimPrefix:
+        for (LogOffset o = trim_prefix_; o < local; ++o) {
+          pages_.erase(o);
+          trimmed_.erase(o);
+        }
+        trim_prefix_ = std::max(trim_prefix_, local);
+        break;
+    }
+  }
+  std::fclose(in);
+}
+
+void StorageNode::SimulateMedia(uint32_t latency_us) {
+  if (latency_us == 0) {
+    return;
+  }
+  if (options_.serialize_media_access) {
+    std::lock_guard<std::mutex> lock(media_mu_);
+    std::this_thread::sleep_for(std::chrono::microseconds(latency_us));
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(latency_us));
+  }
+}
+
+Status StorageNode::CheckEpoch(Epoch epoch) const {
+  if (epoch < sealed_epoch_) {
+    return Status(StatusCode::kSealedEpoch, "node sealed at higher epoch");
+  }
+  return Status::Ok();
+}
+
+Status StorageNode::WriteLocal(Epoch epoch, LogOffset local,
+                               std::vector<uint8_t> bytes) {
+  if (bytes.size() > options_.page_size) {
+    return Status(StatusCode::kInvalidArgument, "entry exceeds page size");
+  }
+  SimulateMedia(options_.write_latency_us);
+  std::lock_guard<std::mutex> lock(mu_);
+  TANGO_RETURN_IF_ERROR(CheckEpoch(epoch));
+  if (local < trim_prefix_ || trimmed_.contains(local)) {
+    return Status(StatusCode::kTrimmed);
+  }
+  auto [it, inserted] = pages_.emplace(local, std::move(bytes));
+  if (!inserted) {
+    return Status(StatusCode::kWritten);
+  }
+  if (local + 1 > local_tail_) {
+    local_tail_ = local + 1;
+  }
+  if (!JournalAppend(kJournalWrite, epoch, local, &it->second)) {
+    return Status(StatusCode::kUnavailable, "journal write failed");
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> StorageNode::ReadLocal(Epoch epoch,
+                                                    LogOffset local) {
+  SimulateMedia(options_.read_latency_us);
+  std::lock_guard<std::mutex> lock(mu_);
+  TANGO_RETURN_IF_ERROR(CheckEpoch(epoch));
+  if (local < trim_prefix_ || trimmed_.contains(local)) {
+    return Status(StatusCode::kTrimmed);
+  }
+  auto it = pages_.find(local);
+  if (it == pages_.end()) {
+    return Status(StatusCode::kUnwritten);
+  }
+  return it->second;
+}
+
+Result<LogOffset> StorageNode::Seal(Epoch epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch <= sealed_epoch_) {
+    return Status(StatusCode::kSealedEpoch, "seal epoch not newer");
+  }
+  sealed_epoch_ = epoch;
+  if (!JournalAppend(kJournalSeal, epoch, 0, nullptr)) {
+    return Status(StatusCode::kUnavailable, "journal write failed");
+  }
+  return local_tail_;
+}
+
+Status StorageNode::TrimLocal(Epoch epoch, LogOffset local) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TANGO_RETURN_IF_ERROR(CheckEpoch(epoch));
+  if (local < trim_prefix_) {
+    return Status::Ok();  // already gone
+  }
+  if (pages_.erase(local) > 0) {
+    ++trimmed_count_;
+  }
+  trimmed_[local] = true;
+  if (!JournalAppend(kJournalTrim, epoch, local, nullptr)) {
+    return Status(StatusCode::kUnavailable, "journal write failed");
+  }
+  return Status::Ok();
+}
+
+Status StorageNode::TrimPrefixLocal(Epoch epoch, LogOffset local_limit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TANGO_RETURN_IF_ERROR(CheckEpoch(epoch));
+  if (local_limit <= trim_prefix_) {
+    return Status::Ok();
+  }
+  for (LogOffset o = trim_prefix_; o < local_limit; ++o) {
+    if (pages_.erase(o) > 0) {
+      ++trimmed_count_;
+    }
+    trimmed_.erase(o);
+  }
+  trim_prefix_ = local_limit;
+  if (!JournalAppend(kJournalTrimPrefix, epoch, local_limit, nullptr)) {
+    return Status(StatusCode::kUnavailable, "journal write failed");
+  }
+  return Status::Ok();
+}
+
+size_t StorageNode::PageCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.size();
+}
+
+uint64_t StorageNode::trimmed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trimmed_count_;
+}
+
+Status StorageNode::HandleWrite(ByteReader& req, ByteWriter& /*resp*/) {
+  Epoch epoch = req.GetU32();
+  LogOffset local = req.GetU64();
+  std::vector<uint8_t> bytes = req.GetBlob();
+  if (!req.ok()) {
+    return Status(StatusCode::kInvalidArgument, "malformed write");
+  }
+  return WriteLocal(epoch, local, std::move(bytes));
+}
+
+Status StorageNode::HandleRead(ByteReader& req, ByteWriter& resp) {
+  Epoch epoch = req.GetU32();
+  LogOffset local = req.GetU64();
+  if (!req.ok()) {
+    return Status(StatusCode::kInvalidArgument, "malformed read");
+  }
+  Result<std::vector<uint8_t>> page = ReadLocal(epoch, local);
+  if (!page.ok()) {
+    return page.status();
+  }
+  resp.PutBlob(*page);
+  return Status::Ok();
+}
+
+Status StorageNode::HandleSeal(ByteReader& req, ByteWriter& resp) {
+  Epoch epoch = req.GetU32();
+  Result<LogOffset> tail = Seal(epoch);
+  if (!tail.ok()) {
+    return tail.status();
+  }
+  resp.PutU64(*tail);
+  return Status::Ok();
+}
+
+Status StorageNode::HandleTrim(ByteReader& req, ByteWriter& /*resp*/) {
+  Epoch epoch = req.GetU32();
+  LogOffset local = req.GetU64();
+  return TrimLocal(epoch, local);
+}
+
+Status StorageNode::HandleTrimPrefix(ByteReader& req, ByteWriter& /*resp*/) {
+  Epoch epoch = req.GetU32();
+  LogOffset local_limit = req.GetU64();
+  return TrimPrefixLocal(epoch, local_limit);
+}
+
+Status StorageNode::HandleLocalTail(ByteReader& req, ByteWriter& resp) {
+  Epoch epoch = req.GetU32();
+  std::lock_guard<std::mutex> lock(mu_);
+  TANGO_RETURN_IF_ERROR(CheckEpoch(epoch));
+  resp.PutU64(local_tail_);
+  return Status::Ok();
+}
+
+}  // namespace corfu

@@ -1,0 +1,117 @@
+// StorageNode: a flash unit exposing a 64-bit write-once address space (§2.2).
+//
+// Each node stores fixed-size pages keyed by *local* offset (the client maps
+// global log offsets onto replica sets and local offsets using the
+// projection).  The write-once contract — first writer wins, second writer
+// gets kWritten — is what makes client-driven chain replication and hole
+// filling safe, and it is enforced here, not trusted to clients.
+//
+// Nodes are sealed by epoch: a Seal(e) call raises the node's epoch to e and
+// makes it reject any request carrying an older epoch with kSealedEpoch,
+// which is the mechanism reconfiguration uses to fence lagging clients and
+// retired sequencers.
+
+#ifndef SRC_CORFU_STORAGE_NODE_H_
+#define SRC_CORFU_STORAGE_NODE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/corfu/types.h"
+#include "src/net/transport.h"
+#include "src/util/status.h"
+
+namespace corfu {
+
+class StorageNode {
+ public:
+  struct Options {
+    uint32_t page_size = 4096;
+    // Simulated media latency per op (microseconds); 0 = no sleep.  Models
+    // the SSD read/write cost of the paper's testbed when desired.
+    uint32_t write_latency_us = 0;
+    uint32_t read_latency_us = 0;
+    // When true (default), simulated latency is served under a per-node
+    // media lock, so a node's throughput is bounded at 1/latency IOPS —
+    // modeling a single-channel device.  When false, latency only delays
+    // callers (infinite parallelism).
+    bool serialize_media_access = true;
+    // When non-empty, pages/seals/trims are journaled to this file
+    // (append-only, like the flash the paper runs on) and reloaded on
+    // construction, so a storage node survives process restarts.
+    std::string journal_path;
+  };
+
+  StorageNode(tango::Transport* transport, tango::NodeId node, Options options);
+  ~StorageNode();
+
+  StorageNode(const StorageNode&) = delete;
+  StorageNode& operator=(const StorageNode&) = delete;
+
+  tango::NodeId node() const { return node_; }
+
+  // Direct (non-RPC) accessors used by tests.
+  tango::Status WriteLocal(Epoch epoch, LogOffset local,
+                           std::vector<uint8_t> bytes);
+  tango::Result<std::vector<uint8_t>> ReadLocal(Epoch epoch, LogOffset local);
+  // Seals the node at `epoch` and returns the local tail (highest written
+  // local offset + 1, i.e. number of the next unwritten slot upper bound).
+  tango::Result<LogOffset> Seal(Epoch epoch);
+  tango::Status TrimLocal(Epoch epoch, LogOffset local);
+  tango::Status TrimPrefixLocal(Epoch epoch, LogOffset local_limit);
+
+  // Stats for GC / capacity tests.
+  size_t PageCount() const;
+  uint64_t trimmed_count() const;
+
+ private:
+  tango::Status HandleWrite(tango::ByteReader& req, tango::ByteWriter& resp);
+  tango::Status HandleRead(tango::ByteReader& req, tango::ByteWriter& resp);
+  tango::Status HandleSeal(tango::ByteReader& req, tango::ByteWriter& resp);
+  tango::Status HandleTrim(tango::ByteReader& req, tango::ByteWriter& resp);
+  tango::Status HandleTrimPrefix(tango::ByteReader& req,
+                                 tango::ByteWriter& resp);
+  tango::Status HandleLocalTail(tango::ByteReader& req,
+                                tango::ByteWriter& resp);
+
+  tango::Status CheckEpoch(Epoch epoch) const;  // caller holds mu_
+  void SimulateMedia(uint32_t latency_us);
+
+  // Journal records (caller holds mu_).  Best-effort: journaling failures
+  // surface as kUnavailable on the triggering operation.
+  enum JournalOp : uint8_t {
+    kJournalWrite = 1,
+    kJournalSeal = 2,
+    kJournalTrim = 3,
+    kJournalTrimPrefix = 4,
+  };
+  bool JournalAppend(JournalOp op, Epoch epoch, LogOffset local,
+                     const std::vector<uint8_t>* bytes);
+  void JournalReplay();
+
+  tango::Transport* transport_;
+  tango::NodeId node_;
+  Options options_;
+  std::mutex media_mu_;  // serializes simulated device access
+
+  mutable std::mutex mu_;
+  Epoch sealed_epoch_ = 0;
+  std::unordered_map<LogOffset, std::vector<uint8_t>> pages_;
+  // Offsets below this are trimmed wholesale (prefix trim).
+  LogOffset trim_prefix_ = 0;
+  // Individually trimmed offsets at or above trim_prefix_.
+  std::unordered_map<LogOffset, bool> trimmed_;
+  LogOffset local_tail_ = 0;  // one past the highest written local offset
+  uint64_t trimmed_count_ = 0;
+  std::FILE* journal_ = nullptr;
+
+  tango::RpcDispatcher dispatcher_;
+};
+
+}  // namespace corfu
+
+#endif  // SRC_CORFU_STORAGE_NODE_H_

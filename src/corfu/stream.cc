@@ -1,0 +1,220 @@
+#include "src/corfu/stream.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace corfu {
+
+using tango::Result;
+using tango::Status;
+using tango::StatusCode;
+
+StreamStore::StreamStore(CorfuClient* log, Options options)
+    : log_(log), options_(options) {}
+
+void StreamStore::Open(StreamId stream) { (void)StateFor(stream); }
+
+StreamStore::StreamState& StreamStore::StateFor(StreamId stream) {
+  return streams_[stream];
+}
+
+Result<LogOffset> StreamStore::Append(StreamId stream,
+                                      std::span<const uint8_t> payload) {
+  return log_->AppendToStreams(payload, {stream});
+}
+
+Result<LogOffset> StreamStore::MultiAppend(
+    std::span<const uint8_t> payload, const std::vector<StreamId>& streams) {
+  return log_->AppendToStreams(payload, streams);
+}
+
+Result<std::shared_ptr<const LogEntry>> StreamStore::FetchEntry(
+    LogOffset offset) {
+  auto it = cache_.find(offset);
+  if (it != cache_.end()) {
+    return it->second;
+  }
+  Result<LogEntry> entry = log_->ReadRepair(offset);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  auto shared = std::make_shared<const LogEntry>(std::move(entry).value());
+  cache_.emplace(offset, shared);
+  cache_fifo_.push_back(offset);
+  while (cache_fifo_.size() > options_.cache_capacity) {
+    cache_.erase(cache_fifo_.front());
+    cache_fifo_.pop_front();
+  }
+  return shared;
+}
+
+Status StreamStore::Backfill(StreamId stream, StreamState& state,
+                             const StreamTail& latest) {
+  const bool have_floor = !state.offsets.empty();
+  const LogOffset floor = have_floor ? state.offsets.back() : 0;
+
+  auto is_new = [&](LogOffset o) {
+    return o != kInvalidOffset && (!have_floor || o > floor);
+  };
+
+  std::vector<LogOffset> discovered;
+  std::vector<LogOffset> chain(latest.begin(), latest.end());
+  while (true) {
+    LogOffset oldest = kInvalidOffset;
+    bool any = false;
+    for (LogOffset o : chain) {
+      if (!is_new(o)) {
+        continue;
+      }
+      discovered.push_back(o);
+      any = true;
+      if (oldest == kInvalidOffset || o < oldest) {
+        oldest = o;
+      }
+    }
+    if (!any) {
+      break;  // reached known territory or the start of the stream
+    }
+
+    // Stride: one read yields the next K backpointers.
+    ++reconstruction_reads_;
+    Result<std::shared_ptr<const LogEntry>> entry = FetchEntry(oldest);
+    if (!entry.ok()) {
+      if (entry.status() == StatusCode::kTrimmed) {
+        break;  // history below this point was forgotten
+      }
+      return entry.status();
+    }
+    const StreamHeader* header = (*entry)->FindHeader(stream);
+    if (header != nullptr) {
+      chain.assign(header->backpointers.begin(), header->backpointers.end());
+      continue;
+    }
+
+    // Dead end: the frontier entry is junk (a filled hole carries no
+    // backpointers).  Fall back to scanning the log backward until we
+    // reconnect with known territory (§5, Failure Handling).
+    LogOffset scan = oldest;
+    while (scan > 0) {
+      --scan;
+      if (have_floor && scan <= floor) {
+        break;
+      }
+      ++reconstruction_reads_;
+      Result<std::shared_ptr<const LogEntry>> e = FetchEntry(scan);
+      if (!e.ok()) {
+        if (e.status() == StatusCode::kTrimmed) {
+          break;
+        }
+        return e.status();
+      }
+      if ((*e)->FindHeader(stream) != nullptr) {
+        discovered.push_back(scan);
+      }
+    }
+    break;
+  }
+
+  if (!discovered.empty()) {
+    std::sort(discovered.begin(), discovered.end());
+    discovered.erase(std::unique(discovered.begin(), discovered.end()),
+                     discovered.end());
+    state.offsets.insert(state.offsets.end(), discovered.begin(),
+                         discovered.end());
+  }
+  return Status::Ok();
+}
+
+Result<LogOffset> StreamStore::Sync(StreamId stream) {
+  StreamState& state = StateFor(stream);
+  Result<SequencerTailInfo> info = log_->StreamTails({stream});
+  if (!info.ok()) {
+    return info.status();
+  }
+  TANGO_RETURN_IF_ERROR(Backfill(stream, state, info->backpointers[0]));
+  state.synced_tail = info->tail;
+  return info->tail;
+}
+
+Result<StreamEntry> StreamStore::ReadNext(StreamId stream) {
+  StreamState& state = StateFor(stream);
+  while (state.cursor < state.offsets.size()) {
+    LogOffset offset = state.offsets[state.cursor];
+    Result<std::shared_ptr<const LogEntry>> entry = FetchEntry(offset);
+    if (!entry.ok()) {
+      if (entry.status() == StatusCode::kTrimmed) {
+        ++state.cursor;  // trimmed history: nothing to deliver
+        continue;
+      }
+      return entry.status();
+    }
+    ++state.cursor;
+    if ((*entry)->is_junk()) {
+      continue;  // filled hole: position consumed, nothing to deliver
+    }
+    StreamEntry out;
+    out.offset = offset;
+    out.entry = std::move(entry).value();
+    return out;
+  }
+  return Status(StatusCode::kUnwritten, "stream cursor at synced end");
+}
+
+Result<StreamEntry> StreamStore::PeekNext(StreamId stream) {
+  StreamState& state = StateFor(stream);
+  size_t saved = state.cursor;
+  Result<StreamEntry> entry = ReadNext(stream);
+  state.cursor = saved;
+  return entry;
+}
+
+LogOffset StreamStore::NextOffset(StreamId stream) const {
+  auto it = streams_.find(stream);
+  if (it == streams_.end() || it->second.cursor >= it->second.offsets.size()) {
+    return kInvalidOffset;
+  }
+  return it->second.offsets[it->second.cursor];
+}
+
+const std::vector<LogOffset>& StreamStore::KnownOffsets(
+    StreamId stream) const {
+  static const std::vector<LogOffset> kEmpty;
+  auto it = streams_.find(stream);
+  return it == streams_.end() ? kEmpty : it->second.offsets;
+}
+
+void StreamStore::ResetCursor(StreamId stream) { StateFor(stream).cursor = 0; }
+
+Result<LogOffset> StreamStore::SyncAll(const std::vector<StreamId>& streams) {
+  if (streams.empty()) {
+    return log_->CheckTail();
+  }
+  Result<SequencerTailInfo> info = log_->StreamTails(streams);
+  if (!info.ok()) {
+    return info.status();
+  }
+  for (size_t i = 0; i < streams.size(); ++i) {
+    StreamState& state = StateFor(streams[i]);
+    TANGO_RETURN_IF_ERROR(
+        Backfill(streams[i], state, info->backpointers[i]));
+    state.synced_tail = info->tail;
+  }
+  return info->tail;
+}
+
+void StreamStore::AdvanceCursor(StreamId stream) {
+  StreamState& state = StateFor(stream);
+  if (state.cursor < state.offsets.size()) {
+    ++state.cursor;
+  }
+}
+
+void StreamStore::SeekCursorAfter(StreamId stream, LogOffset offset) {
+  StreamState& state = StateFor(stream);
+  state.cursor = static_cast<size_t>(
+      std::upper_bound(state.offsets.begin(), state.offsets.end(), offset) -
+      state.offsets.begin());
+}
+
+}  // namespace corfu

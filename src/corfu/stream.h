@@ -1,0 +1,131 @@
+// Streaming CORFU (§5): a readnext/sync interface layered on the shared log.
+//
+// A stream's metadata is a client-side linked list of the log offsets that
+// belong to it.  The list is built lazily by asking the sequencer for the
+// stream's last K offsets and striding *backward* through the K-redundant
+// backpointers stored in each entry's stream header — N/K random reads for a
+// stream with N unseen entries.  Junk entries (filled holes) carry no
+// backpointers; when every pointer out of the frontier dead-ends in junk, the
+// reader falls back to scanning the log backward offset-by-offset, exactly as
+// the paper prescribes.
+//
+// Thread safety: StreamStore is designed to sit under the Tango runtime's
+// playback lock; concurrent Append/MultiAppend calls are safe (they only
+// touch the CorfuClient), but Sync/ReadNext for the same store must be
+// externally serialized.
+
+#ifndef SRC_CORFU_STREAM_H_
+#define SRC_CORFU_STREAM_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/corfu/log_client.h"
+#include "src/corfu/types.h"
+#include "src/util/status.h"
+
+namespace corfu {
+
+// A decoded entry paired with its log position.
+struct StreamEntry {
+  LogOffset offset = kInvalidOffset;
+  std::shared_ptr<const LogEntry> entry;
+};
+
+class StreamStore {
+ public:
+  struct Options {
+    // Entries cached across streams (a multiappended entry is fetched from
+    // the log once even if it belongs to many local streams).
+    size_t cache_capacity = 8192;
+  };
+
+  explicit StreamStore(CorfuClient* log) : StreamStore(log, Options{}) {}
+  StreamStore(CorfuClient* log, Options options);
+
+  // Registers interest in a stream (idempotent).  Only opened streams can be
+  // synced and read.
+  void Open(StreamId stream);
+
+  // Appends to a single stream.
+  tango::Result<LogOffset> Append(StreamId stream,
+                                  std::span<const uint8_t> payload);
+
+  // Appends one entry to several streams atomically (multiappend).
+  tango::Result<LogOffset> MultiAppend(std::span<const uint8_t> payload,
+                                       const std::vector<StreamId>& streams);
+
+  // Brings the stream's linked list up to date with the sequencer and
+  // returns the current global log tail (the position up to which the list
+  // is now complete).  Must be called before ReadNext for linearizability.
+  tango::Result<LogOffset> Sync(StreamId stream);
+
+  // Returns the next data entry of the stream, skipping junk.  Returns
+  // kUnwritten when the cursor has consumed everything Sync discovered.
+  tango::Result<StreamEntry> ReadNext(StreamId stream);
+
+  // Like ReadNext but does not advance the cursor.
+  tango::Result<StreamEntry> PeekNext(StreamId stream);
+
+  // Syncs several streams with a single sequencer round trip; returns the
+  // global log tail.  Equivalent to calling Sync on each stream.
+  tango::Result<LogOffset> SyncAll(const std::vector<StreamId>& streams);
+
+  // Advances the cursor past exactly one known offset (junk included),
+  // without fetching it.  Used by global-order playback, which steps all
+  // co-located streams through a multiappended entry in lockstep.
+  void AdvanceCursor(StreamId stream);
+
+  // Positions the cursor at the first known offset strictly greater than
+  // `offset` (used when restoring a view from a checkpoint).
+  void SeekCursorAfter(StreamId stream, LogOffset offset);
+
+  // Log offset of the next entry the cursor would deliver, or kInvalidOffset
+  // if the cursor is at the synced end.
+  LogOffset NextOffset(StreamId stream) const;
+
+  // All known offsets of the stream (ascending; includes junk positions).
+  const std::vector<LogOffset>& KnownOffsets(StreamId stream) const;
+
+  // Rewinds the readnext cursor to the beginning of the stream (used to
+  // rebuild a view from history, §3.1).
+  void ResetCursor(StreamId stream);
+
+  // Cached random read of any log position (repairing holes if needed).
+  tango::Result<std::shared_ptr<const LogEntry>> FetchEntry(LogOffset offset);
+
+  CorfuClient* log() const { return log_; }
+
+  // Number of log reads issued for metadata reconstruction (ablation metric).
+  uint64_t reconstruction_reads() const { return reconstruction_reads_; }
+
+ private:
+  struct StreamState {
+    std::vector<LogOffset> offsets;  // ascending, complete up to synced_tail
+    size_t cursor = 0;               // index into offsets
+    LogOffset synced_tail = 0;       // log tail as of the last Sync
+  };
+
+  // Walks backpointers (and, on junk dead-ends, scans) to discover every
+  // offset of `stream` in (floor, start_set...], appending them ascending.
+  tango::Status Backfill(StreamId stream, StreamState& state,
+                         const StreamTail& latest);
+
+  StreamState& StateFor(StreamId stream);
+
+  CorfuClient* log_;
+  Options options_;
+  std::unordered_map<StreamId, StreamState> streams_;
+
+  // FIFO entry cache.
+  std::unordered_map<LogOffset, std::shared_ptr<const LogEntry>> cache_;
+  std::deque<LogOffset> cache_fifo_;
+  uint64_t reconstruction_reads_ = 0;
+};
+
+}  // namespace corfu
+
+#endif  // SRC_CORFU_STREAM_H_

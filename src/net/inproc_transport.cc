@@ -1,0 +1,76 @@
+#include "src/net/inproc_transport.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace tango {
+
+InProcTransport::InProcTransport(Options options) : options_(options) {}
+
+Status InProcTransport::Call(NodeId dest, uint16_t method,
+                             std::span<const uint8_t> request,
+                             std::vector<uint8_t>* response) {
+  if (options_.drop_probability > 0.0) {
+    // A cheap per-call hash keeps drops deterministic given the seed without
+    // a shared RNG lock.
+    uint64_t seq = drop_seq_.fetch_add(1, std::memory_order_relaxed);
+    Rng rng(options_.seed ^ (seq * 0x9e3779b97f4a7c15ULL));
+    if (rng.NextBool(options_.drop_probability)) {
+      return Status(StatusCode::kUnavailable, "injected drop");
+    }
+  }
+  if (options_.link_latency_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(2 * options_.link_latency_us));
+  }
+
+  RpcHandler handler;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (killed_.contains(dest)) {
+      return Status(StatusCode::kUnavailable, "node killed");
+    }
+    auto it = handlers_.find(dest);
+    if (it == handlers_.end()) {
+      return Status(StatusCode::kUnavailable, "no such node");
+    }
+    handler = it->second;  // copy so the handler can outlive the lock
+  }
+
+  ByteReader reader(request);
+  ByteWriter writer;
+  Status st = handler(method, reader, writer);
+  if (st.ok() && response != nullptr) {
+    *response = writer.Take();
+  }
+  call_count_.fetch_add(1, std::memory_order_relaxed);
+  return st;
+}
+
+void InProcTransport::RegisterNode(NodeId node, RpcHandler handler) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  handlers_[node] = std::move(handler);
+}
+
+void InProcTransport::UnregisterNode(NodeId node) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  handlers_.erase(node);
+}
+
+void InProcTransport::KillNode(NodeId node) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  killed_.insert(node);
+}
+
+void InProcTransport::ReviveNode(NodeId node) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  killed_.erase(node);
+}
+
+bool InProcTransport::IsKilled(NodeId node) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return killed_.contains(node);
+}
+
+}  // namespace tango

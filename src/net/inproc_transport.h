@@ -1,0 +1,65 @@
+// In-process transport: direct-call RPC with fault and latency injection.
+//
+// This is the testbed substitute for the paper's cluster network.  Every
+// protocol byte still goes through encode/decode, so the wire formats are
+// exercised identically to the TCP transport; only the copy across the
+// network is elided.
+
+#ifndef SRC_NET_INPROC_TRANSPORT_H_
+#define SRC_NET_INPROC_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/net/transport.h"
+#include "src/util/random.h"
+
+namespace tango {
+
+class InProcTransport : public Transport {
+ public:
+  struct Options {
+    // Simulated one-way latency applied twice per call (request + response),
+    // in microseconds.  0 disables the sleep entirely.
+    uint32_t link_latency_us = 0;
+    // Probability that a call is dropped (returns kUnavailable).
+    double drop_probability = 0.0;
+    uint64_t seed = 1;
+  };
+
+  InProcTransport() : InProcTransport(Options{}) {}
+  explicit InProcTransport(Options options);
+
+  Status Call(NodeId dest, uint16_t method, std::span<const uint8_t> request,
+              std::vector<uint8_t>* response) override;
+
+  void RegisterNode(NodeId node, RpcHandler handler) override;
+  void UnregisterNode(NodeId node) override;
+
+  // Fault injection: a killed node rejects all calls with kUnavailable until
+  // revived.  (The handler stays registered — a "crash", not a deregister.)
+  void KillNode(NodeId node);
+  void ReviveNode(NodeId node);
+  bool IsKilled(NodeId node) const;
+
+  // Total number of successful RPC round trips (for protocol-cost tests).
+  uint64_t call_count() const {
+    return call_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Options options_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<NodeId, RpcHandler> handlers_;
+  std::unordered_set<NodeId> killed_;
+  std::atomic<uint64_t> call_count_{0};
+  std::atomic<uint64_t> drop_seq_{0};
+};
+
+}  // namespace tango
+
+#endif  // SRC_NET_INPROC_TRANSPORT_H_

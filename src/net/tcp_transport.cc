@@ -1,0 +1,353 @@
+#include "src/net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace tango {
+
+namespace {
+
+// Reads exactly `len` bytes; returns false on EOF or error.
+bool ReadFull(int fd, void* buf, size_t len) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  while (len > 0) {
+    ssize_t n = ::recv(fd, p, len, 0);
+    if (n <= 0) {
+      return false;
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteFull(int fd, const void* buf, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  while (len > 0) {
+    ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return false;
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void PutU32Le(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+uint32_t GetU32Le(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+constexpr uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity cap
+
+}  // namespace
+
+struct TcpTransport::Listener {
+  int listen_fd = -1;
+  uint16_t port = 0;
+  RpcHandler handler;
+  std::thread accept_thread;
+  std::atomic<bool> stopping{false};
+  std::mutex conns_mu;
+  std::vector<int> conn_fds;
+  std::vector<std::thread> conn_threads;
+
+  ~Listener() {
+    stopping.store(true);
+    if (listen_fd >= 0) {
+      ::shutdown(listen_fd, SHUT_RDWR);
+      ::close(listen_fd);
+    }
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      for (int fd : conn_fds) {
+        ::shutdown(fd, SHUT_RDWR);
+      }
+    }
+    if (accept_thread.joinable()) {
+      accept_thread.join();
+    }
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      threads.swap(conn_threads);
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      for (int fd : conn_fds) {
+        ::close(fd);
+      }
+      conn_fds.clear();
+    }
+  }
+
+  void ServeConnection(int fd) {
+    std::vector<uint8_t> frame;
+    while (!stopping.load()) {
+      uint8_t len_buf[4];
+      if (!ReadFull(fd, len_buf, sizeof(len_buf))) {
+        break;
+      }
+      uint32_t len = GetU32Le(len_buf);
+      if (len < 2 || len > kMaxFrame) {
+        break;
+      }
+      frame.resize(len);
+      if (!ReadFull(fd, frame.data(), len)) {
+        break;
+      }
+      uint16_t method =
+          static_cast<uint16_t>(frame[0] | (static_cast<uint16_t>(frame[1]) << 8));
+      ByteReader reader(frame.data() + 2, len - 2);
+      ByteWriter writer;
+      Status st = handler(method, reader, writer);
+
+      const std::vector<uint8_t>& payload = writer.bytes();
+      uint32_t resp_len = 1 + static_cast<uint32_t>(payload.size());
+      std::vector<uint8_t> resp(4 + resp_len);
+      PutU32Le(resp.data(), resp_len);
+      resp[4] = static_cast<uint8_t>(st.code());
+      std::memcpy(resp.data() + 5, payload.data(), payload.size());
+      if (!WriteFull(fd, resp.data(), resp.size())) {
+        break;
+      }
+    }
+  }
+
+  void AcceptLoop() {
+    while (!stopping.load()) {
+      int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (stopping.load()) {
+          return;
+        }
+        continue;
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      std::lock_guard<std::mutex> lock(conns_mu);
+      conn_fds.push_back(fd);
+      conn_threads.emplace_back([this, fd] { ServeConnection(fd); });
+    }
+  }
+};
+
+struct TcpTransport::Connection {
+  int fd = -1;
+  std::mutex mu;  // serializes request/response pairs on this socket
+
+  ~Connection() {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+};
+
+TcpTransport::TcpTransport() = default;
+
+TcpTransport::~TcpTransport() {
+  std::unordered_map<NodeId, std::unique_ptr<Listener>> listeners;
+  std::unordered_map<NodeId, std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    listeners.swap(listeners_);
+    connections.swap(connections_);
+  }
+  // Destructors close sockets and join threads.
+}
+
+void TcpTransport::RegisterNode(NodeId node, RpcHandler handler) {
+  uint16_t requested_port = 0;
+  std::string address;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = listen_ports_.find(node);
+    if (it != listen_ports_.end()) {
+      requested_port = it->second;
+    }
+    address = listen_address_;
+  }
+
+  auto listener = std::make_unique<Listener>();
+  listener->handler = std::move(handler);
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  TANGO_CHECK(fd >= 0) << "socket() failed";
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  }
+  addr.sin_port = htons(requested_port);
+  TANGO_CHECK(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+      << "bind() failed for node " << node << " port " << requested_port;
+  TANGO_CHECK(::listen(fd, 128) == 0) << "listen() failed";
+
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  listener->listen_fd = fd;
+  listener->port = ntohs(addr.sin_port);
+  Listener* raw = listener.get();
+  listener->accept_thread = std::thread([raw] { raw->AcceptLoop(); });
+
+  std::lock_guard<std::mutex> lock(mu_);
+  routes_[node] = {"127.0.0.1", listener->port};
+  listeners_[node] = std::move(listener);
+}
+
+void TcpTransport::SetListenPort(NodeId node, uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (port == 0) {
+    listen_ports_.erase(node);
+  } else {
+    listen_ports_[node] = port;
+  }
+}
+
+void TcpTransport::SetListenAddress(const std::string& address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listen_address_ = address;
+}
+
+void TcpTransport::UnregisterNode(NodeId node) {
+  std::unique_ptr<Listener> listener;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = listeners_.find(node);
+    if (it != listeners_.end()) {
+      listener = std::move(it->second);
+      listeners_.erase(it);
+    }
+    routes_.erase(node);
+    connections_.erase(node);
+  }
+  // Listener destructor runs outside the lock (joins threads).
+}
+
+void TcpTransport::AddRoute(NodeId node, const std::string& host,
+                            uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  routes_[node] = {host, port};
+}
+
+uint16_t TcpTransport::LocalPort(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = listeners_.find(node);
+  return it == listeners_.end() ? 0 : it->second->port;
+}
+
+Result<std::shared_ptr<TcpTransport::Connection>> TcpTransport::GetConnection(
+    NodeId dest) {
+  std::string host;
+  uint16_t port = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = connections_.find(dest);
+    if (it != connections_.end()) {
+      return it->second;
+    }
+    auto route = routes_.find(dest);
+    if (route == routes_.end()) {
+      return Status(StatusCode::kUnavailable, "no route to node");
+    }
+    host = route->second.first;
+    port = route->second.second;
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status(StatusCode::kUnavailable, "socket() failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status(StatusCode::kInvalidArgument, "bad host address");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status(StatusCode::kUnavailable, "connect() failed");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  auto conn = std::make_shared<Connection>();
+  conn->fd = fd;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Another thread may have raced us; keep the first one in.
+  auto [it, inserted] = connections_.emplace(dest, conn);
+  return it->second;
+}
+
+void TcpTransport::DropConnection(NodeId dest) {
+  std::lock_guard<std::mutex> lock(mu_);
+  connections_.erase(dest);
+}
+
+Status TcpTransport::Call(NodeId dest, uint16_t method,
+                          std::span<const uint8_t> request,
+                          std::vector<uint8_t>* response) {
+  TANGO_ASSIGN_OR_RETURN(std::shared_ptr<Connection> conn,
+                         GetConnection(dest));
+
+  std::lock_guard<std::mutex> lock(conn->mu);
+  uint32_t req_len = 2 + static_cast<uint32_t>(request.size());
+  std::vector<uint8_t> frame(4 + req_len);
+  PutU32Le(frame.data(), req_len);
+  frame[4] = static_cast<uint8_t>(method);
+  frame[5] = static_cast<uint8_t>(method >> 8);
+  std::memcpy(frame.data() + 6, request.data(), request.size());
+  if (!WriteFull(conn->fd, frame.data(), frame.size())) {
+    DropConnection(dest);
+    return Status(StatusCode::kUnavailable, "send failed");
+  }
+
+  uint8_t len_buf[4];
+  if (!ReadFull(conn->fd, len_buf, sizeof(len_buf))) {
+    DropConnection(dest);
+    return Status(StatusCode::kUnavailable, "recv failed");
+  }
+  uint32_t resp_len = GetU32Le(len_buf);
+  if (resp_len < 1 || resp_len > kMaxFrame) {
+    DropConnection(dest);
+    return Status(StatusCode::kInternal, "bad response frame");
+  }
+  std::vector<uint8_t> resp(resp_len);
+  if (!ReadFull(conn->fd, resp.data(), resp_len)) {
+    DropConnection(dest);
+    return Status(StatusCode::kUnavailable, "recv failed");
+  }
+  StatusCode code = static_cast<StatusCode>(resp[0]);
+  if (code != StatusCode::kOk) {
+    return Status(code);
+  }
+  if (response != nullptr) {
+    response->assign(resp.begin() + 1, resp.end());
+  }
+  return Status::Ok();
+}
+
+}  // namespace tango

@@ -1,0 +1,80 @@
+// TCP transport: the same RPC contract as InProcTransport, over real POSIX
+// sockets on localhost or a LAN.
+//
+// Wire format (all little-endian):
+//   request frame:  u32 length | u16 method | payload...
+//   response frame: u32 length | u8 status  | payload...
+// `length` counts the bytes after the length field itself.
+//
+// Each registered node owns a listening socket and an accept thread; each
+// accepted connection is served by a dedicated thread running a simple
+// read-dispatch-write loop.  Client-side, one cached connection per
+// (transport, destination) pair is used, serialized by a per-connection
+// mutex — CORFU clients issue strictly sequential RPCs per chain hop, so this
+// matches the access pattern.
+
+#ifndef SRC_NET_TCP_TRANSPORT_H_
+#define SRC_NET_TCP_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/transport.h"
+
+namespace tango {
+
+class TcpTransport : public Transport {
+ public:
+  TcpTransport();
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  Status Call(NodeId dest, uint16_t method, std::span<const uint8_t> request,
+              std::vector<uint8_t>* response) override;
+
+  // Starts a listener on 127.0.0.1 with an OS-assigned port and serves
+  // `handler` on it.  The chosen address is registered so Call() on this
+  // transport can reach it; remote processes would use AddRoute().
+  void RegisterNode(NodeId node, RpcHandler handler) override;
+  void UnregisterNode(NodeId node) override;
+
+  // Maps a node id to an explicit host:port (for cross-process setups).
+  void AddRoute(NodeId node, const std::string& host, uint16_t port);
+
+  // Pre-assigns the listening port RegisterNode will bind for `node` (0
+  // restores OS assignment).  Lets daemons serve at well-known addresses.
+  void SetListenPort(NodeId node, uint16_t port);
+
+  // Binds listeners to this address (default 127.0.0.1; use "0.0.0.0" for
+  // cross-machine deployments).
+  void SetListenAddress(const std::string& address);
+
+  // Port the given locally served node is listening on (0 if not local).
+  uint16_t LocalPort(NodeId node) const;
+
+ private:
+  struct Listener;
+  struct Connection;
+
+  Result<std::shared_ptr<Connection>> GetConnection(NodeId dest);
+  void DropConnection(NodeId dest);
+
+  mutable std::mutex mu_;
+  std::unordered_map<NodeId, std::unique_ptr<Listener>> listeners_;
+  std::unordered_map<NodeId, std::pair<std::string, uint16_t>> routes_;
+  std::unordered_map<NodeId, std::shared_ptr<Connection>> connections_;
+  std::unordered_map<NodeId, uint16_t> listen_ports_;
+  std::string listen_address_ = "127.0.0.1";
+};
+
+}  // namespace tango
+
+#endif  // SRC_NET_TCP_TRANSPORT_H_

@@ -1,0 +1,101 @@
+// TangoBk: the BookKeeper single-writer ledger abstraction as a Tango object
+// (§6.3; the paper's 300-line TangoBK).
+//
+// A ledger is an append-only sequence of entries owned by a single writer.
+// Ledger writes translate directly into stream appends with a little
+// metadata enforcing the single-writer property: each append carries the
+// writer's token, and appends from a stale or fenced writer are dropped
+// deterministically by every view.  A reader opens a ledger with fencing,
+// which atomically revokes the writer — the BookKeeper recovery idiom.
+
+#ifndef SRC_OBJECTS_TANGO_BOOKKEEPER_H_
+#define SRC_OBJECTS_TANGO_BOOKKEEPER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/runtime/object.h"
+#include "src/runtime/runtime.h"
+
+namespace tango {
+
+class TangoBk : public TangoObject {
+ public:
+  using LedgerId = uint64_t;
+
+  struct LedgerHandle {
+    LedgerId id = 0;
+    uint64_t writer_token = 0;
+  };
+
+  TangoBk(TangoRuntime* runtime, ObjectId oid,
+          ObjectConfig config = ObjectConfig{});
+  ~TangoBk() override;
+
+  TangoBk(const TangoBk&) = delete;
+  TangoBk& operator=(const TangoBk&) = delete;
+
+  // Creates a new ledger and returns the writer's handle.
+  Result<LedgerHandle> CreateLedger();
+
+  // Appends an entry; returns its id within the ledger.  Fails with
+  // kFailedPrecondition if the ledger was fenced or closed under the writer.
+  Result<uint64_t> AddEntry(const LedgerHandle& handle,
+                            const std::string& data);
+
+  // Seals the ledger; no more entries will be accepted.
+  Status CloseLedger(const LedgerHandle& handle);
+
+  // Opens a ledger for reading and *fences* it: after this commits, no
+  // in-flight or future write from the original writer can be accepted.
+  // Returns the last entry id (kInvalid if empty, i.e. returns count).
+  Result<uint64_t> OpenAndFence(LedgerId id);
+
+  Result<std::string> ReadEntry(LedgerId id, uint64_t entry_id);
+  Result<uint64_t> EntryCount(LedgerId id);
+  Result<bool> IsClosed(LedgerId id);
+
+  ObjectId oid() const { return oid_; }
+
+  // --- TangoObject ---
+  void Apply(std::span<const uint8_t> update, corfu::LogOffset offset) override;
+  void Clear() override;
+  bool SupportsCheckpoint() const override { return true; }
+  std::vector<uint8_t> Checkpoint() const override;
+  void Restore(std::span<const uint8_t> state) override;
+
+ private:
+  enum Op : uint8_t {
+    kCreateLedger = 1,
+    kAddEntry = 2,
+    kCloseLedger = 3,
+    kFence = 4,
+  };
+
+  enum class LedgerState : uint8_t { kOpen = 0, kFenced = 1, kClosed = 2 };
+
+  struct Ledger {
+    uint64_t writer_token = 0;
+    LedgerState state = LedgerState::kOpen;
+    std::vector<std::string> entries;
+  };
+
+  TangoRuntime* runtime_;
+  ObjectId oid_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<LedgerId, Ledger> ledgers_;
+  LedgerId next_ledger_ = 1;
+
+  // Writer-side: entries successfully staged per handle, to assign entry ids
+  // without a sync (valid because the ledger is single-writer).
+  std::mutex writer_mu_;
+  std::unordered_map<uint64_t, uint64_t> writer_counts_;  // token -> count
+};
+
+}  // namespace tango
+
+#endif  // SRC_OBJECTS_TANGO_BOOKKEEPER_H_

@@ -1,0 +1,347 @@
+#include "src/objects/tango_graph.h"
+
+#include <deque>
+
+#include "src/util/logging.h"
+#include "src/util/serialize.h"
+
+namespace tango {
+
+namespace {
+constexpr int kTxRetries = 64;
+}  // namespace
+
+TangoGraph::TangoGraph(TangoRuntime* runtime, ObjectId oid,
+                       ObjectConfig config)
+    : runtime_(runtime), oid_(oid) {
+  Status st = runtime_->RegisterObject(oid_, this, config);
+  TANGO_CHECK(st.ok()) << "register object failed: " << st.ToString();
+}
+
+TangoGraph::~TangoGraph() { (void)runtime_->UnregisterObject(oid_); }
+
+uint64_t TangoGraph::NodeKey(const std::string& id) {
+  return std::hash<std::string>{}(id);
+}
+
+Status TangoGraph::RunTx(const std::function<Status()>& stage) {
+  for (int attempt = 0; attempt < kTxRetries; ++attempt) {
+    TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_));  // sync to tail
+    TANGO_RETURN_IF_ERROR(runtime_->BeginTx());
+    Status st = stage();
+    if (!st.ok()) {
+      runtime_->AbortTx();
+      return st;
+    }
+    st = runtime_->EndTx();
+    if (st.ok()) {
+      return st;
+    }
+    if (st != StatusCode::kAborted) {
+      return st;
+    }
+  }
+  return Status(StatusCode::kTimeout, "graph op retries exhausted");
+}
+
+Status TangoGraph::AddNode(const std::string& id, const std::string& label) {
+  return RunTx([&]() -> Status {
+    TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_, NodeKey(id)));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (nodes_.contains(id)) {
+        return Status(StatusCode::kAlreadyExists, "node exists");
+      }
+    }
+    ByteWriter w(16 + id.size() + label.size());
+    w.PutU8(kAddNode);
+    w.PutString(id);
+    w.PutString(label);
+    return runtime_->UpdateHelper(oid_, w.bytes(), NodeKey(id));
+  });
+}
+
+Status TangoGraph::RemoveNode(const std::string& id, bool force) {
+  return RunTx([&]() -> Status {
+    TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_, NodeKey(id)));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = nodes_.find(id);
+      if (it == nodes_.end()) {
+        return Status(StatusCode::kNotFound, "no such node");
+      }
+      if (!force && (!it->second.out.empty() || !it->second.in.empty())) {
+        return Status(StatusCode::kFailedPrecondition, "node has edges");
+      }
+    }
+    ByteWriter w(8 + id.size());
+    w.PutU8(kRemoveNode);
+    w.PutString(id);
+    return runtime_->UpdateHelper(oid_, w.bytes(), NodeKey(id));
+  });
+}
+
+Status TangoGraph::AddEdge(const std::string& from, const std::string& to) {
+  return RunTx([&]() -> Status {
+    TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_, NodeKey(from)));
+    TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_, NodeKey(to)));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!nodes_.contains(from) || !nodes_.contains(to)) {
+        return Status(StatusCode::kNotFound, "missing endpoint");
+      }
+      if (nodes_[from].out.contains(to)) {
+        return Status(StatusCode::kAlreadyExists, "edge exists");
+      }
+    }
+    ByteWriter w(16 + from.size() + to.size());
+    w.PutU8(kAddEdge);
+    w.PutString(from);
+    w.PutString(to);
+    TANGO_RETURN_IF_ERROR(
+        runtime_->UpdateHelper(oid_, w.bytes(), NodeKey(from)));
+    // The edge also mutates the target's in-set: touch its version key so
+    // concurrent operations on `to` conflict correctly.
+    ByteWriter touch(8 + to.size());
+    touch.PutU8(kAddEdge);  // replayed idempotently; see Apply
+    touch.PutString("");    // empty from: marker only
+    touch.PutString(to);
+    return runtime_->UpdateHelper(oid_, touch.bytes(), NodeKey(to));
+  });
+}
+
+Status TangoGraph::RemoveEdge(const std::string& from, const std::string& to) {
+  return RunTx([&]() -> Status {
+    TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_, NodeKey(from)));
+    TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_, NodeKey(to)));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = nodes_.find(from);
+      if (it == nodes_.end() || !it->second.out.contains(to)) {
+        return Status(StatusCode::kNotFound, "no such edge");
+      }
+    }
+    ByteWriter w(16 + from.size() + to.size());
+    w.PutU8(kRemoveEdge);
+    w.PutString(from);
+    w.PutString(to);
+    return runtime_->UpdateHelper(oid_, w.bytes(), NodeKey(from));
+  });
+}
+
+Result<bool> TangoGraph::HasNode(const std::string& id) {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_, NodeKey(id)));
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_.contains(id);
+}
+
+Result<std::string> TangoGraph::Label(const std::string& id) {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_, NodeKey(id)));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return Status(StatusCode::kNotFound, "no such node");
+  }
+  return it->second.label;
+}
+
+Result<std::vector<std::string>> TangoGraph::Successors(
+    const std::string& id) {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_, NodeKey(id)));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return Status(StatusCode::kNotFound, "no such node");
+  }
+  return std::vector<std::string>(it->second.out.begin(),
+                                  it->second.out.end());
+}
+
+Result<std::vector<std::string>> TangoGraph::Predecessors(
+    const std::string& id) {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_, NodeKey(id)));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return Status(StatusCode::kNotFound, "no such node");
+  }
+  return std::vector<std::string>(it->second.in.begin(), it->second.in.end());
+}
+
+Result<size_t> TangoGraph::NodeCount() {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_));
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_.size();
+}
+
+Result<size_t> TangoGraph::EdgeCount() {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_));
+  std::lock_guard<std::mutex> lock(mu_);
+  return edge_count_;
+}
+
+Result<std::vector<std::string>> TangoGraph::Reach(const std::string& id,
+                                                   bool forward) {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_));  // whole-graph read
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!nodes_.contains(id)) {
+    return Status(StatusCode::kNotFound, "no such node");
+  }
+  std::set<std::string> seen;
+  std::deque<std::string> frontier{id};
+  while (!frontier.empty()) {
+    std::string current = std::move(frontier.front());
+    frontier.pop_front();
+    auto it = nodes_.find(current);
+    if (it == nodes_.end()) {
+      continue;
+    }
+    const std::set<std::string>& next =
+        forward ? it->second.out : it->second.in;
+    for (const std::string& neighbor : next) {
+      if (seen.insert(neighbor).second) {
+        frontier.push_back(neighbor);
+      }
+    }
+  }
+  seen.erase(id);  // a node is not its own ancestor unless on a cycle
+  return std::vector<std::string>(seen.begin(), seen.end());
+}
+
+Result<std::vector<std::string>> TangoGraph::Ancestors(const std::string& id) {
+  return Reach(id, /*forward=*/false);
+}
+
+Result<std::vector<std::string>> TangoGraph::Descendants(
+    const std::string& id) {
+  return Reach(id, /*forward=*/true);
+}
+
+void TangoGraph::Apply(std::span<const uint8_t> update,
+                       corfu::LogOffset /*offset*/) {
+  ByteReader r(update);
+  Op op = static_cast<Op>(r.GetU8());
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (op) {
+    case kAddNode: {
+      std::string id = r.GetString();
+      std::string label = r.GetString();
+      if (r.ok() && !nodes_.contains(id)) {
+        Node node;
+        node.label = std::move(label);
+        nodes_.emplace(std::move(id), std::move(node));
+      }
+      return;
+    }
+    case kRemoveNode: {
+      std::string id = r.GetString();
+      if (!r.ok()) {
+        return;
+      }
+      auto it = nodes_.find(id);
+      if (it == nodes_.end()) {
+        return;
+      }
+      for (const std::string& to : it->second.out) {
+        auto target = nodes_.find(to);
+        if (target != nodes_.end()) {
+          target->second.in.erase(id);
+          --edge_count_;
+        }
+      }
+      for (const std::string& from : it->second.in) {
+        auto source = nodes_.find(from);
+        if (source != nodes_.end()) {
+          source->second.out.erase(id);
+          --edge_count_;
+        }
+      }
+      nodes_.erase(it);
+      return;
+    }
+    case kAddEdge: {
+      std::string from = r.GetString();
+      std::string to = r.GetString();
+      if (!r.ok() || from.empty()) {
+        return;  // empty `from` is the version-touch marker
+      }
+      auto source = nodes_.find(from);
+      auto target = nodes_.find(to);
+      if (source == nodes_.end() || target == nodes_.end()) {
+        return;
+      }
+      if (source->second.out.insert(to).second) {
+        target->second.in.insert(from);
+        ++edge_count_;
+      }
+      return;
+    }
+    case kRemoveEdge: {
+      std::string from = r.GetString();
+      std::string to = r.GetString();
+      if (!r.ok()) {
+        return;
+      }
+      auto source = nodes_.find(from);
+      auto target = nodes_.find(to);
+      if (source != nodes_.end() && source->second.out.erase(to) > 0) {
+        if (target != nodes_.end()) {
+          target->second.in.erase(from);
+        }
+        --edge_count_;
+      }
+      return;
+    }
+  }
+}
+
+void TangoGraph::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  nodes_.clear();
+  edge_count_ = 0;
+}
+
+std::vector<uint8_t> TangoGraph::Checkpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(nodes_.size()));
+  for (const auto& [id, node] : nodes_) {
+    w.PutString(id);
+    w.PutString(node.label);
+    w.PutU32(static_cast<uint32_t>(node.out.size()));
+    for (const std::string& to : node.out) {
+      w.PutString(to);
+    }
+  }
+  return w.Take();
+}
+
+void TangoGraph::Restore(std::span<const uint8_t> state) {
+  ByteReader r(state);
+  std::lock_guard<std::mutex> lock(mu_);
+  nodes_.clear();
+  edge_count_ = 0;
+  uint32_t count = r.GetU32();
+  std::vector<std::pair<std::string, std::string>> edges;
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    std::string id = r.GetString();
+    Node node;
+    node.label = r.GetString();
+    uint32_t out = r.GetU32();
+    for (uint32_t j = 0; j < out && r.ok(); ++j) {
+      edges.emplace_back(id, r.GetString());
+    }
+    nodes_.emplace(std::move(id), std::move(node));
+  }
+  for (auto& [from, to] : edges) {
+    auto source = nodes_.find(from);
+    auto target = nodes_.find(to);
+    if (source != nodes_.end() && target != nodes_.end() &&
+        source->second.out.insert(to).second) {
+      target->second.in.insert(from);
+      ++edge_count_;
+    }
+  }
+}
+
+}  // namespace tango

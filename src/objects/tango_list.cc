@@ -1,0 +1,108 @@
+#include "src/objects/tango_list.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/serialize.h"
+
+namespace tango {
+
+TangoList::TangoList(TangoRuntime* runtime, ObjectId oid, ObjectConfig config)
+    : runtime_(runtime), oid_(oid) {
+  Status st = runtime_->RegisterObject(oid_, this, config);
+  TANGO_CHECK(st.ok()) << "register object failed: " << st.ToString();
+}
+
+TangoList::~TangoList() { (void)runtime_->UnregisterObject(oid_); }
+
+Status TangoList::Add(const std::string& item) {
+  ByteWriter w(8 + item.size());
+  w.PutU8(kAdd);
+  w.PutString(item);
+  return runtime_->UpdateHelper(oid_, w.bytes());
+}
+
+Status TangoList::RemoveFirst(const std::string& item) {
+  ByteWriter w(8 + item.size());
+  w.PutU8(kRemoveFirst);
+  w.PutString(item);
+  return runtime_->UpdateHelper(oid_, w.bytes());
+}
+
+Result<std::string> TangoList::Get(size_t index) {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index >= items_.size()) {
+    return Status(StatusCode::kOutOfRange, "list index out of range");
+  }
+  return items_[index];
+}
+
+Result<size_t> TangoList::Size() {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_));
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+Result<std::vector<std::string>> TangoList::All() {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_));
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_;
+}
+
+Result<bool> TangoList::Contains(const std::string& item) {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_));
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::find(items_.begin(), items_.end(), item) != items_.end();
+}
+
+void TangoList::Apply(std::span<const uint8_t> update,
+                      corfu::LogOffset /*offset*/) {
+  ByteReader r(update);
+  Op op = static_cast<Op>(r.GetU8());
+  std::string item = r.GetString();
+  if (!r.ok()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (op) {
+    case kAdd:
+      items_.push_back(std::move(item));
+      return;
+    case kRemoveFirst: {
+      auto it = std::find(items_.begin(), items_.end(), item);
+      if (it != items_.end()) {
+        items_.erase(it);
+      }
+      return;
+    }
+  }
+}
+
+void TangoList::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  items_.clear();
+}
+
+std::vector<uint8_t> TangoList::Checkpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(items_.size()));
+  for (const std::string& item : items_) {
+    w.PutString(item);
+  }
+  return w.Take();
+}
+
+void TangoList::Restore(std::span<const uint8_t> state) {
+  ByteReader r(state);
+  std::lock_guard<std::mutex> lock(mu_);
+  items_.clear();
+  uint32_t count = r.GetU32();
+  items_.reserve(count);
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    items_.push_back(r.GetString());
+  }
+}
+
+}  // namespace tango

@@ -1,0 +1,54 @@
+// TangoList: a replicated append-ordered list (the paper's Figure 4 builds a
+// single-writer list from a TangoMap and a TangoList in a transaction).
+
+#ifndef SRC_OBJECTS_TANGO_LIST_H_
+#define SRC_OBJECTS_TANGO_LIST_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/runtime/object.h"
+#include "src/runtime/runtime.h"
+
+namespace tango {
+
+class TangoList : public TangoObject {
+ public:
+  TangoList(TangoRuntime* runtime, ObjectId oid,
+            ObjectConfig config = ObjectConfig{});
+  ~TangoList() override;
+
+  TangoList(const TangoList&) = delete;
+  TangoList& operator=(const TangoList&) = delete;
+
+  Status Add(const std::string& item);
+  // Removes the first occurrence of `item` (no-op if absent).
+  Status RemoveFirst(const std::string& item);
+  Result<std::string> Get(size_t index);
+  Result<size_t> Size();
+  Result<std::vector<std::string>> All();
+  Result<bool> Contains(const std::string& item);
+
+  ObjectId oid() const { return oid_; }
+
+  // --- TangoObject ---
+  void Apply(std::span<const uint8_t> update, corfu::LogOffset offset) override;
+  void Clear() override;
+  bool SupportsCheckpoint() const override { return true; }
+  std::vector<uint8_t> Checkpoint() const override;
+  void Restore(std::span<const uint8_t> state) override;
+
+ private:
+  enum Op : uint8_t { kAdd = 1, kRemoveFirst = 2 };
+
+  TangoRuntime* runtime_;
+  ObjectId oid_;
+
+  mutable std::mutex mu_;
+  std::vector<std::string> items_;
+};
+
+}  // namespace tango
+
+#endif  // SRC_OBJECTS_TANGO_LIST_H_

@@ -1,0 +1,182 @@
+#include "src/objects/tango_map.h"
+
+#include "src/runtime/record.h"
+#include "src/util/logging.h"
+#include "src/util/serialize.h"
+
+namespace tango {
+
+TangoMap::TangoMap(TangoRuntime* runtime, ObjectId oid, MapConfig config)
+    : runtime_(runtime), oid_(oid), config_(config) {
+  Status st = runtime_->RegisterObject(oid_, this, config_.object);
+  TANGO_CHECK(st.ok()) << "register object failed: " << st.ToString();
+}
+
+TangoMap::~TangoMap() { (void)runtime_->UnregisterObject(oid_); }
+
+std::optional<uint64_t> TangoMap::VersionKey(const std::string& key) const {
+  if (!config_.fine_grained_versions) {
+    return std::nullopt;
+  }
+  return std::hash<std::string>{}(key);
+}
+
+Status TangoMap::Put(const std::string& key, const std::string& value) {
+  ByteWriter w(16 + key.size() + value.size());
+  w.PutU8(kPut);
+  w.PutString(key);
+  w.PutString(value);
+  return runtime_->UpdateHelper(oid_, w.bytes(), VersionKey(key));
+}
+
+Status TangoMap::Remove(const std::string& key) {
+  ByteWriter w(8 + key.size());
+  w.PutU8(kRemove);
+  w.PutString(key);
+  return runtime_->UpdateHelper(oid_, w.bytes(), VersionKey(key));
+}
+
+Result<std::string> TangoMap::Get(const std::string& key) {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_, VersionKey(key)));
+  corfu::LogOffset offset = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      return Status(StatusCode::kNotFound, "no such key");
+    }
+    if (!config_.index_mode) {
+      return it->second.value;
+    }
+    offset = it->second.offset;
+  }
+  // Index mode: one random read against the shared log.
+  return FetchFromLog(offset, key);
+}
+
+Result<bool> TangoMap::Contains(const std::string& key) {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_, VersionKey(key)));
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.contains(key);
+}
+
+Result<size_t> TangoMap::Size() {
+  // Size depends on the whole map, not one key: record an object-level read.
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_));
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+Result<std::vector<std::string>> TangoMap::Keys() {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_));
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(map_.size());
+  for (const auto& [key, slot] : map_) {
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+Result<std::string> TangoMap::FetchFromLog(corfu::LogOffset offset,
+                                           const std::string& key) {
+  Result<corfu::LogEntry> entry = runtime_->log()->Read(offset);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  Result<std::vector<Record>> records = DecodeRecords(entry->payload);
+  if (!records.ok()) {
+    return records.status();
+  }
+  // The entry may batch several records and a commit may carry writes to
+  // several objects; find the last put for our (oid, key).
+  Result<std::string> value(Status(StatusCode::kNotFound, "value not in entry"));
+  auto consider = [&](const WriteOp& w) {
+    if (w.oid != oid_) {
+      return;
+    }
+    ByteReader r(w.data);
+    if (static_cast<Op>(r.GetU8()) != kPut) {
+      return;
+    }
+    std::string k = r.GetString();
+    std::string v = r.GetString();
+    if (r.ok() && k == key) {
+      value = std::move(v);
+    }
+  };
+  for (const Record& record : *records) {
+    if (record.type == RecordType::kUpdate) {
+      consider(record.update.write);
+    } else if (record.type == RecordType::kCommit) {
+      for (const WriteOp& w : record.commit.writes) {
+        consider(w);
+      }
+    }
+  }
+  return value;
+}
+
+void TangoMap::Apply(std::span<const uint8_t> update,
+                     corfu::LogOffset offset) {
+  ByteReader r(update);
+  Op op = static_cast<Op>(r.GetU8());
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (op) {
+    case kPut: {
+      std::string key = r.GetString();
+      std::string value = r.GetString();
+      if (!r.ok()) {
+        return;
+      }
+      Slot& slot = map_[std::move(key)];
+      if (config_.index_mode) {
+        slot.offset = offset;
+        slot.value.clear();
+      } else {
+        slot.value = std::move(value);
+      }
+      return;
+    }
+    case kRemove: {
+      std::string key = r.GetString();
+      if (r.ok()) {
+        map_.erase(key);
+      }
+      return;
+    }
+  }
+}
+
+void TangoMap::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+}
+
+std::vector<uint8_t> TangoMap::Checkpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(map_.size()));
+  for (const auto& [key, slot] : map_) {
+    w.PutString(key);
+    w.PutString(slot.value);
+    w.PutU64(slot.offset);
+  }
+  return w.Take();
+}
+
+void TangoMap::Restore(std::span<const uint8_t> state) {
+  ByteReader r(state);
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  uint32_t count = r.GetU32();
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    std::string key = r.GetString();
+    Slot slot;
+    slot.value = r.GetString();
+    slot.offset = r.GetU64();
+    map_.emplace(std::move(key), std::move(slot));
+  }
+}
+
+}  // namespace tango

@@ -1,0 +1,80 @@
+// TangoMap: a replicated hash map with optional fine-grained per-key
+// versioning (§3.2, Versioning) and an optional "index mode" in which the
+// view stores log offsets instead of values, acting as an index over
+// log-structured storage (§3.1, Durability).
+
+#ifndef SRC_OBJECTS_TANGO_MAP_H_
+#define SRC_OBJECTS_TANGO_MAP_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/runtime/object.h"
+#include "src/runtime/runtime.h"
+
+namespace tango {
+
+class TangoMap : public TangoObject {
+ public:
+  struct MapConfig {
+    ObjectConfig object;
+    // Record per-key versions so transactions touching disjoint keys do not
+    // conflict.  Large maps want this on (Figure 9's keys sweep).
+    bool fine_grained_versions = true;
+    // Store log offsets in the view and fetch values from the log on Get.
+    bool index_mode = false;
+  };
+
+  TangoMap(TangoRuntime* runtime, ObjectId oid)
+      : TangoMap(runtime, oid, MapConfig{}) {}
+  TangoMap(TangoRuntime* runtime, ObjectId oid, MapConfig config);
+  ~TangoMap() override;
+
+  TangoMap(const TangoMap&) = delete;
+  TangoMap& operator=(const TangoMap&) = delete;
+
+  Status Put(const std::string& key, const std::string& value);
+  Status Remove(const std::string& key);
+  Result<std::string> Get(const std::string& key);
+  Result<bool> Contains(const std::string& key);
+  Result<size_t> Size();
+  Result<std::vector<std::string>> Keys();
+
+  ObjectId oid() const { return oid_; }
+
+  // --- TangoObject ---
+  void Apply(std::span<const uint8_t> update, corfu::LogOffset offset) override;
+  void Clear() override;
+  bool SupportsCheckpoint() const override { return true; }
+  std::vector<uint8_t> Checkpoint() const override;
+  void Restore(std::span<const uint8_t> state) override;
+
+ private:
+  enum Op : uint8_t { kPut = 1, kRemove = 2 };
+
+  struct Slot {
+    std::string value;               // inline value (normal mode)
+    corfu::LogOffset offset = 0;     // log position (index mode)
+  };
+
+  std::optional<uint64_t> VersionKey(const std::string& key) const;
+  // Index mode: pulls the put value for (oid, key) back out of the log
+  // entry at `offset`.
+  Result<std::string> FetchFromLog(corfu::LogOffset offset,
+                                   const std::string& key);
+
+  TangoRuntime* runtime_;
+  ObjectId oid_;
+  MapConfig config_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Slot> map_;
+};
+
+}  // namespace tango
+
+#endif  // SRC_OBJECTS_TANGO_MAP_H_

@@ -1,0 +1,68 @@
+// TangoQueue: a replicated FIFO queue with exactly-once dequeue.
+//
+// Enqueue is a plain logged update (and works as a *remote write*: a
+// producer can feed a queue it does not host, §4.1 B).  Dequeue must return
+// the element it removes, so it runs as a small transaction: read the head,
+// append a conditional pop; if another consumer won the race the transaction
+// aborts and the caller retries on the new head.
+
+#ifndef SRC_OBJECTS_TANGO_QUEUE_H_
+#define SRC_OBJECTS_TANGO_QUEUE_H_
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "src/runtime/object.h"
+#include "src/runtime/runtime.h"
+
+namespace tango {
+
+class TangoQueue : public TangoObject {
+ public:
+  TangoQueue(TangoRuntime* runtime, ObjectId oid,
+             ObjectConfig config = ObjectConfig{});
+  ~TangoQueue() override;
+
+  TangoQueue(const TangoQueue&) = delete;
+  TangoQueue& operator=(const TangoQueue&) = delete;
+
+  Status Enqueue(const std::string& value);
+
+  // Removes and returns the head.  kNotFound if the queue is empty at the
+  // linearization point; kTimeout if contention exhausts the retry budget.
+  Result<std::string> Dequeue();
+
+  // Returns the head without removing it.
+  Result<std::string> Peek();
+  Result<size_t> Size();
+
+  ObjectId oid() const { return oid_; }
+
+  // --- TangoObject ---
+  void Apply(std::span<const uint8_t> update, corfu::LogOffset offset) override;
+  void Clear() override;
+  bool SupportsCheckpoint() const override { return true; }
+  std::vector<uint8_t> Checkpoint() const override;
+  void Restore(std::span<const uint8_t> state) override;
+
+ private:
+  enum Op : uint8_t { kEnqueue = 1, kPop = 2 };
+
+  struct Item {
+    uint64_t id;
+    std::string value;
+  };
+
+  TangoRuntime* runtime_;
+  ObjectId oid_;
+
+  mutable std::mutex mu_;
+  std::deque<Item> items_;
+  uint64_t enqueue_seq_ = 0;  // deterministic item ids, assigned at apply
+};
+
+}  // namespace tango
+
+#endif  // SRC_OBJECTS_TANGO_QUEUE_H_

@@ -1,0 +1,53 @@
+#include "src/objects/tango_register.h"
+
+#include "src/util/logging.h"
+#include "src/util/serialize.h"
+
+namespace tango {
+
+TangoRegister::TangoRegister(TangoRuntime* runtime, ObjectId oid,
+                             ObjectConfig config)
+    : runtime_(runtime), oid_(oid) {
+  Status st = runtime_->RegisterObject(oid_, this, config);
+  TANGO_CHECK(st.ok()) << "register object failed: " << st.ToString();
+}
+
+TangoRegister::~TangoRegister() { (void)runtime_->UnregisterObject(oid_); }
+
+Status TangoRegister::Write(int64_t value) {
+  ByteWriter w(8);
+  w.PutI64(value);
+  return runtime_->UpdateHelper(oid_, w.bytes());
+}
+
+Result<int64_t> TangoRegister::Read() {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_));
+  return state_.load(std::memory_order_acquire);
+}
+
+void TangoRegister::Apply(std::span<const uint8_t> update,
+                          corfu::LogOffset /*offset*/) {
+  ByteReader r(update);
+  int64_t value = r.GetI64();
+  if (r.ok()) {
+    state_.store(value, std::memory_order_release);
+  }
+}
+
+void TangoRegister::Clear() { state_.store(0, std::memory_order_release); }
+
+std::vector<uint8_t> TangoRegister::Checkpoint() const {
+  ByteWriter w(8);
+  w.PutI64(state_.load(std::memory_order_acquire));
+  return w.Take();
+}
+
+void TangoRegister::Restore(std::span<const uint8_t> state) {
+  ByteReader r(state);
+  int64_t value = r.GetI64();
+  if (r.ok()) {
+    state_.store(value, std::memory_order_release);
+  }
+}
+
+}  // namespace tango

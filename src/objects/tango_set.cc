@@ -1,0 +1,95 @@
+#include "src/objects/tango_set.h"
+
+#include "src/util/logging.h"
+#include "src/util/serialize.h"
+
+namespace tango {
+
+TangoSet::TangoSet(TangoRuntime* runtime, ObjectId oid, ObjectConfig config)
+    : runtime_(runtime), oid_(oid) {
+  Status st = runtime_->RegisterObject(oid_, this, config);
+  TANGO_CHECK(st.ok()) << "register object failed: " << st.ToString();
+}
+
+TangoSet::~TangoSet() { (void)runtime_->UnregisterObject(oid_); }
+
+Status TangoSet::Add(const std::string& element) {
+  ByteWriter w(8 + element.size());
+  w.PutU8(kAdd);
+  w.PutString(element);
+  return runtime_->UpdateHelper(oid_, w.bytes(),
+                                std::hash<std::string>{}(element));
+}
+
+Status TangoSet::Remove(const std::string& element) {
+  ByteWriter w(8 + element.size());
+  w.PutU8(kRemove);
+  w.PutString(element);
+  return runtime_->UpdateHelper(oid_, w.bytes(),
+                                std::hash<std::string>{}(element));
+}
+
+Result<bool> TangoSet::Contains(const std::string& element) {
+  TANGO_RETURN_IF_ERROR(
+      runtime_->QueryHelper(oid_, std::hash<std::string>{}(element)));
+  std::lock_guard<std::mutex> lock(mu_);
+  return elements_.contains(element);
+}
+
+Result<size_t> TangoSet::Size() {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_));
+  std::lock_guard<std::mutex> lock(mu_);
+  return elements_.size();
+}
+
+Result<std::vector<std::string>> TangoSet::Elements() {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_));
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::string>(elements_.begin(), elements_.end());
+}
+
+void TangoSet::Apply(std::span<const uint8_t> update,
+                     corfu::LogOffset /*offset*/) {
+  ByteReader r(update);
+  Op op = static_cast<Op>(r.GetU8());
+  std::string element = r.GetString();
+  if (!r.ok()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (op) {
+    case kAdd:
+      elements_.insert(std::move(element));
+      return;
+    case kRemove:
+      elements_.erase(element);
+      return;
+  }
+}
+
+void TangoSet::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  elements_.clear();
+}
+
+std::vector<uint8_t> TangoSet::Checkpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(elements_.size()));
+  for (const std::string& element : elements_) {
+    w.PutString(element);
+  }
+  return w.Take();
+}
+
+void TangoSet::Restore(std::span<const uint8_t> state) {
+  ByteReader r(state);
+  std::lock_guard<std::mutex> lock(mu_);
+  elements_.clear();
+  uint32_t count = r.GetU32();
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    elements_.insert(r.GetString());
+  }
+}
+
+}  // namespace tango

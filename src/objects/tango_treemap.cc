@@ -1,0 +1,172 @@
+#include "src/objects/tango_treemap.h"
+
+#include "src/util/logging.h"
+#include "src/util/serialize.h"
+
+namespace tango {
+
+TangoTreeMap::TangoTreeMap(TangoRuntime* runtime, ObjectId oid,
+                           ObjectConfig config)
+    : runtime_(runtime), oid_(oid) {
+  Status st = runtime_->RegisterObject(oid_, this, config);
+  TANGO_CHECK(st.ok()) << "register object failed: " << st.ToString();
+}
+
+TangoTreeMap::~TangoTreeMap() { (void)runtime_->UnregisterObject(oid_); }
+
+std::optional<uint64_t> TangoTreeMap::VersionKey(
+    const std::string& key) const {
+  return std::hash<std::string>{}(key);
+}
+
+Status TangoTreeMap::Put(const std::string& key, const std::string& value) {
+  ByteWriter w(16 + key.size() + value.size());
+  w.PutU8(kPut);
+  w.PutString(key);
+  w.PutString(value);
+  return runtime_->UpdateHelper(oid_, w.bytes(), VersionKey(key));
+}
+
+Status TangoTreeMap::Remove(const std::string& key) {
+  ByteWriter w(8 + key.size());
+  w.PutU8(kRemove);
+  w.PutString(key);
+  return runtime_->UpdateHelper(oid_, w.bytes(), VersionKey(key));
+}
+
+Result<std::string> TangoTreeMap::Get(const std::string& key) {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_, VersionKey(key)));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return Status(StatusCode::kNotFound, "no such key");
+  }
+  return it->second;
+}
+
+Result<size_t> TangoTreeMap::Size() {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_));
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+Result<std::pair<std::string, std::string>> TangoTreeMap::First() {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (map_.empty()) {
+    return Status(StatusCode::kNotFound, "tree map empty");
+  }
+  return std::make_pair(map_.begin()->first, map_.begin()->second);
+}
+
+Result<std::pair<std::string, std::string>> TangoTreeMap::Last() {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (map_.empty()) {
+    return Status(StatusCode::kNotFound, "tree map empty");
+  }
+  return std::make_pair(map_.rbegin()->first, map_.rbegin()->second);
+}
+
+Result<std::pair<std::string, std::string>> TangoTreeMap::Floor(
+    const std::string& key) {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.upper_bound(key);
+  if (it == map_.begin()) {
+    return Status(StatusCode::kNotFound, "no key at or below");
+  }
+  auto prev = std::prev(it);
+  return std::make_pair(prev->first, prev->second);
+}
+
+Result<std::pair<std::string, std::string>> TangoTreeMap::Ceiling(
+    const std::string& key) {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.lower_bound(key);
+  if (it == map_.end()) {
+    return Status(StatusCode::kNotFound, "no key at or above");
+  }
+  return std::make_pair(it->first, it->second);
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> TangoTreeMap::Range(
+    const std::string& from, const std::string& to) {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_));
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto it = map_.lower_bound(from);
+       it != map_.end() && it->first < to; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<std::string, std::string>>>
+TangoTreeMap::PrefixScan(const std::string& prefix) {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_));
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto it = map_.lower_bound(prefix); it != map_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    out.push_back(*it);
+  }
+  return out;
+}
+
+void TangoTreeMap::Apply(std::span<const uint8_t> update,
+                         corfu::LogOffset /*offset*/) {
+  ByteReader r(update);
+  Op op = static_cast<Op>(r.GetU8());
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (op) {
+    case kPut: {
+      std::string key = r.GetString();
+      std::string value = r.GetString();
+      if (r.ok()) {
+        map_[std::move(key)] = std::move(value);
+      }
+      return;
+    }
+    case kRemove: {
+      std::string key = r.GetString();
+      if (r.ok()) {
+        map_.erase(key);
+      }
+      return;
+    }
+  }
+}
+
+void TangoTreeMap::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+}
+
+std::vector<uint8_t> TangoTreeMap::Checkpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(map_.size()));
+  for (const auto& [key, value] : map_) {
+    w.PutString(key);
+    w.PutString(value);
+  }
+  return w.Take();
+}
+
+void TangoTreeMap::Restore(std::span<const uint8_t> state) {
+  ByteReader r(state);
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  uint32_t count = r.GetU32();
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    std::string key = r.GetString();
+    std::string value = r.GetString();
+    map_.emplace(std::move(key), std::move(value));
+  }
+}
+
+}  // namespace tango

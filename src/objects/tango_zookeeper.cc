@@ -1,0 +1,443 @@
+#include "src/objects/tango_zookeeper.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/util/logging.h"
+#include "src/util/serialize.h"
+
+namespace tango {
+
+namespace {
+constexpr int kTxRetries = 64;
+}  // namespace
+
+TangoZk::TangoZk(TangoRuntime* runtime, ObjectId oid, ObjectConfig config)
+    : runtime_(runtime), oid_(oid) {
+  Status st = runtime_->RegisterObject(oid_, this, config);
+  TANGO_CHECK(st.ok()) << "register object failed: " << st.ToString();
+  Clear();  // installs the root znode
+}
+
+TangoZk::~TangoZk() { (void)runtime_->UnregisterObject(oid_); }
+
+std::string TangoZk::ParentOf(const std::string& path) {
+  size_t slash = path.rfind('/');
+  if (slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
+}
+
+uint64_t TangoZk::PathKey(const std::string& path) {
+  return std::hash<std::string>{}(path);
+}
+
+bool TangoZk::ValidPath(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return false;
+  }
+  if (path.size() == 1) {
+    return true;  // root
+  }
+  if (path.back() == '/') {
+    return false;
+  }
+  return path.find("//") == std::string::npos;
+}
+
+// --- staging (runs inside an ambient transaction) ---------------------------
+
+Status TangoZk::StageCreate(const std::string& path, const std::string& data) {
+  if (!ValidPath(path) || path == "/") {
+    return Status(StatusCode::kInvalidArgument, "bad znode path");
+  }
+  std::string parent = ParentOf(path);
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_, PathKey(path)));
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_, PathKey(parent)));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (nodes_.contains(path)) {
+      return Status(StatusCode::kAlreadyExists, "znode exists");
+    }
+    if (!nodes_.contains(parent)) {
+      return Status(StatusCode::kNotFound, "parent does not exist");
+    }
+  }
+  ByteWriter w(16 + path.size() + data.size());
+  w.PutU8(kCreate);
+  w.PutString(path);
+  w.PutString(data);
+  TANGO_RETURN_IF_ERROR(runtime_->UpdateHelper(oid_, w.bytes(), PathKey(path)));
+  ByteWriter t(8 + parent.size());
+  t.PutU8(kTouchParent);
+  t.PutString(parent);
+  return runtime_->UpdateHelper(oid_, t.bytes(), PathKey(parent));
+}
+
+Status TangoZk::StageDelete(const std::string& path,
+                            int32_t expected_version) {
+  if (!ValidPath(path) || path == "/") {
+    return Status(StatusCode::kInvalidArgument, "bad znode path");
+  }
+  std::string parent = ParentOf(path);
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_, PathKey(path)));
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_, PathKey(parent)));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = nodes_.find(path);
+    if (it == nodes_.end()) {
+      return Status(StatusCode::kNotFound, "no such znode");
+    }
+    if (expected_version != -1 && it->second.stat.version != expected_version) {
+      return Status(StatusCode::kFailedPrecondition, "version mismatch");
+    }
+    if (it->second.num_children > 0) {
+      return Status(StatusCode::kFailedPrecondition, "znode has children");
+    }
+  }
+  ByteWriter w(8 + path.size());
+  w.PutU8(kDelete);
+  w.PutString(path);
+  TANGO_RETURN_IF_ERROR(runtime_->UpdateHelper(oid_, w.bytes(), PathKey(path)));
+  ByteWriter t(8 + parent.size());
+  t.PutU8(kTouchParent);
+  t.PutString(parent);
+  return runtime_->UpdateHelper(oid_, t.bytes(), PathKey(parent));
+}
+
+Status TangoZk::StageSetData(const std::string& path, const std::string& data,
+                             int32_t expected_version) {
+  if (!ValidPath(path)) {
+    return Status(StatusCode::kInvalidArgument, "bad znode path");
+  }
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_, PathKey(path)));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = nodes_.find(path);
+    if (it == nodes_.end()) {
+      return Status(StatusCode::kNotFound, "no such znode");
+    }
+    if (expected_version != -1 && it->second.stat.version != expected_version) {
+      return Status(StatusCode::kFailedPrecondition, "version mismatch");
+    }
+  }
+  ByteWriter w(16 + path.size() + data.size());
+  w.PutU8(kSetData);
+  w.PutString(path);
+  w.PutString(data);
+  return runtime_->UpdateHelper(oid_, w.bytes(), PathKey(path));
+}
+
+Status TangoZk::RunTx(const std::function<Status()>& stage) {
+  for (int attempt = 0; attempt < kTxRetries; ++attempt) {
+    TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_));  // sync to tail
+    TANGO_RETURN_IF_ERROR(runtime_->BeginTx());
+    Status st = stage();
+    if (!st.ok()) {
+      runtime_->AbortTx();
+      return st;  // semantic failure at a consistent snapshot
+    }
+    st = runtime_->EndTx();
+    if (st.ok()) {
+      return st;
+    }
+    if (st != StatusCode::kAborted) {
+      return st;
+    }
+  }
+  return Status(StatusCode::kTimeout, "znode op retries exhausted");
+}
+
+// --- public mutators ---------------------------------------------------------
+
+Status TangoZk::Create(const std::string& path, const std::string& data) {
+  return RunTx([&] { return StageCreate(path, data); });
+}
+
+Result<std::string> TangoZk::CreateSequential(const std::string& path_prefix,
+                                              const std::string& data) {
+  if (!ValidPath(path_prefix + "0") || path_prefix.back() == '/') {
+    return Status(StatusCode::kInvalidArgument, "bad sequential prefix");
+  }
+  std::string final_path;
+  Status st = RunTx([&]() -> Status {
+    std::string parent = ParentOf(path_prefix);
+    TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_, PathKey(parent)));
+    uint64_t seq;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = nodes_.find(parent);
+      if (it == nodes_.end()) {
+        return Status(StatusCode::kNotFound, "parent does not exist");
+      }
+      seq = it->second.next_seq;
+    }
+    char suffix[16];
+    std::snprintf(suffix, sizeof(suffix), "%010" PRIu64, seq);
+    final_path = path_prefix + suffix;
+    return StageCreate(final_path, data);
+  });
+  if (!st.ok()) {
+    return st;
+  }
+  return final_path;
+}
+
+Status TangoZk::Delete(const std::string& path, int32_t expected_version) {
+  return RunTx([&] { return StageDelete(path, expected_version); });
+}
+
+Status TangoZk::SetData(const std::string& path, const std::string& data,
+                        int32_t expected_version) {
+  return RunTx([&] { return StageSetData(path, data, expected_version); });
+}
+
+Status TangoZk::Multi(const std::vector<MultiOp>& ops) {
+  return RunTx([&]() -> Status {
+    for (const MultiOp& op : ops) {
+      switch (op.kind) {
+        case MultiOp::kCreateOp:
+          TANGO_RETURN_IF_ERROR(StageCreate(op.path, op.data));
+          break;
+        case MultiOp::kDeleteOp:
+          TANGO_RETURN_IF_ERROR(StageDelete(op.path, op.expected_version));
+          break;
+        case MultiOp::kSetDataOp:
+          TANGO_RETURN_IF_ERROR(
+              StageSetData(op.path, op.data, op.expected_version));
+          break;
+      }
+    }
+    return Status::Ok();
+  });
+}
+
+Status TangoZk::MoveTo(const std::string& src_path, TangoZk& dst,
+                       const std::string& dst_path) {
+  // Both instances must run on the same runtime (they do in practice; the
+  // transaction needs local views of both read sets, §4.1 D).
+  if (dst.runtime_ != runtime_) {
+    return Status(StatusCode::kInvalidArgument,
+                  "cross-runtime move is not supported");
+  }
+  for (int attempt = 0; attempt < kTxRetries; ++attempt) {
+    TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_));
+    TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(dst.oid_));
+    TANGO_RETURN_IF_ERROR(runtime_->BeginTx());
+    std::string data;
+    Status st = [&]() -> Status {
+      TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_, PathKey(src_path)));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = nodes_.find(src_path);
+        if (it == nodes_.end()) {
+          return Status(StatusCode::kNotFound, "no such znode");
+        }
+        if (it->second.num_children > 0) {
+          return Status(StatusCode::kFailedPrecondition, "znode has children");
+        }
+        data = it->second.data;
+      }
+      TANGO_RETURN_IF_ERROR(StageDelete(src_path, -1));
+      return dst.StageCreate(dst_path, data);
+    }();
+    if (!st.ok()) {
+      runtime_->AbortTx();
+      return st;
+    }
+    st = runtime_->EndTx();
+    if (st.ok()) {
+      return st;
+    }
+    if (st != StatusCode::kAborted) {
+      return st;
+    }
+  }
+  return Status(StatusCode::kTimeout, "move retries exhausted");
+}
+
+// --- accessors ----------------------------------------------------------------
+
+Result<std::pair<std::string, TangoZk::Stat>> TangoZk::GetData(
+    const std::string& path) {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_, PathKey(path)));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) {
+    return Status(StatusCode::kNotFound, "no such znode");
+  }
+  return std::make_pair(it->second.data, it->second.stat);
+}
+
+Result<bool> TangoZk::Exists(const std::string& path) {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_, PathKey(path)));
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_.contains(path);
+}
+
+Result<std::vector<std::string>> TangoZk::GetChildren(
+    const std::string& path) {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(oid_, PathKey(path)));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!nodes_.contains(path)) {
+    return Status(StatusCode::kNotFound, "no such znode");
+  }
+  std::vector<std::string> children;
+  std::string prefix = path == "/" ? "/" : path + "/";
+  for (auto it = nodes_.lower_bound(prefix); it != nodes_.end(); ++it) {
+    const std::string& candidate = it->first;
+    if (candidate.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    if (candidate.size() > prefix.size() &&
+        candidate.find('/', prefix.size()) == std::string::npos) {
+      children.push_back(candidate.substr(prefix.size()));
+    }
+  }
+  return children;
+}
+
+// --- replication upcalls --------------------------------------------------------
+
+std::vector<std::pair<std::string, TangoZk::WatchCallback>>
+TangoZk::TakeWatches(const std::string& path) {
+  std::vector<std::pair<std::string, WatchCallback>> fired;
+  auto [begin, end] = watches_.equal_range(path);
+  for (auto it = begin; it != end; ++it) {
+    fired.emplace_back(path, std::move(it->second));
+  }
+  watches_.erase(begin, end);
+  return fired;
+}
+
+void TangoZk::Watch(const std::string& path, WatchCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  watches_.emplace(path, std::move(callback));
+}
+
+void TangoZk::Apply(std::span<const uint8_t> update, corfu::LogOffset offset) {
+  ByteReader r(update);
+  Op op = static_cast<Op>(r.GetU8());
+  // Watches fired by this change; invoked after mu_ is released (one-shot,
+  // ZooKeeper-style).
+  std::vector<std::pair<std::string, WatchCallback>> fired;
+  {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (op) {
+    case kCreate: {
+      std::string path = r.GetString();
+      std::string data = r.GetString();
+      if (!r.ok() || nodes_.contains(path)) {
+        return;
+      }
+      auto parent = nodes_.find(ParentOf(path));
+      if (parent == nodes_.end()) {
+        return;  // committed transactions validated this; replay guard only
+      }
+      Znode node;
+      node.data = std::move(data);
+      node.stat.mzxid = offset;
+      std::string created = path;
+      nodes_.emplace(std::move(path), std::move(node));
+      parent->second.num_children++;
+      parent->second.next_seq++;
+      parent->second.stat.cversion++;
+      fired = TakeWatches(created);
+      for (auto& watch : TakeWatches(ParentOf(created))) {
+        fired.push_back(std::move(watch));
+      }
+      break;
+    }
+    case kDelete: {
+      std::string path = r.GetString();
+      if (!r.ok()) {
+        return;
+      }
+      auto it = nodes_.find(path);
+      if (it == nodes_.end() || it->second.num_children > 0) {
+        return;
+      }
+      nodes_.erase(it);
+      auto parent = nodes_.find(ParentOf(path));
+      if (parent != nodes_.end()) {
+        parent->second.num_children--;
+        parent->second.stat.cversion++;
+      }
+      fired = TakeWatches(path);
+      for (auto& watch : TakeWatches(ParentOf(path))) {
+        fired.push_back(std::move(watch));
+      }
+      break;
+    }
+    case kSetData: {
+      std::string path = r.GetString();
+      std::string data = r.GetString();
+      if (!r.ok()) {
+        return;
+      }
+      auto it = nodes_.find(path);
+      if (it != nodes_.end()) {
+        it->second.data = std::move(data);
+        it->second.stat.version++;
+        it->second.stat.mzxid = offset;
+        fired = TakeWatches(path);
+      }
+      break;
+    }
+    case kTouchParent:
+      // Structural-change marker: version bookkeeping happens in the runtime
+      // (this write's key is the parent's), the child bookkeeping happens in
+      // the create/delete apply.  Nothing to do here.
+      break;
+  }
+  }  // mu_ released
+  for (auto& [path, callback] : fired) {
+    callback(path);
+  }
+}
+
+void TangoZk::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  nodes_.clear();
+  nodes_.emplace("/", Znode{});
+}
+
+std::vector<uint8_t> TangoZk::Checkpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(nodes_.size()));
+  for (const auto& [path, node] : nodes_) {
+    w.PutString(path);
+    w.PutString(node.data);
+    w.PutU32(static_cast<uint32_t>(node.stat.version));
+    w.PutU32(static_cast<uint32_t>(node.stat.cversion));
+    w.PutU64(node.stat.mzxid);
+    w.PutU64(node.next_seq);
+    w.PutU32(static_cast<uint32_t>(node.num_children));
+  }
+  return w.Take();
+}
+
+void TangoZk::Restore(std::span<const uint8_t> state) {
+  ByteReader r(state);
+  std::lock_guard<std::mutex> lock(mu_);
+  nodes_.clear();
+  uint32_t count = r.GetU32();
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    std::string path = r.GetString();
+    Znode node;
+    node.data = r.GetString();
+    node.stat.version = static_cast<int32_t>(r.GetU32());
+    node.stat.cversion = static_cast<int32_t>(r.GetU32());
+    node.stat.mzxid = r.GetU64();
+    node.next_seq = r.GetU64();
+    node.num_children = static_cast<int32_t>(r.GetU32());
+    nodes_.emplace(std::move(path), std::move(node));
+  }
+  if (!nodes_.contains("/")) {
+    nodes_.emplace("/", Znode{});
+  }
+}
+
+}  // namespace tango

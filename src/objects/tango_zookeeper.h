@@ -1,0 +1,150 @@
+// TangoZk: the ZooKeeper interface implemented as a Tango object (§6.3).
+//
+// A hierarchical namespace of znodes, each with a data payload, a data
+// version and a child-sequence counter (for sequential nodes).  Every
+// mutator runs as a Tango transaction, which buys exactly the guarantees
+// ZooKeeper implements with a custom protocol: linearizable conditional
+// updates, atomic multi-ops — and one thing ZooKeeper cannot do at all:
+// atomic moves *across* TangoZk instances (namespaces), because two
+// instances share the same shared log (the paper's headline §6.3 result).
+//
+// Fine-grained versioning: each znode maps to a version key (hash of its
+// path), and structural changes also touch the parent's key, so transactions
+// on disjoint subtrees never conflict.
+//
+// Watches are supported with ZooKeeper's one-shot semantics: a watch set on
+// a path fires at most once, on the first subsequent change to that znode
+// (data change, creation, deletion, or child-set change), as observed in
+// this view's playback order.  Callbacks run on whichever application thread
+// drives playback and MUST NOT call back into Tango synchronously.
+//
+// Omissions relative to Apache ZooKeeper, matching the paper's own scope:
+// ACLs and ephemeral nodes are not implemented (the paper's 1K-line TangoZK
+// also excluded ACLs and ancillary interface-compat code).
+
+#ifndef SRC_OBJECTS_TANGO_ZOOKEEPER_H_
+#define SRC_OBJECTS_TANGO_ZOOKEEPER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/runtime/object.h"
+#include "src/runtime/runtime.h"
+
+namespace tango {
+
+class TangoZk : public TangoObject {
+ public:
+  struct Stat {
+    int32_t version = 0;       // data version (bumped by SetData)
+    int32_t cversion = 0;      // child version (bumped by create/delete)
+    uint64_t mzxid = 0;        // log offset of the last modification
+  };
+
+  TangoZk(TangoRuntime* runtime, ObjectId oid,
+          ObjectConfig config = ObjectConfig{});
+  ~TangoZk() override;
+
+  TangoZk(const TangoZk&) = delete;
+  TangoZk& operator=(const TangoZk&) = delete;
+
+  // Creates a znode.  Fails with kAlreadyExists / kNotFound (missing parent).
+  Status Create(const std::string& path, const std::string& data);
+
+  // Creates a znode named `path_prefix` + zero-padded sequence number drawn
+  // from the parent's child counter; returns the final path.
+  Result<std::string> CreateSequential(const std::string& path_prefix,
+                                       const std::string& data);
+
+  // Conditional delete; `expected_version` of -1 skips the version check.
+  // Fails with kFailedPrecondition on version mismatch or if children exist.
+  Status Delete(const std::string& path, int32_t expected_version = -1);
+
+  // Conditional write; bumps the data version.
+  Status SetData(const std::string& path, const std::string& data,
+                 int32_t expected_version = -1);
+
+  Result<std::pair<std::string, Stat>> GetData(const std::string& path);
+  Result<bool> Exists(const std::string& path);
+  Result<std::vector<std::string>> GetChildren(const std::string& path);
+
+  // Atomic multi-op (ZooKeeper's `multi`): all ops succeed or none do.
+  struct MultiOp {
+    enum Kind { kCreateOp, kDeleteOp, kSetDataOp } kind;
+    std::string path;
+    std::string data;
+    int32_t expected_version = -1;
+  };
+  Status Multi(const std::vector<MultiOp>& ops);
+
+  // Atomically moves a znode (and its data) from this instance to `dst` —
+  // possible because both instances live on one shared log.  The znode must
+  // be a leaf.
+  Status MoveTo(const std::string& src_path, TangoZk& dst,
+                const std::string& dst_path);
+
+  // One-shot watch: `callback(path)` fires on the first change touching
+  // `path` that this view applies after registration.  See the class comment
+  // for threading constraints.
+  using WatchCallback = std::function<void(const std::string& path)>;
+  void Watch(const std::string& path, WatchCallback callback);
+
+  ObjectId oid() const { return oid_; }
+
+  // --- TangoObject ---
+  void Apply(std::span<const uint8_t> update, corfu::LogOffset offset) override;
+  void Clear() override;
+  bool SupportsCheckpoint() const override { return true; }
+  std::vector<uint8_t> Checkpoint() const override;
+  void Restore(std::span<const uint8_t> state) override;
+
+ private:
+  enum Op : uint8_t {
+    kCreate = 1,
+    kDelete = 2,
+    kSetData = 3,
+    kTouchParent = 4,  // structural change marker on the parent's key
+  };
+
+  struct Znode {
+    std::string data;
+    Stat stat;
+    uint64_t next_seq = 0;  // sequential-child counter
+    int32_t num_children = 0;
+  };
+
+  static std::string ParentOf(const std::string& path);
+  static uint64_t PathKey(const std::string& path);
+  static bool ValidPath(const std::string& path);
+
+  // Buffers the create/delete/set into the ambient transaction (adds read
+  // deps and write ops).  Must run inside a BeginTx.
+  Status StageCreate(const std::string& path, const std::string& data);
+  Status StageDelete(const std::string& path, int32_t expected_version);
+  Status StageSetData(const std::string& path, const std::string& data,
+                      int32_t expected_version);
+
+  // Runs `stage` inside a fresh transaction with sync + bounded retries.
+  Status RunTx(const std::function<Status()>& stage);
+
+  // Collects watches triggered by a path change (caller holds mu_); the
+  // returned callbacks are invoked after mu_ is released.
+  std::vector<std::pair<std::string, WatchCallback>> TakeWatches(
+      const std::string& path);
+
+  TangoRuntime* runtime_;
+  ObjectId oid_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Znode> nodes_;
+  std::multimap<std::string, WatchCallback> watches_;
+};
+
+}  // namespace tango
+
+#endif  // SRC_OBJECTS_TANGO_ZOOKEEPER_H_

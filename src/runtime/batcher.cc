@@ -1,0 +1,106 @@
+#include "src/runtime/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace tango {
+
+using corfu::LogOffset;
+using corfu::StreamId;
+
+Result<LogOffset> Batcher::Append(Record record,
+                                  std::vector<StreamId> streams) {
+  auto result = std::make_shared<SlotResult>();
+  std::unique_lock<std::mutex> lock(mu_);
+  pending_.push_back(Slot{std::move(record), std::move(streams), result});
+  ++records_batched_;
+  if (pending_.size() >= options_.max_records) {
+    cv_.notify_all();  // a waiting leader can flush immediately
+  }
+
+  // Until our slot resolves, either follow an active leader or — when the
+  // leadership is free and our slot is still pending (e.g. we arrived while
+  // the previous leader was already flushing its snapshot) — lead the next
+  // batch ourselves.
+  while (!result->done) {
+    if (leader_active_) {
+      cv_.wait(lock,
+               [&] { return result->done || !leader_active_; });
+      continue;
+    }
+    leader_active_ = true;
+    // Give followers a short window to pile on, unless the batch fills.
+    cv_.wait_for(lock, std::chrono::microseconds(options_.window_us),
+                 [this] { return pending_.size() >= options_.max_records; });
+    // Take at most max_records (the paper's fixed batch size); any overflow
+    // stays queued for the next leader, which a remaining owner becomes as
+    // soon as we release leadership.
+    std::vector<Slot> slots;
+    if (pending_.size() <= options_.max_records) {
+      slots.swap(pending_);
+    } else {
+      slots.assign(std::make_move_iterator(pending_.begin()),
+                   std::make_move_iterator(pending_.begin() +
+                                           options_.max_records));
+      pending_.erase(pending_.begin(), pending_.begin() + options_.max_records);
+    }
+    lock.unlock();
+    Flush(std::move(slots));
+    lock.lock();
+    leader_active_ = false;
+    cv_.notify_all();
+  }
+
+  lock.unlock();
+  if (!result->status.ok()) {
+    return result->status;
+  }
+  return result->offset;
+}
+
+void Batcher::Flush(std::vector<Slot> slots) {
+  // Pack greedily under the page budget, leaving margin for the entry
+  // header and per-stream backpointer headers.
+  const size_t page_budget =
+      log_->projection().page_size > 512 ? log_->projection().page_size - 512
+                                         : log_->projection().page_size;
+
+  size_t begin = 0;
+  while (begin < slots.size()) {
+    std::vector<Record> records;
+    std::vector<StreamId> streams;
+    size_t end = begin;
+    size_t encoded_size = 2;  // record-count prefix
+    while (end < slots.size()) {
+      std::vector<uint8_t> one = EncodeRecord(slots[end].record);
+      size_t record_size = one.size() - 2;
+      if (end > begin && encoded_size + record_size > page_budget) {
+        break;
+      }
+      encoded_size += record_size;
+      records.push_back(slots[end].record);
+      for (StreamId s : slots[end].streams) {
+        if (std::find(streams.begin(), streams.end(), s) == streams.end()) {
+          streams.push_back(s);
+        }
+      }
+      ++end;
+    }
+
+    std::vector<uint8_t> payload = EncodeRecords(records);
+    Result<LogOffset> offset = log_->AppendToStreams(payload, streams);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = begin; i < end; ++i) {
+        slots[i].result->status = offset.status();
+        slots[i].result->offset = offset.ok() ? *offset : corfu::kInvalidOffset;
+        slots[i].result->done = true;
+      }
+      ++batches_flushed_;
+    }
+    cv_.notify_all();
+    begin = end;
+  }
+}
+
+}  // namespace tango

@@ -1,0 +1,155 @@
+#include "src/runtime/directory.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace tango {
+
+TangoDirectory::TangoDirectory(TangoRuntime* runtime) : runtime_(runtime) {
+  Status st = runtime_->RegisterObject(kDirectoryOid, this);
+  TANGO_CHECK(st.ok()) << "directory registration failed: " << st.ToString();
+  // Instantiate from the latest checkpoint if the directory's early history
+  // has already been trimmed (fresh client joining a long-lived deployment).
+  (void)runtime_->LoadObject(kDirectoryOid);
+}
+
+TangoDirectory::~TangoDirectory() {
+  (void)runtime_->UnregisterObject(kDirectoryOid);
+}
+
+void TangoDirectory::Apply(std::span<const uint8_t> update,
+                           corfu::LogOffset /*offset*/) {
+  ByteReader r(update);
+  Op op = static_cast<Op>(r.GetU8());
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (op) {
+    case kCreate: {
+      std::string name = r.GetString();
+      if (!r.ok() || names_.contains(name)) {
+        return;  // duplicate create: first one in log order won
+      }
+      ObjectId oid = next_oid_++;
+      names_.emplace(std::move(name), oid);
+      forgets_.emplace(oid, 0);
+      return;
+    }
+    case kForget: {
+      ObjectId oid = r.GetU32();
+      corfu::LogOffset offset = r.GetU64();
+      if (!r.ok()) {
+        return;
+      }
+      auto it = forgets_.find(oid);
+      if (it != forgets_.end() && offset > it->second) {
+        it->second = offset;
+      }
+      return;
+    }
+  }
+}
+
+void TangoDirectory::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  names_.clear();
+  forgets_.clear();
+  next_oid_ = kDirectoryOid + 1;
+}
+
+std::vector<uint8_t> TangoDirectory::Checkpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ByteWriter w;
+  w.PutU32(next_oid_);
+  w.PutU32(static_cast<uint32_t>(names_.size()));
+  for (const auto& [name, oid] : names_) {
+    w.PutString(name);
+    w.PutU32(oid);
+    auto it = forgets_.find(oid);
+    w.PutU64(it == forgets_.end() ? 0 : it->second);
+  }
+  return w.Take();
+}
+
+void TangoDirectory::Restore(std::span<const uint8_t> state) {
+  ByteReader r(state);
+  std::lock_guard<std::mutex> lock(mu_);
+  names_.clear();
+  forgets_.clear();
+  next_oid_ = r.GetU32();
+  uint32_t count = r.GetU32();
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    std::string name = r.GetString();
+    ObjectId oid = r.GetU32();
+    corfu::LogOffset forget = r.GetU64();
+    names_.emplace(std::move(name), oid);
+    forgets_.emplace(oid, forget);
+  }
+}
+
+Result<ObjectId> TangoDirectory::Lookup(const std::string& name) {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(kDirectoryOid));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = names_.find(name);
+  if (it == names_.end()) {
+    return Status(StatusCode::kNotFound, "no such object name");
+  }
+  return it->second;
+}
+
+Result<ObjectId> TangoDirectory::Open(const std::string& name) {
+  Result<ObjectId> existing = Lookup(name);
+  if (existing.ok() || existing.status() != StatusCode::kNotFound) {
+    return existing;
+  }
+  ByteWriter w;
+  w.PutU8(kCreate);
+  w.PutString(name);
+  TANGO_RETURN_IF_ERROR(runtime_->UpdateHelper(kDirectoryOid, w.bytes()));
+  // Racing creates converge: the first create record in log order assigns
+  // the OID; re-reading after playback yields the winner.
+  return Lookup(name);
+}
+
+std::map<std::string, ObjectId> TangoDirectory::List() {
+  (void)runtime_->QueryHelper(kDirectoryOid);
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_;
+}
+
+Status TangoDirectory::Forget(ObjectId oid, corfu::LogOffset offset) {
+  ByteWriter w;
+  w.PutU8(kForget);
+  w.PutU32(oid);
+  w.PutU64(offset);
+  TANGO_RETURN_IF_ERROR(runtime_->UpdateHelper(kDirectoryOid, w.bytes()));
+  Result<corfu::LogOffset> horizon = TrimHorizon();
+  if (!horizon.ok()) {
+    return horizon.status();
+  }
+  if (*horizon > 0) {
+    // The trim also reclaims the directory's own early records; checkpoint
+    // ourselves first so fresh clients can still instantiate the directory.
+    Result<corfu::LogOffset> checkpoint =
+        runtime_->WriteCheckpoint(kDirectoryOid);
+    if (!checkpoint.ok()) {
+      return checkpoint.status();
+    }
+    return runtime_->log()->TrimPrefix(*horizon);
+  }
+  return Status::Ok();
+}
+
+Result<corfu::LogOffset> TangoDirectory::TrimHorizon() {
+  TANGO_RETURN_IF_ERROR(runtime_->QueryHelper(kDirectoryOid));
+  std::lock_guard<std::mutex> lock(mu_);
+  corfu::LogOffset horizon = corfu::kInvalidOffset;
+  for (const auto& [oid, forget] : forgets_) {
+    horizon = std::min(horizon, forget);
+  }
+  if (horizon == corfu::kInvalidOffset) {
+    horizon = 0;  // no named objects yet: nothing is trimmable
+  }
+  return horizon;
+}
+
+}  // namespace tango

@@ -1,0 +1,77 @@
+// TangoDirectory: the naming service mapping human-readable object names to
+// OIDs (§3.2, Naming).  The directory is itself a Tango object stored on a
+// hard-coded stream (kDirectoryOid), so every client converges on the same
+// name->OID assignment through ordinary playback.
+//
+// OID allocation is deterministic: a create record carries only the name;
+// each view assigns the next free OID in log order, so two clients racing to
+// create the same name agree on one OID, and races on different names agree
+// on disjoint OIDs.
+//
+// The directory also tracks per-object forget offsets for safe garbage
+// collection: the shared log may only be trimmed below the minimum forget
+// offset across all named objects, because a multiappended commit record is
+// reclaimed only when every involved object has forgotten it.
+
+#ifndef SRC_RUNTIME_DIRECTORY_H_
+#define SRC_RUNTIME_DIRECTORY_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/runtime/object.h"
+#include "src/runtime/record.h"
+#include "src/runtime/runtime.h"
+#include "src/util/status.h"
+
+namespace tango {
+
+class TangoDirectory : public TangoObject {
+ public:
+  // Registers itself on `runtime` under kDirectoryOid.
+  explicit TangoDirectory(TangoRuntime* runtime);
+  ~TangoDirectory() override;
+
+  TangoDirectory(const TangoDirectory&) = delete;
+  TangoDirectory& operator=(const TangoDirectory&) = delete;
+
+  // Returns the OID for `name`, creating the binding if absent.
+  Result<ObjectId> Open(const std::string& name);
+
+  // Returns the OID for `name` or kNotFound (linearizable).
+  Result<ObjectId> Lookup(const std::string& name);
+
+  // All current bindings (for inspection / tooling).
+  std::map<std::string, ObjectId> List();
+
+  // Records that `oid` will never be examined below `offset`, then trims the
+  // log below the minimum forget offset across all named objects.
+  Status Forget(ObjectId oid, corfu::LogOffset offset);
+
+  // The current trim horizon (minimum forget offset across named objects).
+  Result<corfu::LogOffset> TrimHorizon();
+
+  // --- TangoObject ---
+  void Apply(std::span<const uint8_t> update, corfu::LogOffset offset) override;
+  void Clear() override;
+  bool SupportsCheckpoint() const override { return true; }
+  std::vector<uint8_t> Checkpoint() const override;
+  void Restore(std::span<const uint8_t> state) override;
+
+ private:
+  enum Op : uint8_t { kCreate = 1, kForget = 2 };
+
+  TangoRuntime* runtime_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, ObjectId> names_;
+  std::unordered_map<ObjectId, corfu::LogOffset> forgets_;
+  ObjectId next_oid_ = kDirectoryOid + 1;
+};
+
+}  // namespace tango
+
+#endif  // SRC_RUNTIME_DIRECTORY_H_

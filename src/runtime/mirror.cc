@@ -1,0 +1,49 @@
+#include "src/runtime/mirror.h"
+
+#include <vector>
+
+#include "src/corfu/entry.h"
+
+namespace tango {
+
+Status LogMirror::SyncTo(corfu::LogOffset limit) {
+  if (limit == corfu::kInvalidOffset) {
+    Result<corfu::LogOffset> tail = source_->CheckTail();
+    if (!tail.ok()) {
+      return tail.status();
+    }
+    limit = *tail;
+  }
+  while (cursor_ < limit) {
+    Result<corfu::LogEntry> entry = source_->ReadRepair(cursor_);
+    if (!entry.ok()) {
+      if (entry.status() == StatusCode::kTrimmed) {
+        // Forgotten history: the mirror can only start from the trim
+        // horizon.  (Checkpoints above it carry the state.)
+        ++cursor_;
+        continue;
+      }
+      return entry.status();
+    }
+    if (entry->is_junk()) {
+      ++junk_skipped_;
+      ++cursor_;
+      continue;
+    }
+    std::vector<corfu::StreamId> streams;
+    streams.reserve(entry->headers.size());
+    for (const corfu::StreamHeader& header : entry->headers) {
+      streams.push_back(header.stream);
+    }
+    Result<corfu::LogOffset> appended =
+        destination_->AppendToStreams(entry->payload, streams);
+    if (!appended.ok()) {
+      return appended.status();
+    }
+    ++entries_copied_;
+    ++cursor_;
+  }
+  return Status::Ok();
+}
+
+}  // namespace tango

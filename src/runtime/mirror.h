@@ -1,0 +1,50 @@
+// Remote mirroring (§3.2): "application state can be asynchronously mirrored
+// to remote data centers by having a process at the remote site play the log
+// and copy its contents.  Since log order is maintained, the mirror is
+// guaranteed to represent a consistent, system-wide snapshot of the primary
+// at some point in the past."
+//
+// LogMirror copies the primary log's entries — data payloads with their
+// stream memberships — onto a destination log in order.  Junk entries are
+// skipped (they carry no state); every data entry, including commit and
+// decision records, is re-appended with the same stream set, so replaying
+// the mirror reproduces exactly the primary's object states and transaction
+// outcomes as of the mirrored prefix.
+
+#ifndef SRC_RUNTIME_MIRROR_H_
+#define SRC_RUNTIME_MIRROR_H_
+
+#include <cstdint>
+
+#include "src/corfu/log_client.h"
+#include "src/util/status.h"
+
+namespace tango {
+
+class LogMirror {
+ public:
+  // Mirrors from `source` to `destination`; both clients outlive the mirror.
+  LogMirror(corfu::CorfuClient* source, corfu::CorfuClient* destination)
+      : source_(source), destination_(destination) {}
+
+  // Copies all source entries in [cursor, limit) to the destination, in
+  // order.  Holes are repaired (filled) before copying; junk is skipped.
+  // Pass corfu::kInvalidOffset to mirror up to the current source tail.
+  Status SyncTo(corfu::LogOffset limit = corfu::kInvalidOffset);
+
+  // The next source offset to be mirrored (entries below are copied).
+  corfu::LogOffset cursor() const { return cursor_; }
+  uint64_t entries_copied() const { return entries_copied_; }
+  uint64_t junk_skipped() const { return junk_skipped_; }
+
+ private:
+  corfu::CorfuClient* source_;
+  corfu::CorfuClient* destination_;
+  corfu::LogOffset cursor_ = 0;
+  uint64_t entries_copied_ = 0;
+  uint64_t junk_skipped_ = 0;
+};
+
+}  // namespace tango
+
+#endif  // SRC_RUNTIME_MIRROR_H_

@@ -1,0 +1,59 @@
+// TangoObject: the interface every replicated data structure implements (§3.1).
+//
+// An object holds a view (its in-memory representation) and implements the
+// mandatory apply upcall.  The view must be modified *only* through Apply,
+// which the runtime invokes while playing the shared history forward; the
+// object's mutators call TangoRuntime::UpdateHelper and its accessors call
+// TangoRuntime::QueryHelper, never touching the view directly on the write
+// path.
+//
+// Thread safety contract: the runtime may invoke Apply from whichever
+// application thread happens to drive playback, concurrently with accessor
+// methods on other threads.  Objects therefore guard their view with an
+// internal lock (see src/objects/* for the pattern).
+
+#ifndef SRC_RUNTIME_OBJECT_H_
+#define SRC_RUNTIME_OBJECT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/corfu/types.h"
+
+namespace tango {
+
+class TangoObject {
+ public:
+  virtual ~TangoObject() = default;
+
+  // Applies one update record to the view.  `offset` is the log position of
+  // the entry carrying the update (for a transactional write, the commit
+  // record's position) — objects may store it instead of the value to act as
+  // an index over log-structured storage (§3.1, Durability).
+  virtual void Apply(std::span<const uint8_t> update,
+                     corfu::LogOffset offset) = 0;
+
+  // Resets the view to its initial (empty) state.  Used when rebuilding a
+  // view from history or restoring from a checkpoint.
+  virtual void Clear() = 0;
+
+  // Checkpoint support (§3.1, History).  Objects that opt in can have their
+  // history trimmed below the checkpoint via TangoRuntime::Forget.
+  virtual bool SupportsCheckpoint() const { return false; }
+  virtual std::vector<uint8_t> Checkpoint() const { return {}; }
+  virtual void Restore(std::span<const uint8_t> /*state*/) {}
+};
+
+// Per-object registration options.
+struct ObjectConfig {
+  // When true, transactions that *write* this object append a decision
+  // record after committing, because some client may host this object
+  // without hosting the transaction's read set (§4.1 C).  The paper has
+  // developers mark such objects explicitly; so do we.
+  bool needs_decision_records = false;
+};
+
+}  // namespace tango
+
+#endif  // SRC_RUNTIME_OBJECT_H_

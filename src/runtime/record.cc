@@ -1,0 +1,179 @@
+#include "src/runtime/record.h"
+
+namespace tango {
+
+namespace {
+
+void EncodeWriteOp(const WriteOp& w, ByteWriter& out) {
+  out.PutU32(w.oid);
+  out.PutU8(w.has_key ? 1 : 0);
+  out.PutU64(w.key);
+  out.PutBlob(w.data);
+}
+
+WriteOp DecodeWriteOp(ByteReader& r) {
+  WriteOp w;
+  w.oid = r.GetU32();
+  w.has_key = r.GetU8() != 0;
+  w.key = r.GetU64();
+  w.data = r.GetBlob();
+  return w;
+}
+
+void EncodeReadDep(const ReadDep& d, ByteWriter& out) {
+  out.PutU32(d.oid);
+  out.PutU8(d.has_key ? 1 : 0);
+  out.PutU64(d.key);
+  out.PutU64(d.version);
+}
+
+ReadDep DecodeReadDep(ByteReader& r) {
+  ReadDep d;
+  d.oid = r.GetU32();
+  d.has_key = r.GetU8() != 0;
+  d.key = r.GetU64();
+  d.version = r.GetU64();
+  return d;
+}
+
+void EncodeOne(const Record& record, ByteWriter& out) {
+  out.PutU8(static_cast<uint8_t>(record.type));
+  switch (record.type) {
+    case RecordType::kUpdate:
+      EncodeWriteOp(record.update.write, out);
+      break;
+    case RecordType::kCommit:
+      out.PutU64(record.commit.txid);
+      out.PutU32(static_cast<uint32_t>(record.commit.writes.size()));
+      for (const WriteOp& w : record.commit.writes) {
+        EncodeWriteOp(w, out);
+      }
+      out.PutU32(static_cast<uint32_t>(record.commit.reads.size()));
+      for (const ReadDep& d : record.commit.reads) {
+        EncodeReadDep(d, out);
+      }
+      break;
+    case RecordType::kDecision:
+      out.PutU64(record.decision.txid);
+      out.PutU8(record.decision.commit ? 1 : 0);
+      break;
+    case RecordType::kCheckpoint:
+      out.PutU32(record.checkpoint.oid);
+      out.PutU64(record.checkpoint.covered);
+      out.PutBlob(record.checkpoint.state);
+      break;
+  }
+}
+
+Result<Record> DecodeOne(ByteReader& r) {
+  Record record;
+  record.type = static_cast<RecordType>(r.GetU8());
+  switch (record.type) {
+    case RecordType::kUpdate:
+      record.update.write = DecodeWriteOp(r);
+      break;
+    case RecordType::kCommit: {
+      record.commit.txid = r.GetU64();
+      uint32_t nwrites = r.GetU32();
+      record.commit.writes.reserve(nwrites);
+      for (uint32_t i = 0; i < nwrites && r.ok(); ++i) {
+        record.commit.writes.push_back(DecodeWriteOp(r));
+      }
+      uint32_t nreads = r.GetU32();
+      record.commit.reads.reserve(nreads);
+      for (uint32_t i = 0; i < nreads && r.ok(); ++i) {
+        record.commit.reads.push_back(DecodeReadDep(r));
+      }
+      break;
+    }
+    case RecordType::kDecision:
+      record.decision.txid = r.GetU64();
+      record.decision.commit = r.GetU8() != 0;
+      break;
+    case RecordType::kCheckpoint:
+      record.checkpoint.oid = r.GetU32();
+      record.checkpoint.covered = r.GetU64();
+      record.checkpoint.state = r.GetBlob();
+      break;
+    default:
+      return Status(StatusCode::kInvalidArgument, "unknown record type");
+  }
+  if (!r.ok()) {
+    return Status(StatusCode::kInvalidArgument, "truncated record");
+  }
+  return record;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeRecords(std::span<const Record> records) {
+  ByteWriter w;
+  w.PutU16(static_cast<uint16_t>(records.size()));
+  for (const Record& record : records) {
+    EncodeOne(record, w);
+  }
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeRecord(const Record& record) {
+  return EncodeRecords(std::span<const Record>(&record, 1));
+}
+
+Result<std::vector<Record>> DecodeRecords(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  uint16_t count = r.GetU16();
+  std::vector<Record> records;
+  records.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    Result<Record> record = DecodeOne(r);
+    if (!record.ok()) {
+      return record.status();
+    }
+    records.push_back(std::move(record).value());
+  }
+  if (!r.ok()) {
+    return Status(StatusCode::kInvalidArgument, "truncated record batch");
+  }
+  return records;
+}
+
+Record MakeUpdateRecord(ObjectId oid, std::span<const uint8_t> data,
+                        std::optional<uint64_t> key) {
+  Record record;
+  record.type = RecordType::kUpdate;
+  record.update.write.oid = oid;
+  record.update.write.has_key = key.has_value();
+  record.update.write.key = key.value_or(0);
+  record.update.write.data.assign(data.begin(), data.end());
+  return record;
+}
+
+Record MakeCommitRecord(TxId txid, std::vector<WriteOp> writes,
+                        std::vector<ReadDep> reads) {
+  Record record;
+  record.type = RecordType::kCommit;
+  record.commit.txid = txid;
+  record.commit.writes = std::move(writes);
+  record.commit.reads = std::move(reads);
+  return record;
+}
+
+Record MakeDecisionRecord(TxId txid, bool commit) {
+  Record record;
+  record.type = RecordType::kDecision;
+  record.decision.txid = txid;
+  record.decision.commit = commit;
+  return record;
+}
+
+Record MakeCheckpointRecord(ObjectId oid, corfu::LogOffset covered,
+                            std::vector<uint8_t> state) {
+  Record record;
+  record.type = RecordType::kCheckpoint;
+  record.checkpoint.oid = oid;
+  record.checkpoint.covered = covered;
+  record.checkpoint.state = std::move(state);
+  return record;
+}
+
+}  // namespace tango

@@ -1,0 +1,112 @@
+// Runtime record formats (§3, §4).
+//
+// Every log entry appended by the Tango runtime carries a batch of records
+// (the paper batches up to 4 commit records per 4KB entry).  Record kinds:
+//
+//   kUpdate     — a mutation produced by update_helper outside a transaction.
+//   kCommit     — a speculative transaction commit record: the buffered write
+//                 set (with payloads inline) plus the read set with the
+//                 versions observed at read time.
+//   kDecision   — the commit/abort outcome of an earlier commit record,
+//                 appended by the generating client (or, after a timeout, by
+//                 any client hosting the read set) so that clients lacking
+//                 the read set can learn the outcome (§4.1, Figure 6).
+//   kCheckpoint — a serialized object snapshot plus the stream position it
+//                 covers, enabling forget/trim and fast view instantiation.
+//
+// Versions are log offsets: an object's (or key's) version is the offset of
+// the last entry that modified it, exactly as the paper defines.
+
+#ifndef SRC_RUNTIME_RECORD_H_
+#define SRC_RUNTIME_RECORD_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/corfu/types.h"
+#include "src/util/serialize.h"
+#include "src/util/status.h"
+
+namespace tango {
+
+// An object id doubles as the id of the stream the object lives on.
+using ObjectId = corfu::StreamId;
+inline constexpr ObjectId kDirectoryOid = 0;
+
+// Transaction id: unique per (runtime instance, transaction).
+using TxId = uint64_t;
+
+enum class RecordType : uint8_t {
+  kUpdate = 1,
+  kCommit = 2,
+  kDecision = 3,
+  kCheckpoint = 4,
+};
+
+// A single write: target object, optional fine-grained key, opaque payload.
+struct WriteOp {
+  ObjectId oid = 0;
+  bool has_key = false;
+  uint64_t key = 0;
+  std::vector<uint8_t> data;
+};
+
+// A read-set element: what was read and the version observed.
+struct ReadDep {
+  ObjectId oid = 0;
+  bool has_key = false;
+  uint64_t key = 0;
+  corfu::LogOffset version = corfu::kInvalidOffset;
+};
+
+struct UpdateRecord {
+  WriteOp write;
+};
+
+struct CommitRecord {
+  TxId txid = 0;
+  std::vector<WriteOp> writes;
+  std::vector<ReadDep> reads;
+};
+
+struct DecisionRecord {
+  TxId txid = 0;
+  bool commit = false;
+};
+
+struct CheckpointRecord {
+  ObjectId oid = 0;
+  // The checkpoint reflects every entry of the object's stream at offsets
+  // <= covered; replay resumes strictly after it.
+  corfu::LogOffset covered = corfu::kInvalidOffset;
+  std::vector<uint8_t> state;
+};
+
+struct Record {
+  RecordType type = RecordType::kUpdate;
+  UpdateRecord update;
+  CommitRecord commit;
+  DecisionRecord decision;
+  CheckpointRecord checkpoint;
+};
+
+// Encodes a batch of records into one entry payload.
+std::vector<uint8_t> EncodeRecords(std::span<const Record> records);
+Result<std::vector<Record>> DecodeRecords(std::span<const uint8_t> payload);
+
+// Convenience single-record wrappers.
+std::vector<uint8_t> EncodeRecord(const Record& record);
+
+Record MakeUpdateRecord(ObjectId oid, std::span<const uint8_t> data,
+                        std::optional<uint64_t> key);
+Record MakeCommitRecord(TxId txid, std::vector<WriteOp> writes,
+                        std::vector<ReadDep> reads);
+Record MakeDecisionRecord(TxId txid, bool commit);
+Record MakeCheckpointRecord(ObjectId oid, corfu::LogOffset covered,
+                            std::vector<uint8_t> state);
+
+}  // namespace tango
+
+#endif  // SRC_RUNTIME_RECORD_H_

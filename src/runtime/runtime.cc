@@ -1,0 +1,758 @@
+#include "src/runtime/runtime.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/threading.h"
+
+namespace tango {
+
+using corfu::kInvalidOffset;
+using corfu::LogOffset;
+using corfu::StreamId;
+
+namespace {
+
+std::atomic<uint32_t> g_next_client_id{1};
+
+// Runtime-level checkpoint envelope: the object snapshot plus the version
+// bookkeeping needed for conflict detection after a restore.
+std::vector<uint8_t> WrapCheckpoint(
+    LogOffset version, LogOffset unkeyed_version,
+    const std::unordered_map<uint64_t, LogOffset>& key_versions,
+    std::vector<uint8_t> object_state) {
+  ByteWriter w(64 + object_state.size());
+  w.PutU64(version);
+  w.PutU64(unkeyed_version);
+  w.PutU32(static_cast<uint32_t>(key_versions.size()));
+  for (const auto& [key, ver] : key_versions) {
+    w.PutU64(key);
+    w.PutU64(ver);
+  }
+  w.PutBlob(object_state);
+  return w.Take();
+}
+
+}  // namespace
+
+TangoRuntime::TangoRuntime(corfu::CorfuClient* log, Options options)
+    : log_(log),
+      options_(options),
+      client_id_(g_next_client_id.fetch_add(1)),
+      store_(log) {
+  if (options_.enable_batching) {
+    batcher_ = std::make_unique<Batcher>(log_, options_.batch);
+  }
+}
+
+TangoRuntime::~TangoRuntime() = default;
+
+TangoRuntime::TxContext& TangoRuntime::Tls() const {
+  // Keyed by the runtime's unique client id, not its address: a recycled
+  // heap address must not inherit another (dead) runtime's context.
+  static thread_local std::unordered_map<uint32_t, TxContext> tls;
+  return tls[client_id_];
+}
+
+TxId TangoRuntime::NextTxId() {
+  return (static_cast<uint64_t>(client_id_) << 32) |
+         tx_seq_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// --- registration ------------------------------------------------------------
+
+Status TangoRuntime::RegisterObject(ObjectId oid, TangoObject* object,
+                                    ObjectConfig config) {
+  if (object == nullptr) {
+    return Status(StatusCode::kInvalidArgument, "null object");
+  }
+  if (oid >= corfu::kSequencerStateStream) {
+    return Status(StatusCode::kInvalidArgument, "reserved stream id");
+  }
+  std::lock_guard<std::mutex> lock(playback_mu_);
+  if (objects_.contains(oid)) {
+    return Status(StatusCode::kAlreadyExists, "oid already registered");
+  }
+  ObjectState state;
+  state.object = object;
+  state.config = config;
+  objects_.emplace(oid, std::move(state));
+  store_.Open(oid);
+  return Status::Ok();
+}
+
+Status TangoRuntime::UnregisterObject(ObjectId oid) {
+  std::lock_guard<std::mutex> lock(playback_mu_);
+  if (objects_.erase(oid) == 0) {
+    return Status(StatusCode::kNotFound, "oid not registered");
+  }
+  return Status::Ok();
+}
+
+bool TangoRuntime::Hosts(ObjectId oid) const {
+  std::lock_guard<std::mutex> lock(playback_mu_);
+  return objects_.contains(oid);
+}
+
+// --- version bookkeeping ------------------------------------------------------
+
+void TangoRuntime::BumpVersion(ObjectState& state, LogOffset offset,
+                               bool has_key, uint64_t key) {
+  state.version = offset;
+  if (has_key) {
+    state.key_versions[key] = offset;
+  } else {
+    state.unkeyed_version = offset;
+  }
+}
+
+LogOffset TangoRuntime::CurrentVersion(const ObjectState& state, bool has_key,
+                                       uint64_t key) const {
+  if (!has_key) {
+    return state.version;
+  }
+  // A keyed read conflicts with writes to the same key *and* with keyless
+  // writes (which may have touched anything).
+  LogOffset v = state.unkeyed_version;
+  auto it = state.key_versions.find(key);
+  if (it != state.key_versions.end() &&
+      (v == kInvalidOffset || it->second > v)) {
+    v = it->second;
+  }
+  return v;
+}
+
+LogOffset TangoRuntime::SnapshotVersionLocked(
+    ObjectId oid, std::optional<uint64_t> key) const {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) {
+    return kInvalidOffset;
+  }
+  return CurrentVersion(it->second, key.has_value(), key.value_or(0));
+}
+
+corfu::LogOffset TangoRuntime::VersionOf(ObjectId oid,
+                                         std::optional<uint64_t> key) const {
+  std::lock_guard<std::mutex> lock(playback_mu_);
+  return SnapshotVersionLocked(oid, key);
+}
+
+// --- playback ----------------------------------------------------------------
+
+Status TangoRuntime::PlayUntil(LogOffset limit) {
+  std::vector<StreamId> streams;
+  streams.reserve(objects_.size());
+  for (const auto& [oid, state] : objects_) {
+    streams.push_back(oid);
+  }
+  if (streams.empty()) {
+    return Status::Ok();
+  }
+  Result<LogOffset> synced = store_.SyncAll(streams);
+  if (!synced.ok()) {
+    return synced.status();
+  }
+
+  std::vector<ObjectId> fresh;
+  while (true) {
+    LogOffset best = kInvalidOffset;
+    for (StreamId s : streams) {
+      LogOffset next = store_.NextOffset(s);
+      if (next != kInvalidOffset && (best == kInvalidOffset || next < best)) {
+        best = next;
+      }
+    }
+    if (best == kInvalidOffset || best >= limit) {
+      break;
+    }
+
+    Result<std::shared_ptr<const corfu::LogEntry>> entry =
+        store_.FetchEntry(best);
+
+    // Step every co-located stream through this position in lockstep, so a
+    // multiappended record is observed exactly once.
+    fresh.clear();
+    for (StreamId s : streams) {
+      if (store_.NextOffset(s) == best) {
+        store_.AdvanceCursor(s);
+        objects_[s].last_consumed = best;
+        fresh.push_back(s);
+      }
+    }
+    ++stats_.entries_played;
+
+    if (!entry.ok()) {
+      if (entry.status() == StatusCode::kTrimmed) {
+        continue;  // forgotten history
+      }
+      return entry.status();
+    }
+    if ((*entry)->is_junk()) {
+      continue;
+    }
+    Result<std::vector<Record>> records = DecodeRecords((*entry)->payload);
+    if (!records.ok()) {
+      return records.status();
+    }
+    for (const Record& record : *records) {
+      TANGO_RETURN_IF_ERROR(ProcessRecord(best, record, fresh));
+    }
+  }
+  CheckDecisionDeadlines();
+  return Status::Ok();
+}
+
+Status TangoRuntime::ProcessRecord(LogOffset offset, const Record& record,
+                                   const std::vector<ObjectId>& fresh) {
+  // While a commit record awaits its decision, every other record queues
+  // behind it so applies stay in strict log order (§4.1).
+  if (barrier_tx_.has_value() && record.type != RecordType::kDecision) {
+    stalled_.push_back(StalledRecord{offset, record, fresh});
+    return Status::Ok();
+  }
+
+  auto is_fresh = [&fresh](ObjectId oid) {
+    return std::find(fresh.begin(), fresh.end(), oid) != fresh.end();
+  };
+
+  switch (record.type) {
+    case RecordType::kUpdate: {
+      const WriteOp& w = record.update.write;
+      auto it = objects_.find(w.oid);
+      if (it != objects_.end() && is_fresh(w.oid)) {
+        BumpVersion(it->second, offset, w.has_key, w.key);
+        it->second.object->Apply(w.data, offset);
+        ++stats_.updates_applied;
+      }
+      return Status::Ok();
+    }
+    case RecordType::kCommit:
+      return ApplyCommit(offset, record.commit, fresh);
+    case RecordType::kDecision: {
+      TxId txid = record.decision.txid;
+      decided_.emplace(txid, record.decision.commit);
+      awaited_decisions_.erase(txid);
+      if (barrier_tx_.has_value() && *barrier_tx_ == txid) {
+        bool commit = record.decision.commit;
+        if (commit) {
+          ApplyWrites(barrier_offset_, barrier_commit_.writes, barrier_fresh_);
+          ++stats_.commits;
+        } else {
+          ++stats_.aborts;
+        }
+        barrier_tx_.reset();
+        // Drain the stalled pipeline; a queued commit may re-arm the barrier,
+        // in which case the loop stops and the rest stays queued.
+        while (!stalled_.empty() && !barrier_tx_.has_value()) {
+          StalledRecord next = std::move(stalled_.front());
+          stalled_.pop_front();
+          TANGO_RETURN_IF_ERROR(
+              ProcessRecord(next.offset, next.record, next.fresh));
+        }
+      }
+      return Status::Ok();
+    }
+    case RecordType::kCheckpoint:
+      // Redundant during live playback; consumed by LoadObject.
+      return Status::Ok();
+  }
+  return Status(StatusCode::kInternal, "unknown record type");
+}
+
+bool TangoRuntime::CanEvaluate(const CommitRecord& commit) const {
+  for (const ReadDep& dep : commit.reads) {
+    if (!objects_.contains(dep.oid)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TangoRuntime::ValidateReads(const std::vector<ReadDep>& reads) const {
+  for (const ReadDep& dep : reads) {
+    auto it = objects_.find(dep.oid);
+    if (it == objects_.end()) {
+      return false;  // cannot vouch for an unhosted read
+    }
+    if (CurrentVersion(it->second, dep.has_key, dep.key) != dep.version) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void TangoRuntime::ApplyWrites(LogOffset offset,
+                               const std::vector<WriteOp>& writes,
+                               const std::vector<ObjectId>& fresh) {
+  for (const WriteOp& w : writes) {
+    auto it = objects_.find(w.oid);
+    if (it == objects_.end() ||
+        std::find(fresh.begin(), fresh.end(), w.oid) == fresh.end()) {
+      continue;  // remote object, or this stream already played past here
+    }
+    BumpVersion(it->second, offset, w.has_key, w.key);
+    it->second.object->Apply(w.data, offset);
+    ++stats_.updates_applied;
+  }
+}
+
+Status TangoRuntime::ApplyCommit(LogOffset offset, const CommitRecord& commit,
+                                 const std::vector<ObjectId>& fresh) {
+  auto decided = decided_.find(commit.txid);
+  bool known = decided != decided_.end();
+  bool outcome = known && decided->second;
+
+  if (!known) {
+    if (!CanEvaluate(commit)) {
+      // Some read-set object is not hosted here: stall until the decision
+      // record arrives (Figure 6, App2).
+      barrier_tx_ = commit.txid;
+      barrier_offset_ = offset;
+      barrier_commit_ = commit;
+      barrier_fresh_ = fresh;
+      barrier_since_us_ = NowMicros();
+      ++stats_.decision_stalls;
+      return Status::Ok();
+    }
+    outcome = ValidateReads(commit.reads);
+    decided_.emplace(commit.txid, outcome);
+
+    // If some other client might host a written object without hosting the
+    // read set, it is waiting on a decision record.  The generator appends
+    // it synchronously in EndTx; as a fallback, we (a read-set host) append
+    // it after a timeout in case the generator crashed.
+    bool is_ours = (commit.txid >> 32) == client_id_;
+    if (!is_ours) {
+      bool needs_decision = false;
+      std::vector<StreamId> streams;
+      for (const WriteOp& w : commit.writes) {
+        auto it = objects_.find(w.oid);
+        if (it == objects_.end() || it->second.config.needs_decision_records) {
+          needs_decision = true;
+        }
+        if (std::find(streams.begin(), streams.end(), w.oid) ==
+            streams.end()) {
+          streams.push_back(w.oid);
+        }
+      }
+      if (needs_decision) {
+        AwaitedDecision awaited;
+        awaited.commit = outcome;
+        awaited.streams = std::move(streams);
+        awaited.deadline_us =
+            NowMicros() +
+            static_cast<uint64_t>(options_.decision_timeout_ms) * 1000;
+        awaited_decisions_.emplace(commit.txid, std::move(awaited));
+      }
+    }
+  }
+
+  if (outcome) {
+    ApplyWrites(offset, commit.writes, fresh);
+    ++stats_.commits;
+  } else {
+    ++stats_.aborts;
+  }
+  return Status::Ok();
+}
+
+void TangoRuntime::CheckDecisionDeadlines() {
+  if (awaited_decisions_.empty()) {
+    return;
+  }
+  uint64_t now = NowMicros();
+  for (auto it = awaited_decisions_.begin(); it != awaited_decisions_.end();) {
+    if (now >= it->second.deadline_us) {
+      // The generator appears to have crashed before publishing its
+      // decision; we host the read set, so we publish it (§4.1, Failure
+      // Handling).
+      Status st = AppendDecision(it->first, it->second.commit,
+                                 it->second.streams);
+      if (st.ok()) {
+        ++stats_.decisions_appended;
+      }
+      it = awaited_decisions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<LogOffset> TangoRuntime::AppendRecord(Record record,
+                                             std::vector<StreamId> streams) {
+  if (batcher_ != nullptr) {
+    return batcher_->Append(std::move(record), std::move(streams));
+  }
+  std::vector<uint8_t> payload = EncodeRecord(record);
+  return log_->AppendToStreams(payload, streams);
+}
+
+Status TangoRuntime::AppendDecision(TxId txid, bool commit,
+                                    const std::vector<StreamId>& streams) {
+  Result<LogOffset> offset =
+      AppendRecord(MakeDecisionRecord(txid, commit), streams);
+  return offset.status();
+}
+
+// --- helpers -------------------------------------------------------------------
+
+Status TangoRuntime::UpdateHelper(ObjectId oid, std::span<const uint8_t> data,
+                                  std::optional<uint64_t> key) {
+  TxContext& ctx = Tls();
+  if (ctx.active) {
+    WriteOp w;
+    w.oid = oid;
+    w.has_key = key.has_value();
+    w.key = key.value_or(0);
+    w.data.assign(data.begin(), data.end());
+    ctx.writes.push_back(std::move(w));
+    return Status::Ok();
+  }
+  Result<LogOffset> offset = AppendRecord(MakeUpdateRecord(oid, data, key),
+                                          {oid});
+  return offset.status();
+}
+
+Status TangoRuntime::QueryHelper(ObjectId oid, std::optional<uint64_t> key) {
+  TxContext& ctx = Tls();
+  if (ctx.active) {
+    std::lock_guard<std::mutex> lock(playback_mu_);
+    if (!objects_.contains(oid)) {
+      // §4.1 D: transactions cannot read objects without a local view.
+      return Status(StatusCode::kInvalidArgument,
+                    "transactional read of unhosted object");
+    }
+    ReadDep dep;
+    dep.oid = oid;
+    dep.has_key = key.has_value();
+    dep.key = key.value_or(0);
+    dep.version = SnapshotVersionLocked(oid, key);
+    for (const ReadDep& existing : ctx.reads) {
+      if (existing.oid == dep.oid && existing.has_key == dep.has_key &&
+          existing.key == dep.key) {
+        return Status::Ok();  // first-read version already recorded
+      }
+    }
+    ctx.reads.push_back(dep);
+    return Status::Ok();
+  }
+
+  // Linearizable accessor: place a marker at the current tail and play all
+  // hosted streams up to it (§3.1, Consistency).
+  Result<LogOffset> tail = log_->CheckTail();
+  if (!tail.ok()) {
+    return tail.status();
+  }
+  std::lock_guard<std::mutex> lock(playback_mu_);
+  return PlayUntil(*tail);
+}
+
+Status TangoRuntime::SyncTo(LogOffset limit) {
+  std::lock_guard<std::mutex> lock(playback_mu_);
+  return PlayUntil(limit);
+}
+
+// --- transactions ----------------------------------------------------------------
+
+Status TangoRuntime::BeginTx() {
+  TxContext& ctx = Tls();
+  if (ctx.active) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "nested transactions are not supported");
+  }
+  ctx.active = true;
+  ctx.writes.clear();
+  ctx.reads.clear();
+  return Status::Ok();
+}
+
+void TangoRuntime::AbortTx() {
+  TxContext& ctx = Tls();
+  ctx.active = false;
+  ctx.writes.clear();
+  ctx.reads.clear();
+}
+
+bool TangoRuntime::InTx() const { return Tls().active; }
+
+Status TangoRuntime::EndTx() {
+  TxContext& ctx = Tls();
+  if (!ctx.active) {
+    return Status(StatusCode::kFailedPrecondition, "no active transaction");
+  }
+  std::vector<WriteOp> writes = std::move(ctx.writes);
+  std::vector<ReadDep> reads = std::move(ctx.reads);
+  AbortTx();  // clear the context whatever happens below
+
+  if (writes.empty() && reads.empty()) {
+    return Status::Ok();
+  }
+
+  if (writes.empty()) {
+    // Read-only transaction: no commit record; check the tail (one round
+    // trip to the sequencer), play forward, validate locally (§3.2).
+    Result<LogOffset> tail = log_->CheckTail();
+    if (!tail.ok()) {
+      return tail.status();
+    }
+    std::lock_guard<std::mutex> lock(playback_mu_);
+    TANGO_RETURN_IF_ERROR(PlayUntil(*tail));
+    return ValidateReads(reads)
+               ? Status::Ok()
+               : Status(StatusCode::kAborted, "read-only validation failed");
+  }
+
+  TxId txid = NextTxId();
+  std::vector<StreamId> streams;
+  for (const WriteOp& w : writes) {
+    if (std::find(streams.begin(), streams.end(), w.oid) == streams.end()) {
+      streams.push_back(w.oid);
+    }
+  }
+
+  // Does any client potentially host a written object without the read set?
+  // Hosted objects say so via their config; writes to objects we do not host
+  // are conservatively assumed to need a decision record.
+  bool needs_decision = false;
+  bool in_hosted_stream = false;
+  {
+    std::lock_guard<std::mutex> lock(playback_mu_);
+    for (StreamId oid : streams) {
+      auto it = objects_.find(oid);
+      if (it == objects_.end() || it->second.config.needs_decision_records) {
+        needs_decision = true;
+      }
+      if (it != objects_.end()) {
+        in_hosted_stream = true;
+      }
+    }
+    if (!reads.empty()) {
+      for (const ReadDep& dep : reads) {
+        if (!objects_.contains(dep.oid)) {
+          return Status(StatusCode::kInvalidArgument,
+                        "transactional read of unhosted object");
+        }
+      }
+    }
+  }
+
+  Record commit_record = MakeCommitRecord(txid, std::move(writes), reads);
+  Result<LogOffset> position = AppendRecord(commit_record, streams);
+  if (!position.ok()) {
+    return position.status();
+  }
+
+  bool committed;
+  if (reads.empty()) {
+    // Write-only transaction: commits unconditionally; no playback needed
+    // before returning to the caller (§3.2).
+    committed = true;
+  } else {
+    // Play forward to the commit position.  Outcomes:
+    //   * our commit was processed via a hosted stream: use its decision;
+    //   * the pipeline drained past our position without meeting it (pure
+    //     remote-write): every hosted view sits exactly at the commit
+    //     position, so validate the read set directly;
+    //   * the pipeline is stalled behind an *earlier* undecided commit:
+    //     queue our commit in order if no hosted stream carries it, then
+    //     keep playing to the advancing tail so the blocking decision
+    //     record (which lands *after* our position) gets processed.  The
+    //     chain always unwinds — the earliest undecided commit's generator
+    //     hosts its own read set and never stalls on itself.
+    uint64_t deadline_us =
+        NowMicros() + 2000ull * options_.decision_timeout_ms;
+    LogOffset play_limit = *position + 1;
+    bool inserted_manually = false;
+    while (true) {
+      std::unique_lock<std::mutex> lock(playback_mu_);
+      TANGO_RETURN_IF_ERROR(PlayUntil(play_limit));
+      auto it = decided_.find(txid);
+      if (it != decided_.end()) {
+        committed = it->second;
+        break;
+      }
+      if (!in_hosted_stream && !inserted_manually) {
+        if (!barrier_tx_.has_value() || barrier_offset_ > *position) {
+          committed = ValidateReads(reads);
+          decided_.emplace(txid, committed);
+          break;
+        }
+        // Stalled below our position and no stream will deliver our commit
+        // to this pipeline: inject it at its log position so it validates
+        // in order once the barrier clears.
+        TANGO_RETURN_IF_ERROR(ProcessRecord(*position, commit_record, {}));
+        inserted_manually = true;
+        continue;  // the injection may already have resolved
+      }
+      lock.unlock();
+      if (NowMicros() > deadline_us) {
+        return Status(StatusCode::kTimeout,
+                      "commit blocked behind an undecided transaction");
+      }
+      // The blocking decision record is usually one append behind; poll
+      // tightly so the pipeline restarts as soon as it lands.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      Result<LogOffset> tail = log_->CheckTail();
+      if (tail.ok() && *tail > play_limit) {
+        play_limit = *tail;
+      }
+    }
+  }
+
+  if (needs_decision && !reads.empty()) {
+    TANGO_RETURN_IF_ERROR(AppendDecision(txid, committed, streams));
+  }
+  return committed ? Status::Ok()
+                   : Status(StatusCode::kAborted, "read-set conflict");
+}
+
+Status TangoRuntime::EndTxStale() {
+  TxContext& ctx = Tls();
+  if (!ctx.active) {
+    return Status(StatusCode::kFailedPrecondition, "no active transaction");
+  }
+  if (!ctx.writes.empty()) {
+    AbortTx();
+    return Status(StatusCode::kInvalidArgument,
+                  "stale-snapshot commit is read-only");
+  }
+  std::vector<ReadDep> reads = std::move(ctx.reads);
+  AbortTx();
+  std::lock_guard<std::mutex> lock(playback_mu_);
+  return ValidateReads(reads)
+             ? Status::Ok()
+             : Status(StatusCode::kAborted, "stale snapshot conflicted");
+}
+
+// --- checkpoints & GC ---------------------------------------------------------------
+
+Result<LogOffset> TangoRuntime::WriteCheckpoint(ObjectId oid) {
+  Result<LogOffset> tail = log_->CheckTail();
+  if (!tail.ok()) {
+    return tail.status();
+  }
+  std::vector<uint8_t> wrapped;
+  LogOffset covered;
+  {
+    std::lock_guard<std::mutex> lock(playback_mu_);
+    auto it = objects_.find(oid);
+    if (it == objects_.end()) {
+      return Status(StatusCode::kNotFound, "oid not registered");
+    }
+    if (!it->second.object->SupportsCheckpoint()) {
+      return Status(StatusCode::kInvalidArgument,
+                    "object does not support checkpoints");
+    }
+    TANGO_RETURN_IF_ERROR(PlayUntil(*tail));
+    covered = it->second.last_consumed;
+    wrapped = WrapCheckpoint(it->second.version, it->second.unkeyed_version,
+                             it->second.key_versions,
+                             it->second.object->Checkpoint());
+  }
+  std::vector<uint8_t> payload =
+      EncodeRecord(MakeCheckpointRecord(oid, covered, std::move(wrapped)));
+  return log_->AppendToStreams(payload, {oid});
+}
+
+Status TangoRuntime::LoadObject(ObjectId oid) {
+  std::lock_guard<std::mutex> lock(playback_mu_);
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) {
+    return Status(StatusCode::kNotFound, "oid not registered");
+  }
+  Result<LogOffset> synced = store_.Sync(oid);
+  if (!synced.ok()) {
+    return synced.status();
+  }
+  const std::vector<LogOffset>& offsets = store_.KnownOffsets(oid);
+
+  // Search newest-first for the latest checkpoint record.
+  bool history_trimmed = false;
+  for (auto rit = offsets.rbegin(); rit != offsets.rend(); ++rit) {
+    Result<std::shared_ptr<const corfu::LogEntry>> entry =
+        store_.FetchEntry(*rit);
+    if (!entry.ok()) {
+      if (entry.status() == StatusCode::kTrimmed) {
+        history_trimmed = true;
+        break;  // nothing older survives
+      }
+      return entry.status();
+    }
+    if ((*entry)->is_junk()) {
+      continue;
+    }
+    Result<std::vector<Record>> records = DecodeRecords((*entry)->payload);
+    if (!records.ok()) {
+      return records.status();
+    }
+    for (const Record& record : *records) {
+      if (record.type != RecordType::kCheckpoint ||
+          record.checkpoint.oid != oid) {
+        continue;
+      }
+      // Restore the envelope: versions first, then the object snapshot.
+      ByteReader r(record.checkpoint.state);
+      ObjectState& state = it->second;
+      state.version = r.GetU64();
+      state.unkeyed_version = r.GetU64();
+      uint32_t nkeys = r.GetU32();
+      state.key_versions.clear();
+      for (uint32_t i = 0; i < nkeys; ++i) {
+        uint64_t key = r.GetU64();
+        state.key_versions[key] = r.GetU64();
+      }
+      std::vector<uint8_t> snapshot = r.GetBlob();
+      if (!r.ok()) {
+        return Status(StatusCode::kInternal, "malformed checkpoint envelope");
+      }
+      state.object->Clear();
+      state.object->Restore(snapshot);
+      state.last_consumed = *rit;
+      if (record.checkpoint.covered == kInvalidOffset) {
+        store_.ResetCursor(oid);
+      } else {
+        store_.SeekCursorAfter(oid, record.checkpoint.covered);
+      }
+      return Status::Ok();
+    }
+  }
+
+  if (history_trimmed) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "stream history trimmed and no checkpoint found");
+  }
+  // No checkpoint: rebuild by full replay.
+  ObjectState& state = it->second;
+  state.object->Clear();
+  state.version = kInvalidOffset;
+  state.unkeyed_version = kInvalidOffset;
+  state.key_versions.clear();
+  state.last_consumed = kInvalidOffset;
+  store_.ResetCursor(oid);
+  return Status::Ok();
+}
+
+Status TangoRuntime::Forget(ObjectId oid, LogOffset offset) {
+  std::lock_guard<std::mutex> lock(playback_mu_);
+  if (!objects_.contains(oid)) {
+    return Status(StatusCode::kNotFound, "oid not registered");
+  }
+  forget_offsets_[oid] = offset;
+  LogOffset min_forget = kInvalidOffset;
+  for (const auto& [id, state] : objects_) {
+    auto it = forget_offsets_.find(id);
+    LogOffset f = it == forget_offsets_.end() ? 0 : it->second;
+    min_forget = std::min(min_forget, f);
+  }
+  if (min_forget == 0 || min_forget == kInvalidOffset) {
+    return Status::Ok();
+  }
+  return log_->TrimPrefix(min_forget);
+}
+
+TangoRuntime::Stats TangoRuntime::stats() const {
+  std::lock_guard<std::mutex> lock(playback_mu_);
+  return stats_;
+}
+
+}  // namespace tango

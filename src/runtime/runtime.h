@@ -1,0 +1,243 @@
+// TangoRuntime: the client-side runtime that turns a shared log into
+// replicated in-memory data structures (§3) with cross-object transactions
+// (§4) over layered partitions.
+//
+// Each registered object is bound to a stream (its ObjectId doubles as the
+// StreamId).  The runtime plays all hosted streams in a single global-offset
+// order, so a multiappended commit record is observed exactly once with
+// every involved local view synced to the same position — this is what makes
+// the deterministic commit/abort evaluation identical on every client.
+//
+// Concurrency model: any number of application threads may call the helpers
+// concurrently.  Appends go straight to the log (CorfuClient is thread
+// safe); playback and the version tables are guarded by one playback mutex.
+// Transaction contexts live in thread-local storage, as in the paper.
+//
+// Decision records (§4.1): a commit record whose read set includes objects
+// not hosted locally cannot be evaluated; the runtime stalls its apply
+// pipeline (scanning continues) until the generating client's decision
+// record arrives.  Clients that *can* evaluate such a transaction append the
+// decision record themselves after a timeout if the generator crashed.
+
+#ifndef SRC_RUNTIME_RUNTIME_H_
+#define SRC_RUNTIME_RUNTIME_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/corfu/log_client.h"
+#include "src/corfu/stream.h"
+#include "src/runtime/batcher.h"
+#include "src/runtime/object.h"
+#include "src/runtime/record.h"
+#include "src/util/status.h"
+
+namespace tango {
+
+class TangoRuntime {
+ public:
+  struct Options {
+    // After this long without a decision record for a pending transaction,
+    // a client hosting the read set appends the decision itself.
+    uint32_t decision_timeout_ms = 1000;
+    // Group commit (§6): batch up to batch.max_records records per log
+    // entry, as in the paper's evaluation setup ("a batch of 4 commit
+    // records in each log entry").  Off by default: batching trades append
+    // latency for bandwidth.
+    bool enable_batching = false;
+    Batcher::Options batch;
+  };
+
+  struct Stats {
+    uint64_t commits = 0;
+    uint64_t aborts = 0;
+    uint64_t updates_applied = 0;
+    uint64_t entries_played = 0;
+    uint64_t decisions_appended = 0;
+    uint64_t decision_stalls = 0;
+  };
+
+  explicit TangoRuntime(corfu::CorfuClient* log)
+      : TangoRuntime(log, Options{}) {}
+  TangoRuntime(corfu::CorfuClient* log, Options options);
+  ~TangoRuntime();
+
+  TangoRuntime(const TangoRuntime&) = delete;
+  TangoRuntime& operator=(const TangoRuntime&) = delete;
+
+  // --- Object registration ------------------------------------------------
+
+  // Binds `object` (owned by the caller, outliving the runtime) to `oid`.
+  // The runtime starts hosting the object's view; call QueryHelper (or any
+  // accessor) to bring it up to date.
+  Status RegisterObject(ObjectId oid, TangoObject* object,
+                        ObjectConfig config = ObjectConfig{});
+  Status UnregisterObject(ObjectId oid);
+  bool Hosts(ObjectId oid) const;
+
+  // Rebuilds the view of a registered object from the log, restoring from
+  // the latest checkpoint if the stream's history has been trimmed (or just
+  // to skip replay).  Without a checkpoint this is equivalent to playback
+  // from the beginning.
+  Status LoadObject(ObjectId oid);
+
+  // --- The object-facing helpers (§3.1) ------------------------------------
+
+  // Outside a transaction: appends an update record to the object's stream
+  // and returns immediately.  Inside a transaction: buffers the write.
+  // `key` opts into fine-grained versioning for large objects (§3.2).
+  Status UpdateHelper(ObjectId oid, std::span<const uint8_t> data,
+                      std::optional<uint64_t> key = std::nullopt);
+
+  // Outside a transaction: plays all hosted streams forward to the current
+  // log tail (the linearizable read barrier).  Inside a transaction: records
+  // (oid, key, observed version) in the read set without playing.
+  Status QueryHelper(ObjectId oid, std::optional<uint64_t> key = std::nullopt);
+
+  // Plays hosted streams forward only up to `limit` (exclusive).  With a
+  // freshly registered object this instantiates a historical view (§3.1,
+  // History: time travel / coordinated rollback).
+  Status SyncTo(corfu::LogOffset limit);
+
+  // --- Transactions (§3.2, §4) ---------------------------------------------
+
+  // Starts a transaction in this thread's context.  Nesting is not
+  // supported.
+  Status BeginTx();
+
+  // Commits: returns OK on commit, kAborted on a read-set conflict.
+  // Read-only transactions skip the commit record (tail check + local
+  // validation); write-only transactions commit immediately after append.
+  Status EndTx();
+
+  // Read-only commit against the local (possibly stale) snapshot: validates
+  // without any log interaction (§3.2, Read-only transactions).
+  Status EndTxStale();
+
+  // Discards the transaction context without touching the log.
+  void AbortTx();
+
+  bool InTx() const;
+
+  // --- Checkpoints and garbage collection (§3.1) ----------------------------
+
+  // Syncs the object, serializes its state (plus the runtime's version
+  // bookkeeping) and appends a checkpoint record to its stream.  Returns the
+  // checkpoint's log offset.
+  Result<corfu::LogOffset> WriteCheckpoint(ObjectId oid);
+
+  // Declares that this object will never be rolled back below `offset`.
+  // The log prefix below the *minimum* forget offset across registered
+  // objects becomes trimmable; Forget performs the prefix trim when the
+  // minimum advances.  (The Tango directory coordinates this across clients;
+  // see src/runtime/directory.h.)
+  Status Forget(ObjectId oid, corfu::LogOffset offset);
+
+  Stats stats() const;
+  corfu::CorfuClient* log() const { return log_; }
+
+  // Exposed for tests: the current version of (oid) or (oid, key).
+  corfu::LogOffset VersionOf(ObjectId oid,
+                             std::optional<uint64_t> key = std::nullopt) const;
+
+ private:
+  struct ObjectState {
+    TangoObject* object = nullptr;
+    ObjectConfig config;
+    // Version = last log offset whose entry modified the object (§3.2).
+    corfu::LogOffset version = corfu::kInvalidOffset;
+    // Fine-grained versions; a keyless write also invalidates every key.
+    corfu::LogOffset unkeyed_version = corfu::kInvalidOffset;
+    std::unordered_map<uint64_t, corfu::LogOffset> key_versions;
+    // Last stream position consumed by playback (checkpoint coverage).
+    corfu::LogOffset last_consumed = corfu::kInvalidOffset;
+  };
+
+  struct TxContext {
+    bool active = false;
+    std::vector<WriteOp> writes;
+    std::vector<ReadDep> reads;
+    std::unordered_set<uint64_t> read_keys;  // dedupe (oid,key) pairs
+  };
+
+  // A transaction decided locally whose decision record hasn't been seen in
+  // the log yet; appended by us if the generator fails to.
+  struct AwaitedDecision {
+    bool commit = false;
+    std::vector<corfu::StreamId> streams;
+    uint64_t deadline_us = 0;
+  };
+
+  TxContext& Tls() const;
+
+  // --- playback core (playback_mu_ held) -----------------------------------
+  // `fresh` lists the hosted objects whose stream cursor sat exactly at this
+  // entry — only those views may apply its effects (an object registered
+  // late replays old log positions that other objects already consumed).
+  Status PlayUntil(corfu::LogOffset limit);
+  Status ProcessRecord(corfu::LogOffset offset, const Record& record,
+                       const std::vector<ObjectId>& fresh);
+  Status ApplyCommit(corfu::LogOffset offset, const CommitRecord& commit,
+                     const std::vector<ObjectId>& fresh);
+  bool CanEvaluate(const CommitRecord& commit) const;
+  bool ValidateReads(const std::vector<ReadDep>& reads) const;
+  void ApplyWrites(corfu::LogOffset offset, const std::vector<WriteOp>& writes,
+                   const std::vector<ObjectId>& fresh);
+  void BumpVersion(ObjectState& state, corfu::LogOffset offset, bool has_key,
+                   uint64_t key);
+  corfu::LogOffset CurrentVersion(const ObjectState& state, bool has_key,
+                                  uint64_t key) const;
+  void CheckDecisionDeadlines();
+
+  corfu::LogOffset SnapshotVersionLocked(ObjectId oid,
+                                         std::optional<uint64_t> key) const;
+
+  TxId NextTxId();
+  Status AppendDecision(TxId txid, bool commit,
+                        const std::vector<corfu::StreamId>& streams);
+  // Routes through the group-commit batcher when enabled.
+  Result<corfu::LogOffset> AppendRecord(Record record,
+                                        std::vector<corfu::StreamId> streams);
+
+  corfu::CorfuClient* log_;
+  Options options_;
+  uint32_t client_id_;
+  std::atomic<uint32_t> tx_seq_{1};
+  std::unique_ptr<Batcher> batcher_;  // null unless enable_batching
+
+  mutable std::mutex playback_mu_;
+  corfu::StreamStore store_;
+  std::unordered_map<ObjectId, ObjectState> objects_;
+
+  // Decision machinery.
+  struct StalledRecord {
+    corfu::LogOffset offset;
+    Record record;
+    std::vector<ObjectId> fresh;
+  };
+  std::unordered_map<TxId, bool> decided_;
+  std::optional<TxId> barrier_tx_;
+  corfu::LogOffset barrier_offset_ = corfu::kInvalidOffset;
+  CommitRecord barrier_commit_;
+  std::vector<ObjectId> barrier_fresh_;
+  uint64_t barrier_since_us_ = 0;
+  std::deque<StalledRecord> stalled_;
+  std::unordered_map<TxId, AwaitedDecision> awaited_decisions_;
+
+  // GC bookkeeping: per-object forget offsets (§3.2, Naming).
+  std::unordered_map<ObjectId, corfu::LogOffset> forget_offsets_;
+
+  Stats stats_;
+};
+
+}  // namespace tango
+
+#endif  // SRC_RUNTIME_RUNTIME_H_

@@ -1,0 +1,64 @@
+// Latency histogram and throughput metering for the benchmark harness.
+//
+// The histogram uses logarithmically spaced buckets (HdrHistogram-style, but
+// much simpler): values are bucketed by their base-2 magnitude plus a linear
+// sub-bucket, giving ~1.6% relative error, enough to report the percentile
+// curves the paper's figures show.
+
+#ifndef SRC_UTIL_HISTOGRAM_H_
+#define SRC_UTIL_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tango {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value);
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+  // q in [0, 1]; returns an upper bound for the q-quantile.
+  uint64_t Percentile(double q) const;
+
+  void Reset();
+
+  // e.g. "p50=812us p99=2.3ms mean=901us n=18234" (values are raw units).
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 linear sub-buckets per octave
+  static constexpr int kNumBuckets = 64 << kSubBucketBits;
+
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketUpperBound(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ULL;
+  uint64_t max_ = 0;
+};
+
+// A thread-safe event counter used to meter throughput from many workers.
+class Meter {
+ public:
+  void Add(uint64_t n = 1) { count_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Read() const { return count_.load(std::memory_order_relaxed); }
+  void Reset() { count_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+};
+
+}  // namespace tango
+
+#endif  // SRC_UTIL_HISTOGRAM_H_

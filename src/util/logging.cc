@@ -1,0 +1,48 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace tango {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+std::mutex g_log_mu;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kNone:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message) {
+  const char* basename = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') {
+      basename = p + 1;
+    }
+  }
+  std::lock_guard<std::mutex> lock(g_log_mu);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), basename, line,
+               message.c_str());
+}
+
+}  // namespace tango

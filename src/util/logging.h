@@ -1,0 +1,83 @@
+// Minimal leveled logging.  Off by default above WARNING so benches stay
+// quiet; tests can raise the level to debug failures.
+
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tango {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Global log threshold; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+#define TANGO_LOG(level)                                                  \
+  if (::tango::LogLevel::level < ::tango::GetLogLevel()) {                \
+  } else                                                                  \
+    ::tango::LogStream(::tango::LogLevel::level, __FILE__, __LINE__)
+
+#define TANGO_CHECK(cond)                                                 \
+  if (cond) {                                                             \
+  } else                                                                  \
+    ::tango::FatalStream(__FILE__, __LINE__, #cond)
+
+class FatalStream {
+ public:
+  FatalStream(const char* file, int line, const char* cond)
+      : file_(file), line_(line) {
+    stream_ << "CHECK failed: " << cond << " ";
+  }
+  [[noreturn]] ~FatalStream() {
+    std::fprintf(stderr, "%s:%d: %s\n", file_, line_, stream_.str().c_str());
+    std::abort();
+  }
+
+  template <typename T>
+  FatalStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace tango
+
+#endif  // SRC_UTIL_LOGGING_H_

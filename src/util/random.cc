@@ -1,0 +1,103 @@
+#include "src/util/random.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace tango {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& s : s_) {
+    s = SplitMix64(&sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  // Lemire's multiply-shift rejection-free-ish reduction; bias is negligible
+  // for bound << 2^64, which holds for all workload sizes we generate.
+  return static_cast<uint64_t>(
+      (static_cast<__uint128_t>(Next()) * bound) >> 64);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  // Exact zeta for small n; the standard asymptotic approximation otherwise
+  // (computing zeta(10M) exactly at construction would dominate bench setup).
+  if (n_ <= 1'000'000) {
+    zetan_ = Zeta(n_, theta_);
+  } else {
+    double zeta_m = Zeta(1'000'000, theta_);
+    zetan_ = zeta_m + (std::pow(static_cast<double>(n_), 1 - theta_) -
+                       std::pow(1e6, 1 - theta_)) /
+                          (1 - theta_);
+  }
+  alpha_ = 1.0 / (1.0 - theta_);
+  double zeta2 = Zeta(2, theta_);
+  eta_ = (1 - std::pow(2.0 / static_cast<double>(n_), 1 - theta_)) /
+         (1 - zeta2 / zetan_);
+}
+
+uint64_t ZipfGenerator::Next() {
+  double u = rng_.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  return static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+}
+
+std::vector<uint64_t> RandomPermutation(uint64_t n, uint64_t seed) {
+  std::vector<uint64_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  Rng rng(seed);
+  for (uint64_t i = n; i > 1; --i) {
+    uint64_t j = rng.NextBelow(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace tango

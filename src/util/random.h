@@ -1,0 +1,63 @@
+// Deterministic pseudo-random utilities for workload generation.
+//
+// Benches and property tests need reproducible randomness, so everything here
+// is seeded explicitly.  The zipf generator implements the standard rejection
+// -free inverse-CDF approximation used by YCSB (Gray et al., "Quickly
+// generating billion-record synthetic databases"), matching the paper's use
+// of YCSB workload 'a' key selection in Figure 9.
+
+#ifndef SRC_UTIL_RANDOM_H_
+#define SRC_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tango {
+
+// xoshiro256** — fast, high-quality, 64-bit PRNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t Next();
+
+  // Uniform in [0, bound).  bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf-distributed values over [0, n) with skew theta (YCSB uses 0.99).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+};
+
+// Fisher-Yates shuffled identity permutation; used to scatter zipf ranks so
+// that "hot" keys are not clustered at the low end of the key space.
+std::vector<uint64_t> RandomPermutation(uint64_t n, uint64_t seed);
+
+}  // namespace tango
+
+#endif  // SRC_UTIL_RANDOM_H_

@@ -1,0 +1,174 @@
+// Byte-level serialization helpers.
+//
+// All wire formats in this codebase (log entries, stream headers, RPC frames,
+// update records, commit records) are little-endian and fixed-width.  The
+// writer grows a flat byte vector; the reader is a bounds-checked cursor over
+// a span of bytes.  Readers never throw: running off the end marks the reader
+// as failed and subsequent reads return zero values, so callers check ok()
+// once at the end of decoding.
+
+#ifndef SRC_UTIL_SERIALIZE_H_
+#define SRC_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tango {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(size_t reserve) { buf_.reserve(reserve); }
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v) { PutLittleEndian(v); }
+  void PutU32(uint32_t v) { PutLittleEndian(v); }
+  void PutU64(uint64_t v) { PutLittleEndian(v); }
+  void PutI64(int64_t v) { PutLittleEndian(static_cast<uint64_t>(v)); }
+
+  void PutBytes(const void* data, size_t len) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+
+  // Length-prefixed (u32) byte string.
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    PutBytes(s.data(), s.size());
+  }
+
+  void PutBlob(std::span<const uint8_t> b) {
+    PutU32(static_cast<uint32_t>(b.size()));
+    PutBytes(b.data(), b.size());
+  }
+
+  size_t size() const { return buf_.size(); }
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+  // Overwrites previously written bytes (e.g. to back-patch a length field).
+  void PatchU32(size_t pos, uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_[pos + i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+  }
+
+ private:
+  template <typename T>
+  void PutLittleEndian(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+  ByteReader(const void* data, size_t len)
+      : data_(static_cast<const uint8_t*>(data), len) {}
+
+  uint8_t GetU8() { return GetLittleEndian<uint8_t>(); }
+  uint16_t GetU16() { return GetLittleEndian<uint16_t>(); }
+  uint32_t GetU32() { return GetLittleEndian<uint32_t>(); }
+  uint64_t GetU64() { return GetLittleEndian<uint64_t>(); }
+  int64_t GetI64() { return static_cast<int64_t>(GetLittleEndian<uint64_t>()); }
+
+  std::string GetString() {
+    uint32_t len = GetU32();
+    if (!CheckAvailable(len)) {
+      return {};
+    }
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return out;
+  }
+
+  std::vector<uint8_t> GetBlob() {
+    uint32_t len = GetU32();
+    if (!CheckAvailable(len)) {
+      return {};
+    }
+    std::vector<uint8_t> out(data_.begin() + pos_, data_.begin() + pos_ + len);
+    pos_ += len;
+    return out;
+  }
+
+  // Returns a view into the underlying buffer without copying.
+  std::span<const uint8_t> GetBlobView() {
+    uint32_t len = GetU32();
+    if (!CheckAvailable(len)) {
+      return {};
+    }
+    std::span<const uint8_t> out = data_.subspan(pos_, len);
+    pos_ += len;
+    return out;
+  }
+
+  bool Skip(size_t n) {
+    if (!CheckAvailable(n)) {
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return failed_ ? 0 : data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool ok() const { return !failed_; }
+
+ private:
+  template <typename T>
+  T GetLittleEndian() {
+    if (!CheckAvailable(sizeof(T))) {
+      return T{};
+    }
+    T v{};
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  bool CheckAvailable(size_t n) {
+    if (failed_ || data_.size() - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+// Convenience: copies a trivially copyable struct into/out of a byte vector.
+template <typename T>
+std::vector<uint8_t> ToBytes(const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<uint8_t> out(sizeof(T));
+  std::memcpy(out.data(), &v, sizeof(T));
+  return out;
+}
+
+template <typename T>
+bool FromBytes(std::span<const uint8_t> bytes, T* out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (bytes.size() < sizeof(T)) {
+    return false;
+  }
+  std::memcpy(out, bytes.data(), sizeof(T));
+  return true;
+}
+
+}  // namespace tango
+
+#endif  // SRC_UTIL_SERIALIZE_H_

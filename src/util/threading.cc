@@ -1,0 +1,31 @@
+#include "src/util/threading.h"
+
+namespace tango {
+
+void RunParallel(int n, const std::function<void(int)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&fn, i] { fn(i); });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+}
+
+void RunParallelFor(int n, std::chrono::milliseconds duration,
+                    const std::function<void(int, std::atomic<bool>*)>& fn) {
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&fn, &stop, i] { fn(i, &stop); });
+  }
+  std::this_thread::sleep_for(duration);
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) {
+    t.join();
+  }
+}
+
+}  // namespace tango

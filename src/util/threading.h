@@ -1,0 +1,91 @@
+// Small threading utilities shared by the cluster harness, tests and benches.
+
+#ifndef SRC_UTIL_THREADING_H_
+#define SRC_UTIL_THREADING_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tango {
+
+// One-shot event: threads block in WaitForNotification() until Notify().
+class Notification {
+ public:
+  void Notify() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      notified_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool HasBeenNotified() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return notified_;
+  }
+
+  void WaitForNotification() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return notified_; });
+  }
+
+  template <typename Rep, typename Period>
+  bool WaitForNotificationWithTimeout(
+      std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, timeout, [this] { return notified_; });
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool notified_ = false;
+};
+
+// Reusable barrier for starting N workers simultaneously.
+class StartBarrier {
+ public:
+  explicit StartBarrier(int parties) : remaining_(parties) {}
+
+  void ArriveAndWait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (--remaining_ == 0) {
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int remaining_;
+};
+
+// Runs `fn(worker_index)` on `n` threads and joins them all.
+void RunParallel(int n, const std::function<void(int)>& fn);
+
+// Runs `fn(worker_index, stop_flag)` on `n` threads for `duration`, then sets
+// the stop flag and joins.  Used by the open-loop bench drivers.
+void RunParallelFor(int n, std::chrono::milliseconds duration,
+                    const std::function<void(int, std::atomic<bool>*)>& fn);
+
+// Monotonic clock helpers.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline uint64_t NowMicros() { return NowNanos() / 1000; }
+
+}  // namespace tango
+
+#endif  // SRC_UTIL_THREADING_H_

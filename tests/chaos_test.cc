@@ -1,0 +1,140 @@
+// Chaos test: a randomized mixed workload with faults injected mid-run —
+// sequencer replacement, abandoned offsets (holes), checkpoints, trims —
+// followed by a full convergence audit: every live view, plus a cold client
+// replaying from scratch, must agree exactly.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "src/objects/tango_map.h"
+#include "src/runtime/runtime.h"
+#include "src/util/random.h"
+#include "tests/test_env.h"
+
+namespace tango {
+namespace {
+
+using tango_test::ClusterFixture;
+
+class ChaosTest : public ClusterFixture,
+                  public ::testing::WithParamInterface<uint64_t> {};
+
+std::map<std::string, std::string> Snapshot(TangoMap& map) {
+  std::map<std::string, std::string> out;
+  auto keys = map.Keys();
+  EXPECT_TRUE(keys.ok());
+  if (keys.ok()) {
+    for (const std::string& key : *keys) {
+      auto value = map.Get(key);
+      if (value.ok()) {
+        out[key] = *value;
+      }
+    }
+  }
+  return out;
+}
+
+TEST_P(ChaosTest, ConvergesUnderFaults) {
+  constexpr int kWorkers = 3;
+  constexpr int kOpsPerWorker = 60;
+
+  struct Client {
+    std::unique_ptr<corfu::CorfuClient> log;
+    std::unique_ptr<TangoRuntime> rt;
+    std::unique_ptr<TangoMap> map;
+  };
+  std::vector<Client> clients(kWorkers);
+  for (int i = 0; i < kWorkers; ++i) {
+    corfu::CorfuClient::Options options;
+    options.hole_timeout_ms = 5;
+    options.max_epoch_retries = 32;
+    clients[i].log = cluster_->MakeClient(options);
+    clients[i].rt = std::make_unique<TangoRuntime>(clients[i].log.get());
+    clients[i].map = std::make_unique<TangoMap>(clients[i].rt.get(), 1);
+  }
+
+  std::atomic<int> barrier_hits{0};
+  auto chaos_admin = MakeClient();
+
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kWorkers; ++i) {
+    workers.emplace_back([&, i] {
+      Rng rng(GetParam() * 101 + i);
+      Client& me = clients[i];
+      for (int op = 0; op < kOpsPerWorker; ++op) {
+        std::string key = "k" + std::to_string(rng.NextBelow(12));
+        double dice = rng.NextDouble();
+        if (dice < 0.45) {
+          (void)me.map->Put(key, std::to_string(rng.Next() % 1000));
+        } else if (dice < 0.55) {
+          (void)me.map->Remove(key);
+        } else if (dice < 0.75) {
+          (void)me.map->Get(key);
+        } else if (dice < 0.9) {
+          // A small transaction (may abort; that's fine).
+          (void)me.map->Get(key);
+          (void)me.rt->BeginTx();
+          (void)me.map->Get(key);
+          (void)me.map->Put(key, "tx" + std::to_string(op));
+          Status st = me.rt->EndTx();
+          if (!st.ok() && st != StatusCode::kAborted &&
+              st != StatusCode::kTimeout) {
+            ADD_FAILURE() << "unexpected EndTx status: " << st.ToString();
+          }
+          if (me.rt->InTx()) {
+            me.rt->AbortTx();
+          }
+        } else {
+          // Abandon an offset: a simulated crash mid-append (leaves a hole
+          // in stream 1 for everyone else to repair).
+          (void)corfu::SequencerNext(&transport_,
+                                     me.log->projection().sequencer,
+                                     me.log->projection().epoch, 1, {1});
+          barrier_hits.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Fault injection while the workload runs: replace the sequencer, write a
+  // checkpoint of its state.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(cluster_->ReplaceSequencer(chaos_admin.get()).ok());
+  (void)chaos_admin->WriteSequencerCheckpoint();
+
+  for (std::thread& w : workers) {
+    w.join();
+  }
+
+  // Quiesce: every live view must agree.
+  std::vector<std::map<std::string, std::string>> snapshots;
+  for (Client& client : clients) {
+    snapshots.push_back(Snapshot(*client.map));
+  }
+  EXPECT_EQ(snapshots[0], snapshots[1]);
+  EXPECT_EQ(snapshots[1], snapshots[2]);
+
+  // A cold client replays the whole history (holes repaired, reconfigured
+  // epochs crossed) and lands on the same state.
+  auto cold_log = MakeClient();
+  TangoRuntime cold_rt(cold_log.get());
+  TangoMap cold_map(&cold_rt, 1);
+  EXPECT_EQ(Snapshot(cold_map), snapshots[0]);
+
+  // Checkpoint + forget, then one more cold rebuild from the checkpoint.
+  auto checkpoint = clients[0].rt->WriteCheckpoint(1);
+  ASSERT_TRUE(checkpoint.ok());
+  ASSERT_TRUE(clients[0].rt->Forget(1, *checkpoint).ok());
+  auto trimmed_log = MakeClient();
+  TangoRuntime trimmed_rt(trimmed_log.get());
+  TangoMap trimmed_map(&trimmed_rt, 1);
+  ASSERT_TRUE(trimmed_rt.LoadObject(1).ok());
+  EXPECT_EQ(Snapshot(trimmed_map), snapshots[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest, ::testing::Values(1, 7, 1234));
+
+}  // namespace
+}  // namespace tango

@@ -1,0 +1,185 @@
+// Deep tests for the decision-record machinery (§4.1): barrier chains,
+// generators committing while their own pipeline is stalled, and the
+// pure-remote-write injection path in EndTx.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/objects/tango_map.h"
+#include "src/runtime/runtime.h"
+#include "tests/test_env.h"
+
+namespace tango {
+namespace {
+
+using tango_test::ClusterFixture;
+
+class DeepRuntimeTest : public ClusterFixture {};
+
+// Crafts a TangoMap kPut update blob.
+std::vector<uint8_t> MapPutBlob(const std::string& key,
+                                const std::string& value) {
+  ByteWriter w;
+  w.PutU8(1);  // TangoMap::kPut
+  w.PutString(key);
+  w.PutString(value);
+  return w.Take();
+}
+
+TEST_F(DeepRuntimeTest, GeneratorCommitsWhilePipelineStalled) {
+  // Cast:
+  //   host1 hosts A and B — can evaluate anything touching them;
+  //   gen   hosts A only — its pipeline stalls on a commit reading B;
+  //   host3 hosts R — receives gen's remote write.
+  // Sequence: an orphaned commit C1 (reads B, writes A) lands in A's stream
+  // with no decision record.  gen's pipeline barriers on C1.  gen then runs
+  // its own transaction reading A and writing only the remote object R — the
+  // EndTx path that must inject the commit into the stalled pipeline and
+  // wait for C1's decision before validating.  host1 publishes the decision
+  // after its timeout, unwinding the chain.
+  ObjectConfig needs_decision;
+  needs_decision.needs_decision_records = true;
+
+  TangoRuntime::Options patch_fast;
+  patch_fast.decision_timeout_ms = 50;
+  auto host1_client = MakeClient();
+  TangoRuntime host1(host1_client.get(), patch_fast);
+  TangoMap a_at_host1(&host1, 1, {needs_decision});
+  TangoMap b_at_host1(&host1, 2);
+
+  TangoRuntime::Options gen_options;
+  gen_options.decision_timeout_ms = 2000;  // gen waits rather than times out
+  auto gen_client = MakeClient();
+  TangoRuntime gen(gen_client.get(), gen_options);
+  TangoMap a_at_gen(&gen, 1, {needs_decision});
+
+  auto host3_client = MakeClient();
+  TangoRuntime host3(host3_client.get());
+  TangoMap r_at_host3(&host3, 3, {needs_decision});
+
+  // Seed A and B; sync everyone.
+  ASSERT_TRUE(a_at_host1.Put("seed", "x").ok());
+  ASSERT_TRUE(b_at_host1.Put("bkey", "v").ok());
+  ASSERT_TRUE(a_at_gen.Get("seed").ok());
+  ASSERT_TRUE(b_at_host1.Get("bkey").ok());
+
+  // The orphaned commit C1: reads B at its current version, writes A.
+  std::vector<WriteOp> writes(1);
+  writes[0].oid = 1;
+  writes[0].has_key = true;
+  writes[0].key = std::hash<std::string>{}("from-c1");
+  writes[0].data = MapPutBlob("from-c1", "1");
+  std::vector<ReadDep> reads(1);
+  reads[0].oid = 2;
+  reads[0].has_key = true;
+  reads[0].key = std::hash<std::string>{}("bkey");
+  reads[0].version = host1.VersionOf(2, reads[0].key);
+  auto commit_payload =
+      EncodeRecord(MakeCommitRecord(/*txid=*/0xfeed0001, writes, reads));
+  ASSERT_TRUE(gen_client->AppendToStreams(commit_payload, {1}).ok());
+
+  // host1 evaluates C1 promptly and will patch the decision after 50 ms.
+  ASSERT_TRUE(host1.QueryHelper(1).ok());
+
+  // gen's transaction: read A (hosted), write R (remote only).  Its playback
+  // meets C1, cannot evaluate it (B not hosted), and must wait for host1's
+  // patched decision record before validating at its own commit position.
+  std::thread patcher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    ASSERT_TRUE(host1.QueryHelper(1).ok());  // deadline check fires here
+  });
+
+  ASSERT_TRUE(gen.BeginTx().ok());
+  ASSERT_TRUE(gen.QueryHelper(1, std::hash<std::string>{}("seed")).ok());
+  ASSERT_TRUE(gen.UpdateHelper(3, MapPutBlob("remote", "done"),
+                               std::hash<std::string>{}("remote"))
+                  .ok());
+  Status tx = gen.EndTx();
+  patcher.join();
+  ASSERT_TRUE(tx.ok()) << tx.ToString();
+
+  // Everyone converges: C1 committed (its B read was valid), gen's remote
+  // write applied at host3.
+  auto c1_value = a_at_host1.Get("from-c1");
+  ASSERT_TRUE(c1_value.ok());
+  EXPECT_EQ(*c1_value, "1");
+  auto c1_at_gen = a_at_gen.Get("from-c1");
+  ASSERT_TRUE(c1_at_gen.ok());
+  auto remote = r_at_host3.Get("remote");
+  ASSERT_TRUE(remote.ok());
+  EXPECT_EQ(*remote, "done");
+  EXPECT_GE(gen.stats().decision_stalls, 1u);
+}
+
+TEST_F(DeepRuntimeTest, BarrierChainDrainsInOrder) {
+  // Two undecided commits queue back to back at a partitioned consumer; the
+  // decisions arrive in order and the drain applies both without loss.
+  ObjectConfig needs_decision;
+  needs_decision.needs_decision_records = true;
+
+  auto full_client = MakeClient();
+  TangoRuntime full(full_client.get());
+  TangoMap a_full(&full, 1);
+  TangoMap c_full(&full, 2, {needs_decision});
+
+  auto partial_client = MakeClient();
+  TangoRuntime partial(partial_client.get());
+  TangoMap c_partial(&partial, 2, {needs_decision});  // no view of A
+
+  ASSERT_TRUE(a_full.Put("k", "0").ok());
+  ASSERT_TRUE(a_full.Get("k").ok());
+
+  // Two transactions in a row, each reading A and writing C.
+  for (int i = 1; i <= 2; ++i) {
+    ASSERT_TRUE(a_full.Get("k").ok());
+    ASSERT_TRUE(full.BeginTx().ok());
+    ASSERT_TRUE(a_full.Get("k").ok());
+    ASSERT_TRUE(c_full.Put("c" + std::to_string(i), "v").ok());
+    ASSERT_TRUE(full.EndTx().ok());
+  }
+
+  // The partial host replays: barrier on tx1, decision, barrier on tx2,
+  // decision — both writes land, in order.
+  auto c1 = c_partial.Get("c1");
+  auto c2 = c_partial.Get("c2");
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_GE(partial.stats().decision_stalls, 2u);
+  EXPECT_EQ(partial.stats().commits, 2u);
+}
+
+TEST_F(DeepRuntimeTest, AbortedBarrierTxDoesNotApply) {
+  ObjectConfig needs_decision;
+  needs_decision.needs_decision_records = true;
+
+  auto full_client = MakeClient();
+  TangoRuntime full(full_client.get());
+  TangoMap a_full(&full, 1);
+  TangoMap c_full(&full, 2, {needs_decision});
+
+  auto partial_client = MakeClient();
+  TangoRuntime partial(partial_client.get());
+  TangoMap c_partial(&partial, 2, {needs_decision});
+
+  auto rival_client = MakeClient();
+  TangoRuntime rival(rival_client.get());
+  TangoMap a_rival(&rival, 1);
+
+  ASSERT_TRUE(a_full.Put("k", "0").ok());
+  ASSERT_TRUE(a_full.Get("k").ok());
+
+  // full's tx reads A then a rival write invalidates it: the commit aborts,
+  // and the abort decision must reach the partial host (no phantom write).
+  ASSERT_TRUE(full.BeginTx().ok());
+  ASSERT_TRUE(a_full.Get("k").ok());
+  ASSERT_TRUE(a_rival.Put("k", "rival").ok());
+  ASSERT_TRUE(c_full.Put("phantom", "x").ok());
+  EXPECT_EQ(full.EndTx().code(), StatusCode::kAborted);
+
+  EXPECT_EQ(c_partial.Get("phantom").status().code(), StatusCode::kNotFound);
+  EXPECT_GE(partial.stats().aborts, 1u);
+}
+
+}  // namespace
+}  // namespace tango

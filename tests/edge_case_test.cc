@@ -1,0 +1,281 @@
+// Edge cases and misuse paths across modules: API contract violations,
+// boundary conditions, cache behavior, reserved ids, and error propagation.
+
+#include <gtest/gtest.h>
+
+#include "src/corfu/stream.h"
+#include "src/net/tcp_transport.h"
+#include "src/objects/tango_map.h"
+#include "src/objects/tango_register.h"
+#include "src/objects/tango_zookeeper.h"
+#include "src/runtime/mirror.h"
+#include "src/runtime/runtime.h"
+#include "tests/test_env.h"
+
+namespace tango {
+namespace {
+
+using tango_test::Bytes;
+using tango_test::ClusterFixture;
+
+class EdgeCaseTest : public ClusterFixture {
+ protected:
+  EdgeCaseTest() : client_(MakeClient()), rt_(client_.get()) {}
+
+  std::unique_ptr<corfu::CorfuClient> client_;
+  TangoRuntime rt_;
+};
+
+// --- runtime API contracts ------------------------------------------------
+
+TEST_F(EdgeCaseTest, ReservedStreamIdsRejected) {
+  TangoRegister reg(&rt_, 1);
+  EXPECT_EQ(rt_.RegisterObject(corfu::kSequencerStateStream, &reg).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(rt_.RegisterObject(corfu::kInvalidStreamId, &reg).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(EdgeCaseTest, CheckpointOfUnknownOid) {
+  EXPECT_EQ(rt_.WriteCheckpoint(42).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(rt_.LoadObject(42).code(), StatusCode::kNotFound);
+  EXPECT_EQ(rt_.Forget(42, 0).code(), StatusCode::kNotFound);
+}
+
+TEST_F(EdgeCaseTest, CheckpointOfUncheckpointableObject) {
+  // A minimal object without checkpoint support.
+  class Minimal : public TangoObject {
+   public:
+    void Apply(std::span<const uint8_t>, corfu::LogOffset) override {}
+    void Clear() override {}
+  };
+  Minimal object;
+  ASSERT_TRUE(rt_.RegisterObject(9, &object).ok());
+  EXPECT_EQ(rt_.WriteCheckpoint(9).status().code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(rt_.UnregisterObject(9).ok());
+}
+
+TEST_F(EdgeCaseTest, QueryOfUnregisteredOidOutsideTxIsHarmless) {
+  // Non-transactional QueryHelper just plays hosted streams; an unknown oid
+  // is not an error (nothing to sync for it).
+  EXPECT_TRUE(rt_.QueryHelper(77).ok());
+}
+
+TEST_F(EdgeCaseTest, AbortWithoutBeginIsNoop) {
+  rt_.AbortTx();  // must not crash or poison later transactions
+  EXPECT_FALSE(rt_.InTx());
+  ASSERT_TRUE(rt_.BeginTx().ok());
+  EXPECT_TRUE(rt_.InTx());
+  EXPECT_TRUE(rt_.EndTx().ok());
+}
+
+TEST_F(EdgeCaseTest, VersionOfUnknownOid) {
+  EXPECT_EQ(rt_.VersionOf(123), corfu::kInvalidOffset);
+}
+
+TEST_F(EdgeCaseTest, SyncToZeroIsNoop) {
+  TangoRegister reg(&rt_, 1);
+  ASSERT_TRUE(reg.Write(5).ok());
+  ASSERT_TRUE(rt_.SyncTo(0).ok());
+  EXPECT_EQ(rt_.VersionOf(1), corfu::kInvalidOffset);  // nothing played
+}
+
+// --- stream store ------------------------------------------------------------
+
+TEST_F(EdgeCaseTest, StreamCacheEviction) {
+  corfu::StreamStore::Options options;
+  options.cache_capacity = 2;
+  corfu::StreamStore store(client_.get(), options);
+  store.Open(1);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store.Append(1, Bytes("e" + std::to_string(i))).ok());
+  }
+  ASSERT_TRUE(store.Sync(1).ok());
+  // Replay works even though the cache can hold only 2 of 5 entries.
+  int count = 0;
+  while (store.ReadNext(1).ok()) {
+    ++count;
+  }
+  EXPECT_EQ(count, 5);
+  // Rewind and replay again: entries evicted from cache re-fetch cleanly.
+  store.ResetCursor(1);
+  count = 0;
+  while (store.ReadNext(1).ok()) {
+    ++count;
+  }
+  EXPECT_EQ(count, 5);
+}
+
+TEST_F(EdgeCaseTest, SyncAllOnEmptyListReturnsTail) {
+  corfu::StreamStore store(client_.get());
+  ASSERT_TRUE(client_->Append(Bytes("x")).ok());
+  auto tail = store.SyncAll({});
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(*tail, 1u);
+}
+
+TEST_F(EdgeCaseTest, SeekCursorBeyondEnd) {
+  corfu::StreamStore store(client_.get());
+  store.Open(1);
+  ASSERT_TRUE(store.Append(1, Bytes("only")).ok());
+  ASSERT_TRUE(store.Sync(1).ok());
+  store.SeekCursorAfter(1, 999);
+  EXPECT_EQ(store.NextOffset(1), corfu::kInvalidOffset);
+  EXPECT_EQ(store.ReadNext(1).status().code(), StatusCode::kUnwritten);
+}
+
+// --- mirror --------------------------------------------------------------------
+
+TEST_F(EdgeCaseTest, MirrorSkipsTrimmedPrefix) {
+  TangoRegister reg(&rt_, 1);
+  for (int64_t v = 1; v <= 6; ++v) {
+    ASSERT_TRUE(reg.Write(v).ok());
+  }
+  ASSERT_TRUE(client_->TrimPrefix(4).ok());
+
+  InProcTransport remote_transport;
+  corfu::CorfuCluster::Options remote_options;
+  remote_options.num_storage_nodes = 4;
+  remote_options.replication_factor = 2;
+  corfu::CorfuCluster remote(&remote_transport, remote_options);
+  auto src = MakeClient();
+  auto dst = remote.MakeClient();
+  LogMirror mirror(src.get(), dst.get());
+  ASSERT_TRUE(mirror.SyncTo().ok());
+  EXPECT_EQ(mirror.entries_copied(), 2u);  // only the surviving suffix
+
+  auto remote_client = remote.MakeClient();
+  TangoRuntime remote_rt(remote_client.get());
+  TangoRegister remote_reg(&remote_rt, 1);
+  auto value = remote_reg.Read();
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 6);
+}
+
+TEST_F(EdgeCaseTest, MirrorExplicitLimit) {
+  TangoRegister reg(&rt_, 1);
+  for (int64_t v = 1; v <= 4; ++v) {
+    ASSERT_TRUE(reg.Write(v).ok());
+  }
+  InProcTransport remote_transport;
+  corfu::CorfuCluster::Options remote_options;
+  remote_options.num_storage_nodes = 4;
+  remote_options.replication_factor = 2;
+  corfu::CorfuCluster remote(&remote_transport, remote_options);
+  auto src = MakeClient();
+  auto dst = remote.MakeClient();
+  LogMirror mirror(src.get(), dst.get());
+  ASSERT_TRUE(mirror.SyncTo(2).ok());
+  EXPECT_EQ(mirror.cursor(), 2u);
+  EXPECT_EQ(mirror.entries_copied(), 2u);
+}
+
+// --- tcp listen configuration -----------------------------------------------------
+
+TEST(TcpConfigTest, FixedListenPort) {
+  TcpTransport transport;
+  transport.SetListenPort(5, 23987);
+  transport.RegisterNode(5, [](uint16_t, ByteReader&, ByteWriter& resp) {
+    resp.PutU8(1);
+    return Status::Ok();
+  });
+  EXPECT_EQ(transport.LocalPort(5), 23987);
+  std::vector<uint8_t> resp;
+  EXPECT_TRUE(transport.Call(5, 0, {}, &resp).ok());
+  transport.UnregisterNode(5);
+  // Clearing the preset restores OS assignment.
+  transport.SetListenPort(5, 0);
+  transport.RegisterNode(5, [](uint16_t, ByteReader&, ByteWriter&) {
+    return Status::Ok();
+  });
+  EXPECT_NE(transport.LocalPort(5), 23987);
+}
+
+// --- zookeeper extras ---------------------------------------------------------------
+
+TEST_F(EdgeCaseTest, ZkRootOperationsRejected) {
+  TangoZk zk(&rt_, 1);
+  EXPECT_EQ(zk.Delete("/").code(), StatusCode::kInvalidArgument);
+  auto root = zk.Exists("/");
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(*root);
+}
+
+TEST_F(EdgeCaseTest, ZkMzxidTracksLogPosition) {
+  TangoZk zk(&rt_, 1);
+  ASSERT_TRUE(zk.Create("/a", "1").ok());
+  auto before = zk.GetData("/a");
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(zk.SetData("/a", "2").ok());
+  auto after = zk.GetData("/a");
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(after->second.mzxid, before->second.mzxid);
+}
+
+TEST_F(EdgeCaseTest, ZkDeepHierarchy) {
+  TangoZk zk(&rt_, 1);
+  std::string path;
+  for (int depth = 0; depth < 12; ++depth) {
+    path += "/n" + std::to_string(depth);
+    ASSERT_TRUE(zk.Create(path, "").ok()) << path;
+  }
+  auto exists = zk.Exists(path);
+  ASSERT_TRUE(exists.ok());
+  EXPECT_TRUE(*exists);
+  // Deepest-first teardown.
+  for (int depth = 11; depth >= 0; --depth) {
+    ASSERT_TRUE(zk.Delete(path).ok()) << path;
+    size_t slash = path.rfind('/');
+    path = path.substr(0, slash);
+  }
+}
+
+// --- map misc -----------------------------------------------------------------------
+
+TEST_F(EdgeCaseTest, MapCoarseVersioningConflictsOnDisjointKeys) {
+  // With fine-grained versioning off, disjoint-key transactions conflict —
+  // the knob fig9 sweeps implicitly.
+  TangoMap::MapConfig coarse;
+  coarse.fine_grained_versions = false;
+  TangoMap map(&rt_, 1, coarse);
+  auto other_client = MakeClient();
+  TangoRuntime other_rt(other_client.get());
+  TangoMap other_map(&other_rt, 1, coarse);
+
+  ASSERT_TRUE(map.Put("x", "0").ok());
+  ASSERT_TRUE(map.Get("x").ok());
+  ASSERT_TRUE(rt_.BeginTx().ok());
+  ASSERT_TRUE(map.Get("x").ok());
+  ASSERT_TRUE(other_map.Put("unrelated", "w").ok());  // different key!
+  ASSERT_TRUE(map.Put("x", "1").ok());
+  EXPECT_EQ(rt_.EndTx().code(), StatusCode::kAborted);
+}
+
+TEST_F(EdgeCaseTest, EmptyKeysAndValues) {
+  TangoMap map(&rt_, 1);
+  ASSERT_TRUE(map.Put("", "empty-key").ok());
+  ASSERT_TRUE(map.Put("empty-value", "").ok());
+  auto empty_key = map.Get("");
+  ASSERT_TRUE(empty_key.ok());
+  EXPECT_EQ(*empty_key, "empty-key");
+  auto empty_value = map.Get("empty-value");
+  ASSERT_TRUE(empty_value.ok());
+  EXPECT_EQ(*empty_value, "");
+}
+
+TEST_F(EdgeCaseTest, LargeValueNearPageLimit) {
+  TangoMap map(&rt_, 1);
+  std::string big(3000, 'x');
+  ASSERT_TRUE(map.Put("big", big).ok());
+  auto value = map.Get("big");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->size(), 3000u);
+  // Beyond the page: rejected cleanly, not corrupted.
+  std::string too_big(5000, 'y');
+  EXPECT_EQ(map.Put("huge", too_big).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(map.Get("huge").status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace tango

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "src/corfu/entry.h"
+
+namespace corfu {
+namespace {
+
+TEST(EntryTest, RoundTripNoHeaders) {
+  LogEntry entry;
+  entry.epoch = 3;
+  entry.payload = {1, 2, 3, 4};
+  auto encoded = EncodeEntry(entry, 100);
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = DecodeEntry(*encoded, 100);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->epoch, 3u);
+  EXPECT_EQ(decoded->type, EntryType::kData);
+  EXPECT_TRUE(decoded->headers.empty());
+  EXPECT_EQ(decoded->payload, entry.payload);
+}
+
+TEST(EntryTest, RoundTripRelativeBackpointers) {
+  LogEntry entry;
+  entry.epoch = 1;
+  StreamHeader h;
+  h.stream = 42;
+  h.backpointers = {99, 98, 50, 10};
+  entry.headers.push_back(h);
+  auto encoded = EncodeEntry(entry, 100);
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = DecodeEntry(*encoded, 100);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->headers.size(), 1u);
+  EXPECT_EQ(decoded->headers[0].stream, 42u);
+  EXPECT_EQ(decoded->headers[0].backpointers,
+            (std::vector<LogOffset>{99, 98, 50, 10}));
+}
+
+TEST(EntryTest, NullBackpointersSurvive) {
+  LogEntry entry;
+  StreamHeader h;
+  h.stream = 1;
+  h.backpointers = {kInvalidOffset, kInvalidOffset, kInvalidOffset,
+                    kInvalidOffset};
+  entry.headers.push_back(h);
+  auto encoded = EncodeEntry(entry, 0);
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = DecodeEntry(*encoded, 0);
+  ASSERT_TRUE(decoded.ok());
+  for (LogOffset bp : decoded->headers[0].backpointers) {
+    EXPECT_EQ(bp, kInvalidOffset);
+  }
+}
+
+TEST(EntryTest, AbsoluteFallbackOnOverflow) {
+  // A delta > 64K entries forces the absolute format, which keeps only
+  // ceil(K/4) pointers (the paper's space trade-off).
+  LogEntry entry;
+  StreamHeader h;
+  h.stream = 7;
+  h.backpointers = {5, 4, 3, 2};  // delta from 1'000'000 overflows u16
+  entry.headers.push_back(h);
+  auto encoded = EncodeEntry(entry, 1'000'000);
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = DecodeEntry(*encoded, 1'000'000);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->headers[0].backpointers.size(), 1u);  // ceil(4/4)
+  EXPECT_EQ(decoded->headers[0].backpointers[0], 5u);
+}
+
+TEST(EntryTest, MixedDeltaUsesAbsoluteWhenAnyOverflows) {
+  LogEntry entry;
+  StreamHeader h;
+  h.stream = 7;
+  h.backpointers = {999'999, 999'998, 3, 2};  // last two overflow
+  entry.headers.push_back(h);
+  auto encoded = EncodeEntry(entry, 1'000'000);
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = DecodeEntry(*encoded, 1'000'000);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->headers[0].backpointers[0], 999'999u);
+}
+
+TEST(EntryTest, MultipleHeaders) {
+  LogEntry entry;
+  for (StreamId s = 1; s <= 5; ++s) {
+    StreamHeader h;
+    h.stream = s;
+    h.backpointers = {200 - s, 100 - s};
+    entry.headers.push_back(h);
+  }
+  auto encoded = EncodeEntry(entry, 300);
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = DecodeEntry(*encoded, 300);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->headers.size(), 5u);
+  EXPECT_NE(decoded->FindHeader(3), nullptr);
+  EXPECT_EQ(decoded->FindHeader(3)->backpointers[0], 197u);
+  EXPECT_EQ(decoded->FindHeader(99), nullptr);
+}
+
+TEST(EntryTest, HeaderSpaceBudgetMatchesPaper) {
+  // §4: "each extra stream requiring 12 bytes of space" with K=4 relative
+  // pointers (4-byte id, 1 byte of count in our encoding, 8 bytes of deltas).
+  LogEntry base;
+  base.payload = {};
+  auto no_header = EncodeEntry(base, 100);
+  ASSERT_TRUE(no_header.ok());
+
+  StreamHeader h;
+  h.stream = 1;
+  h.backpointers = {99, 98, 97, 96};
+  base.headers.push_back(h);
+  auto one_header = EncodeEntry(base, 100);
+  ASSERT_TRUE(one_header.ok());
+  EXPECT_EQ(one_header->size() - no_header->size(), 13u);  // 12 + count byte
+}
+
+TEST(EntryTest, StreamIdTooLargeRejected) {
+  LogEntry entry;
+  StreamHeader h;
+  h.stream = 0x80000001u;  // uses the format-indicator bit
+  entry.headers.push_back(h);
+  auto encoded = EncodeEntry(entry, 10);
+  EXPECT_FALSE(encoded.ok());
+  EXPECT_EQ(encoded.status().code(), tango::StatusCode::kInvalidArgument);
+}
+
+TEST(EntryTest, JunkEntry) {
+  auto junk = EncodeJunkEntry(5);
+  auto decoded = DecodeEntry(junk, 777);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->is_junk());
+  EXPECT_EQ(decoded->epoch, 5u);
+  EXPECT_TRUE(decoded->headers.empty());
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(EntryTest, MalformedRejected) {
+  std::vector<uint8_t> garbage = {1, 2};
+  auto decoded = DecodeEntry(garbage, 0);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(EntryTest, TruncatedHeaderRejected) {
+  LogEntry entry;
+  StreamHeader h;
+  h.stream = 1;
+  h.backpointers = {9, 8, 7, 6};
+  entry.headers.push_back(h);
+  auto encoded = EncodeEntry(entry, 10);
+  ASSERT_TRUE(encoded.ok());
+  std::vector<uint8_t> truncated(*encoded);
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(DecodeEntry(truncated, 10).ok());
+}
+
+TEST(EntryTest, EmptyPayloadOk) {
+  LogEntry entry;
+  auto encoded = EncodeEntry(entry, 0);
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = DecodeEntry(*encoded, 0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+// Property sweep: round trip across self offsets and pointer distances, in
+// both formats.
+class EntryRoundTrip : public ::testing::TestWithParam<LogOffset> {};
+
+TEST_P(EntryRoundTrip, PreservesReachableBackpointers) {
+  LogOffset self = GetParam();
+  LogEntry entry;
+  StreamHeader h;
+  h.stream = 3;
+  for (LogOffset d = 1; d <= 4; ++d) {
+    h.backpointers.push_back(self >= d * 10 ? self - d * 10 : kInvalidOffset);
+  }
+  entry.headers.push_back(h);
+  entry.payload = {0xaa};
+  auto encoded = EncodeEntry(entry, self);
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = DecodeEntry(*encoded, self);
+  ASSERT_TRUE(decoded.ok());
+  // In the relative format all pointers survive; in the absolute fallback at
+  // least the most recent pointer survives.
+  ASSERT_FALSE(decoded->headers[0].backpointers.empty());
+  EXPECT_EQ(decoded->headers[0].backpointers[0], h.backpointers[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, EntryRoundTrip,
+                         ::testing::Values(0, 1, 40, 1000, 65535, 65536,
+                                           1'000'000, 1ULL << 40));
+
+}  // namespace
+}  // namespace corfu

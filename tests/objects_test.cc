@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "src/objects/tango_counter.h"
+#include "src/objects/tango_list.h"
+#include "src/objects/tango_map.h"
+#include "src/objects/tango_queue.h"
+#include "src/objects/tango_register.h"
+#include "src/objects/tango_set.h"
+#include "src/objects/tango_treemap.h"
+#include "tests/test_env.h"
+
+namespace tango {
+namespace {
+
+using tango_test::ClusterFixture;
+
+class ObjectsTest : public ClusterFixture {
+ protected:
+  ObjectsTest()
+      : client_a_(MakeClient()),
+        client_b_(MakeClient()),
+        rt_a_(client_a_.get()),
+        rt_b_(client_b_.get()) {}
+
+  std::unique_ptr<corfu::CorfuClient> client_a_;
+  std::unique_ptr<corfu::CorfuClient> client_b_;
+  TangoRuntime rt_a_;
+  TangoRuntime rt_b_;
+};
+
+// --- TangoMap -----------------------------------------------------------------
+
+TEST_F(ObjectsTest, MapBasics) {
+  TangoMap map(&rt_a_, 1);
+  EXPECT_EQ(map.Get("missing").status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(map.Put("a", "1").ok());
+  ASSERT_TRUE(map.Put("b", "2").ok());
+  ASSERT_TRUE(map.Put("a", "updated").ok());
+  auto a = map.Get("a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, "updated");
+  auto size = map.Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 2u);
+  ASSERT_TRUE(map.Remove("a").ok());
+  EXPECT_EQ(map.Get("a").status().code(), StatusCode::kNotFound);
+  auto contains = map.Contains("b");
+  ASSERT_TRUE(contains.ok());
+  EXPECT_TRUE(*contains);
+  auto keys = map.Keys();
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys->size(), 1u);
+}
+
+TEST_F(ObjectsTest, MapIndexModeFetchesFromLog) {
+  // §3.1 Durability: the view stores offsets and reads values from the log.
+  TangoMap::MapConfig config;
+  config.index_mode = true;
+  TangoMap map(&rt_a_, 1, config);
+  ASSERT_TRUE(map.Put("k", "stored-in-log").ok());
+  auto value = map.Get("k");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, "stored-in-log");
+  // Overwrite: the index points at the newest entry.
+  ASSERT_TRUE(map.Put("k", "second").ok());
+  auto updated = map.Get("k");
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(*updated, "second");
+}
+
+TEST_F(ObjectsTest, MapIndexModeInsideTransaction) {
+  TangoMap::MapConfig config;
+  config.index_mode = true;
+  TangoMap map(&rt_a_, 1, config);
+  ASSERT_TRUE(rt_a_.BeginTx().ok());
+  ASSERT_TRUE(map.Put("k", "tx-value").ok());
+  ASSERT_TRUE(rt_a_.EndTx().ok());
+  auto value = map.Get("k");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, "tx-value");
+}
+
+// --- TangoTreeMap -------------------------------------------------------------
+
+TEST_F(ObjectsTest, TreeMapOrderedQueries) {
+  TangoTreeMap tree(&rt_a_, 1);
+  ASSERT_TRUE(tree.Put("banana", "1").ok());
+  ASSERT_TRUE(tree.Put("apple", "2").ok());
+  ASSERT_TRUE(tree.Put("cherry", "3").ok());
+
+  auto first = tree.First();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->first, "apple");
+  auto last = tree.Last();
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last->first, "cherry");
+
+  auto floor = tree.Floor("b");
+  ASSERT_TRUE(floor.ok());
+  EXPECT_EQ(floor->first, "apple");
+  auto ceiling = tree.Ceiling("b");
+  ASSERT_TRUE(ceiling.ok());
+  EXPECT_EQ(ceiling->first, "banana");
+
+  auto range = tree.Range("apple", "cherry");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->size(), 2u);
+
+  auto prefix = tree.PrefixScan("b");
+  ASSERT_TRUE(prefix.ok());
+  ASSERT_EQ(prefix->size(), 1u);
+  EXPECT_EQ((*prefix)[0].first, "banana");
+}
+
+TEST_F(ObjectsTest, TreeMapEmptyQueries) {
+  TangoTreeMap tree(&rt_a_, 1);
+  EXPECT_EQ(tree.First().status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree.Last().status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree.Floor("x").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree.Ceiling("x").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ObjectsTest, SharedHistoryTwoShapes) {
+  // §3.1: two differently shaped views over the same stream.  TangoMap and
+  // TangoTreeMap use the same update format by construction.
+  TangoMap hash_view(&rt_a_, 1);
+  TangoTreeMap tree_view(&rt_b_, 1);
+  ASSERT_TRUE(hash_view.Put("zebra", "1").ok());
+  ASSERT_TRUE(hash_view.Put("aardvark", "2").ok());
+  auto first = tree_view.First();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->first, "aardvark");
+  auto from_hash = hash_view.Get("zebra");
+  ASSERT_TRUE(from_hash.ok());
+  EXPECT_EQ(*from_hash, "1");
+}
+
+// --- TangoList ----------------------------------------------------------------
+
+TEST_F(ObjectsTest, ListOperations) {
+  TangoList list(&rt_a_, 1);
+  ASSERT_TRUE(list.Add("x").ok());
+  ASSERT_TRUE(list.Add("y").ok());
+  ASSERT_TRUE(list.Add("x").ok());
+  auto all = list.All();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, (std::vector<std::string>{"x", "y", "x"}));
+  ASSERT_TRUE(list.RemoveFirst("x").ok());
+  auto after = list.All();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, (std::vector<std::string>{"y", "x"}));
+  auto get = list.Get(0);
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(*get, "y");
+  EXPECT_EQ(list.Get(5).status().code(), StatusCode::kOutOfRange);
+  auto contains = list.Contains("y");
+  ASSERT_TRUE(contains.ok());
+  EXPECT_TRUE(*contains);
+}
+
+// --- TangoSet -----------------------------------------------------------------
+
+TEST_F(ObjectsTest, SetOperations) {
+  TangoSet set(&rt_a_, 1);
+  ASSERT_TRUE(set.Add("a").ok());
+  ASSERT_TRUE(set.Add("a").ok());  // idempotent
+  ASSERT_TRUE(set.Add("b").ok());
+  auto size = set.Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 2u);
+  ASSERT_TRUE(set.Remove("a").ok());
+  auto contains = set.Contains("a");
+  ASSERT_TRUE(contains.ok());
+  EXPECT_FALSE(*contains);
+  auto elements = set.Elements();
+  ASSERT_TRUE(elements.ok());
+  EXPECT_EQ(*elements, (std::vector<std::string>{"b"}));
+}
+
+// --- TangoCounter --------------------------------------------------------------
+
+TEST_F(ObjectsTest, CounterNextIsFetchAndAdd) {
+  TangoCounter counter(&rt_a_, 1);
+  auto first = counter.Next();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 0);
+  auto second = counter.Next();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, 1);
+  auto value = counter.Get();
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 2);
+}
+
+TEST_F(ObjectsTest, CounterNextUniqueAcrossClients) {
+  TangoCounter counter_a(&rt_a_, 1);
+  TangoCounter counter_b(&rt_b_, 1);
+  std::set<int64_t> ids;
+  std::mutex mu;
+  auto worker = [&](TangoCounter& counter) {
+    for (int i = 0; i < 10; ++i) {
+      auto id = counter.Next();
+      ASSERT_TRUE(id.ok());
+      std::lock_guard<std::mutex> lock(mu);
+      EXPECT_TRUE(ids.insert(*id).second) << "duplicate id " << *id;
+    }
+  };
+  std::thread ta([&] { worker(counter_a); });
+  std::thread tb([&] { worker(counter_b); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(ids.size(), 20u);
+}
+
+// --- TangoQueue -----------------------------------------------------------------
+
+TEST_F(ObjectsTest, QueueFifoOrder) {
+  TangoQueue queue(&rt_a_, 1);
+  EXPECT_EQ(queue.Dequeue().status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(queue.Enqueue("first").ok());
+  ASSERT_TRUE(queue.Enqueue("second").ok());
+  auto peeked = queue.Peek();
+  ASSERT_TRUE(peeked.ok());
+  EXPECT_EQ(*peeked, "first");
+  auto a = queue.Dequeue();
+  auto b = queue.Dequeue();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, "first");
+  EXPECT_EQ(*b, "second");
+  EXPECT_EQ(queue.Dequeue().status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ObjectsTest, QueueConcurrentConsumersExactlyOnce) {
+  TangoQueue producer(&rt_a_, 1);
+  TangoQueue consumer(&rt_b_, 1);
+  constexpr int kItems = 16;
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_TRUE(producer.Enqueue("item-" + std::to_string(i)).ok());
+  }
+  std::set<std::string> delivered;
+  std::mutex mu;
+  auto drain = [&](TangoQueue& queue) {
+    while (true) {
+      auto item = queue.Dequeue();
+      if (!item.ok()) {
+        ASSERT_EQ(item.status().code(), StatusCode::kNotFound);
+        return;
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      EXPECT_TRUE(delivered.insert(*item).second)
+          << "item delivered twice: " << *item;
+    }
+  };
+  std::thread ta([&] { drain(producer); });
+  std::thread tb([&] { drain(consumer); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(delivered.size(), static_cast<size_t>(kItems));
+}
+
+TEST_F(ObjectsTest, QueueRemoteProducer) {
+  // §4.1 B: the producer adds items without hosting the queue.
+  TangoQueue consumer_view(&rt_b_, 1);
+  // rt_a_ does NOT host the queue; raw enqueue update.
+  ByteWriter w;
+  w.PutU8(1);  // TangoQueue::kEnqueue
+  w.PutString("remote-item");
+  ASSERT_TRUE(rt_a_.UpdateHelper(1, w.bytes()).ok());
+  auto item = consumer_view.Dequeue();
+  ASSERT_TRUE(item.ok());
+  EXPECT_EQ(*item, "remote-item");
+}
+
+// --- checkpoint/restore round trips for each object ------------------------------
+
+TEST_F(ObjectsTest, EveryObjectCheckpointRoundTrips) {
+  TangoMap map(&rt_a_, 1);
+  TangoTreeMap tree(&rt_a_, 2);
+  TangoList list(&rt_a_, 3);
+  TangoSet set(&rt_a_, 4);
+  TangoQueue queue(&rt_a_, 5);
+  TangoRegister reg(&rt_a_, 6);
+  TangoCounter counter(&rt_a_, 7);
+
+  ASSERT_TRUE(map.Put("k", "v").ok());
+  ASSERT_TRUE(tree.Put("t", "v").ok());
+  ASSERT_TRUE(list.Add("l").ok());
+  ASSERT_TRUE(set.Add("s").ok());
+  ASSERT_TRUE(queue.Enqueue("q").ok());
+  ASSERT_TRUE(reg.Write(9).ok());
+  ASSERT_TRUE(counter.Add(3).ok());
+  ASSERT_TRUE(rt_a_.QueryHelper(1).ok());  // sync everything
+
+  for (ObjectId oid = 1; oid <= 7; ++oid) {
+    ASSERT_TRUE(rt_a_.WriteCheckpoint(oid).ok()) << "oid " << oid;
+  }
+
+  // Fresh runtime restores every object from its checkpoint.
+  auto fresh_client = MakeClient();
+  TangoRuntime fresh(fresh_client.get());
+  TangoMap map2(&fresh, 1);
+  TangoTreeMap tree2(&fresh, 2);
+  TangoList list2(&fresh, 3);
+  TangoSet set2(&fresh, 4);
+  TangoQueue queue2(&fresh, 5);
+  TangoRegister reg2(&fresh, 6);
+  TangoCounter counter2(&fresh, 7);
+  for (ObjectId oid = 1; oid <= 7; ++oid) {
+    ASSERT_TRUE(fresh.LoadObject(oid).ok()) << "oid " << oid;
+  }
+  EXPECT_EQ(*map2.Get("k"), "v");
+  EXPECT_EQ(*tree2.Get("t"), "v");
+  EXPECT_EQ(list2.All()->size(), 1u);
+  EXPECT_TRUE(*set2.Contains("s"));
+  EXPECT_EQ(*queue2.Peek(), "q");
+  EXPECT_EQ(*reg2.Read(), 9);
+  EXPECT_EQ(*counter2.Get(), 3);
+}
+
+}  // namespace
+}  // namespace tango

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "src/corfu/projection.h"
+#include "src/net/inproc_transport.h"
+
+namespace corfu {
+namespace {
+
+using tango::StatusCode;
+
+Projection MakeProjection(int sets, int repl) {
+  Projection p;
+  p.epoch = 0;
+  p.sequencer = 10;
+  for (int s = 0; s < sets; ++s) {
+    std::vector<tango::NodeId> chain;
+    for (int r = 0; r < repl; ++r) {
+      chain.push_back(100 + s * repl + r);
+    }
+    p.replica_sets.push_back(chain);
+  }
+  return p;
+}
+
+TEST(ProjectionTest, RoundRobinMapping) {
+  Projection p = MakeProjection(3, 2);
+  // Offsets stripe across sets; local offsets advance once per full round.
+  EXPECT_EQ(p.SetIndexFor(0), 0u);
+  EXPECT_EQ(p.SetIndexFor(1), 1u);
+  EXPECT_EQ(p.SetIndexFor(2), 2u);
+  EXPECT_EQ(p.SetIndexFor(3), 0u);
+  EXPECT_EQ(p.LocalOffsetFor(0), 0u);
+  EXPECT_EQ(p.LocalOffsetFor(3), 1u);
+  EXPECT_EQ(p.LocalOffsetFor(7), 2u);
+}
+
+TEST(ProjectionTest, MappingInverts) {
+  Projection p = MakeProjection(4, 2);
+  for (LogOffset o = 0; o < 100; ++o) {
+    EXPECT_EQ(p.GlobalOffsetFor(p.SetIndexFor(o), p.LocalOffsetFor(o)), o);
+  }
+}
+
+TEST(ProjectionTest, ChainForConsistent) {
+  Projection p = MakeProjection(2, 3);
+  EXPECT_EQ(p.ChainFor(0), (std::vector<tango::NodeId>{100, 101, 102}));
+  EXPECT_EQ(p.ChainFor(1), (std::vector<tango::NodeId>{103, 104, 105}));
+  EXPECT_EQ(p.ChainFor(2), p.ChainFor(0));
+}
+
+TEST(ProjectionTest, EncodeDecodeRoundTrip) {
+  Projection p = MakeProjection(3, 2);
+  p.epoch = 7;
+  p.page_size = 128;
+  p.backpointer_count = 8;
+  tango::ByteWriter w;
+  p.Encode(w);
+  tango::ByteReader r(w.bytes());
+  auto decoded = Projection::Decode(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->epoch, 7u);
+  EXPECT_EQ(decoded->page_size, 128u);
+  EXPECT_EQ(decoded->backpointer_count, 8u);
+  EXPECT_EQ(decoded->sequencer, 10u);
+  EXPECT_EQ(decoded->replica_sets, p.replica_sets);
+}
+
+TEST(ProjectionTest, DecodeRejectsGarbage) {
+  std::vector<uint8_t> garbage{1, 2, 3};
+  tango::ByteReader r(garbage);
+  EXPECT_FALSE(Projection::Decode(r).ok());
+}
+
+TEST(ProjectionStoreTest, GetReturnsInitial) {
+  tango::InProcTransport transport;
+  ProjectionStore store(&transport, 50, MakeProjection(2, 2));
+  auto fetched = FetchProjection(&transport, 50);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->epoch, 0u);
+  EXPECT_EQ(fetched->replica_sets.size(), 2u);
+}
+
+TEST(ProjectionStoreTest, ProposeAdvancesEpoch) {
+  tango::InProcTransport transport;
+  ProjectionStore store(&transport, 50, MakeProjection(2, 2));
+  Projection next = MakeProjection(2, 2);
+  next.epoch = 1;
+  next.sequencer = 99;
+  ASSERT_TRUE(ProposeProjection(&transport, 50, next).ok());
+  auto fetched = FetchProjection(&transport, 50);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->epoch, 1u);
+  EXPECT_EQ(fetched->sequencer, 99u);
+}
+
+TEST(ProjectionStoreTest, CasRejectsWrongEpoch) {
+  tango::InProcTransport transport;
+  ProjectionStore store(&transport, 50, MakeProjection(2, 2));
+  Projection skip = MakeProjection(2, 2);
+  skip.epoch = 5;  // not current + 1
+  EXPECT_EQ(ProposeProjection(&transport, 50, skip).code(),
+            StatusCode::kFailedPrecondition);
+  Projection stale = MakeProjection(2, 2);
+  stale.epoch = 0;
+  EXPECT_EQ(ProposeProjection(&transport, 50, stale).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ProjectionStoreTest, RaceHasOneWinner) {
+  tango::InProcTransport transport;
+  ProjectionStore store(&transport, 50, MakeProjection(2, 2));
+  Projection a = MakeProjection(2, 2);
+  a.epoch = 1;
+  a.sequencer = 111;
+  Projection b = MakeProjection(2, 2);
+  b.epoch = 1;
+  b.sequencer = 222;
+  tango::Status sa = ProposeProjection(&transport, 50, a);
+  tango::Status sb = ProposeProjection(&transport, 50, b);
+  EXPECT_NE(sa.ok(), sb.ok());  // exactly one wins
+  auto fetched = FetchProjection(&transport, 50);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->sequencer, sa.ok() ? 111u : 222u);
+}
+
+}  // namespace
+}  // namespace corfu

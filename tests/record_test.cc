@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "src/runtime/record.h"
+#include "tests/test_env.h"
+
+namespace tango {
+namespace {
+
+using tango_test::Bytes;
+
+TEST(RecordTest, UpdateRoundTrip) {
+  Record record = MakeUpdateRecord(7, Bytes("payload"), uint64_t{42});
+  auto decoded = DecodeRecords(EncodeRecord(record));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 1u);
+  const Record& r = (*decoded)[0];
+  EXPECT_EQ(r.type, RecordType::kUpdate);
+  EXPECT_EQ(r.update.write.oid, 7u);
+  EXPECT_TRUE(r.update.write.has_key);
+  EXPECT_EQ(r.update.write.key, 42u);
+  EXPECT_EQ(r.update.write.data, Bytes("payload"));
+}
+
+TEST(RecordTest, UpdateWithoutKey) {
+  Record record = MakeUpdateRecord(7, Bytes("p"), std::nullopt);
+  auto decoded = DecodeRecords(EncodeRecord(record));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE((*decoded)[0].update.write.has_key);
+}
+
+TEST(RecordTest, CommitRoundTrip) {
+  std::vector<WriteOp> writes;
+  WriteOp w;
+  w.oid = 1;
+  w.has_key = true;
+  w.key = 5;
+  w.data = Bytes("val");
+  writes.push_back(w);
+  std::vector<ReadDep> reads;
+  ReadDep d;
+  d.oid = 2;
+  d.has_key = false;
+  d.version = 99;
+  reads.push_back(d);
+
+  Record record = MakeCommitRecord(0xAABBCCDD00112233ULL, writes, reads);
+  auto decoded = DecodeRecords(EncodeRecord(record));
+  ASSERT_TRUE(decoded.ok());
+  const Record& r = (*decoded)[0];
+  EXPECT_EQ(r.type, RecordType::kCommit);
+  EXPECT_EQ(r.commit.txid, 0xAABBCCDD00112233ULL);
+  ASSERT_EQ(r.commit.writes.size(), 1u);
+  EXPECT_EQ(r.commit.writes[0].oid, 1u);
+  EXPECT_EQ(r.commit.writes[0].key, 5u);
+  EXPECT_EQ(r.commit.writes[0].data, Bytes("val"));
+  ASSERT_EQ(r.commit.reads.size(), 1u);
+  EXPECT_EQ(r.commit.reads[0].oid, 2u);
+  EXPECT_EQ(r.commit.reads[0].version, 99u);
+}
+
+TEST(RecordTest, EmptyCommit) {
+  Record record = MakeCommitRecord(1, {}, {});
+  auto decoded = DecodeRecords(EncodeRecord(record));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE((*decoded)[0].commit.writes.empty());
+  EXPECT_TRUE((*decoded)[0].commit.reads.empty());
+}
+
+TEST(RecordTest, DecisionRoundTrip) {
+  Record record = MakeDecisionRecord(77, true);
+  auto decoded = DecodeRecords(EncodeRecord(record));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ((*decoded)[0].type, RecordType::kDecision);
+  EXPECT_EQ((*decoded)[0].decision.txid, 77u);
+  EXPECT_TRUE((*decoded)[0].decision.commit);
+
+  Record abort = MakeDecisionRecord(78, false);
+  auto decoded2 = DecodeRecords(EncodeRecord(abort));
+  ASSERT_TRUE(decoded2.ok());
+  EXPECT_FALSE((*decoded2)[0].decision.commit);
+}
+
+TEST(RecordTest, CheckpointRoundTrip) {
+  Record record = MakeCheckpointRecord(9, 1234, Bytes("snapshot"));
+  auto decoded = DecodeRecords(EncodeRecord(record));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ((*decoded)[0].type, RecordType::kCheckpoint);
+  EXPECT_EQ((*decoded)[0].checkpoint.oid, 9u);
+  EXPECT_EQ((*decoded)[0].checkpoint.covered, 1234u);
+  EXPECT_EQ((*decoded)[0].checkpoint.state, Bytes("snapshot"));
+}
+
+TEST(RecordTest, BatchOfRecords) {
+  std::vector<Record> batch;
+  batch.push_back(MakeUpdateRecord(1, Bytes("a"), std::nullopt));
+  batch.push_back(MakeDecisionRecord(5, true));
+  batch.push_back(MakeUpdateRecord(2, Bytes("b"), uint64_t{9}));
+  auto decoded = DecodeRecords(EncodeRecords(batch));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 3u);
+  EXPECT_EQ((*decoded)[0].type, RecordType::kUpdate);
+  EXPECT_EQ((*decoded)[1].type, RecordType::kDecision);
+  EXPECT_EQ((*decoded)[2].update.write.oid, 2u);
+}
+
+TEST(RecordTest, GarbageRejected) {
+  std::vector<uint8_t> garbage{9, 9, 9, 9};
+  EXPECT_FALSE(DecodeRecords(garbage).ok());
+}
+
+TEST(RecordTest, TruncatedBatchRejected) {
+  Record record = MakeUpdateRecord(1, Bytes("abcdef"), std::nullopt);
+  auto encoded = EncodeRecord(record);
+  encoded.resize(encoded.size() - 3);
+  EXPECT_FALSE(DecodeRecords(encoded).ok());
+}
+
+TEST(RecordTest, UnknownTypeRejected) {
+  ByteWriter w;
+  w.PutU16(1);   // one record
+  w.PutU8(200);  // bogus type
+  EXPECT_FALSE(DecodeRecords(w.bytes()).ok());
+}
+
+}  // namespace
+}  // namespace tango

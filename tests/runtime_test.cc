@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include "src/objects/tango_counter.h"
+#include "src/objects/tango_map.h"
+#include "src/objects/tango_register.h"
+#include "src/runtime/directory.h"
+#include "src/runtime/runtime.h"
+#include "tests/test_env.h"
+
+namespace tango {
+namespace {
+
+using tango_test::Bytes;
+using tango_test::ClusterFixture;
+
+class RuntimeTest : public ClusterFixture {
+ protected:
+  RuntimeTest()
+      : client_a_(MakeClient()),
+        client_b_(MakeClient()),
+        rt_a_(client_a_.get()),
+        rt_b_(client_b_.get()) {}
+
+  std::unique_ptr<corfu::CorfuClient> client_a_;
+  std::unique_ptr<corfu::CorfuClient> client_b_;
+  TangoRuntime rt_a_;
+  TangoRuntime rt_b_;
+};
+
+TEST_F(RuntimeTest, RegisterWriteRead) {
+  TangoRegister reg(&rt_a_, 1);
+  ASSERT_TRUE(reg.Write(42).ok());
+  auto value = reg.Read();
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 42);
+}
+
+TEST_F(RuntimeTest, TwoViewsConverge) {
+  // The paper's core SMR claim: views on different clients see the same
+  // history (Figure 1).
+  TangoRegister writer(&rt_a_, 1);
+  TangoRegister reader(&rt_b_, 1);
+  ASSERT_TRUE(writer.Write(7).ok());
+  auto value = reader.Read();
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 7);
+}
+
+TEST_F(RuntimeTest, LinearizableReadSeesLatestWrite) {
+  TangoRegister writer(&rt_a_, 1);
+  TangoRegister reader(&rt_b_, 1);
+  for (int64_t v = 1; v <= 10; ++v) {
+    ASSERT_TRUE(writer.Write(v).ok());
+    auto read = reader.Read();
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(*read, v);
+  }
+}
+
+TEST_F(RuntimeTest, RegisterDuplicateOidRejected) {
+  TangoRegister reg(&rt_a_, 1);
+  EXPECT_EQ(rt_a_.RegisterObject(1, &reg).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(rt_a_.RegisterObject(2, nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(RuntimeTest, HostsAndUnregister) {
+  {
+    TangoRegister reg(&rt_a_, 5);
+    EXPECT_TRUE(rt_a_.Hosts(5));
+  }
+  EXPECT_FALSE(rt_a_.Hosts(5));  // destructor unregistered
+  EXPECT_EQ(rt_a_.UnregisterObject(5).code(), StatusCode::kNotFound);
+}
+
+TEST_F(RuntimeTest, CounterAccumulates) {
+  TangoCounter counter_a(&rt_a_, 1);
+  TangoCounter counter_b(&rt_b_, 1);
+  ASSERT_TRUE(counter_a.Add(5).ok());
+  ASSERT_TRUE(counter_b.Add(3).ok());
+  auto value = counter_a.Get();
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 8);
+}
+
+TEST_F(RuntimeTest, VersionTracksLastModifyingOffset) {
+  TangoRegister reg(&rt_a_, 1);
+  EXPECT_EQ(rt_a_.VersionOf(1), corfu::kInvalidOffset);
+  ASSERT_TRUE(reg.Write(1).ok());  // occupies offset 0
+  ASSERT_TRUE(reg.Read().ok());
+  EXPECT_EQ(rt_a_.VersionOf(1), 0u);
+  ASSERT_TRUE(reg.Write(2).ok());  // offset 1
+  ASSERT_TRUE(reg.Read().ok());
+  EXPECT_EQ(rt_a_.VersionOf(1), 1u);
+}
+
+TEST_F(RuntimeTest, PerKeyVersions) {
+  TangoMap map(&rt_a_, 1);
+  ASSERT_TRUE(map.Put("x", "1").ok());
+  ASSERT_TRUE(map.Put("y", "2").ok());
+  ASSERT_TRUE(map.Get("x").ok());  // sync
+  uint64_t kx = std::hash<std::string>{}("x");
+  uint64_t ky = std::hash<std::string>{}("y");
+  EXPECT_EQ(rt_a_.VersionOf(1, kx), 0u);
+  EXPECT_EQ(rt_a_.VersionOf(1, ky), 1u);
+  EXPECT_EQ(rt_a_.VersionOf(1), 1u);  // object version = last write
+}
+
+TEST_F(RuntimeTest, HistoryTimeTravel) {
+  // §3.1 History: a view can be instantiated from a prefix of the history.
+  TangoRegister writer(&rt_a_, 1);
+  for (int64_t v = 1; v <= 5; ++v) {
+    ASSERT_TRUE(writer.Write(v * 10).ok());
+  }
+  ASSERT_TRUE(writer.Read().ok());
+
+  // A second runtime syncs only to offset 2 (exclusive): sees writes 0,1.
+  TangoRegister historical(&rt_b_, 1);
+  ASSERT_TRUE(rt_b_.SyncTo(2).ok());
+  // Read the raw view without a query barrier (would sync to tail).
+  EXPECT_EQ(rt_b_.VersionOf(1), 1u);
+
+  // Playing further forward catches up.
+  ASSERT_TRUE(rt_b_.SyncTo(5).ok());
+  EXPECT_EQ(rt_b_.VersionOf(1), 4u);
+}
+
+TEST_F(RuntimeTest, CrashReplayEquivalence) {
+  // Rebuild-from-log equals the live view (§3.1 Durability).
+  TangoMap live(&rt_a_, 1);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(live.Put("k" + std::to_string(i % 7),
+                         "v" + std::to_string(i))
+                    .ok());
+  }
+  ASSERT_TRUE(live.Size().ok());
+
+  // "Reboot": a brand-new client + runtime + view.
+  auto rebooted_client = MakeClient();
+  TangoRuntime rebooted_rt(rebooted_client.get());
+  TangoMap rebooted(&rebooted_rt, 1);
+  auto size = rebooted.Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 7u);
+  for (int k = 0; k < 7; ++k) {
+    auto live_value = live.Get("k" + std::to_string(k));
+    auto replayed = rebooted.Get("k" + std::to_string(k));
+    ASSERT_TRUE(live_value.ok());
+    ASSERT_TRUE(replayed.ok());
+    EXPECT_EQ(*live_value, *replayed);
+  }
+}
+
+TEST_F(RuntimeTest, CheckpointAndRestore) {
+  TangoMap map(&rt_a_, 1);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(map.Put("k" + std::to_string(i), "v").ok());
+  }
+  auto checkpoint_offset = rt_a_.WriteCheckpoint(1);
+  ASSERT_TRUE(checkpoint_offset.ok());
+  // More updates after the checkpoint.
+  ASSERT_TRUE(map.Put("k10", "v").ok());
+
+  // Fresh view restores from the checkpoint, then replays the suffix.
+  auto fresh_client = MakeClient();
+  TangoRuntime fresh_rt(fresh_client.get());
+  TangoMap fresh(&fresh_rt, 1);
+  ASSERT_TRUE(fresh_rt.LoadObject(1).ok());
+  auto size = fresh.Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 11u);
+}
+
+TEST_F(RuntimeTest, CheckpointEnablesTrim) {
+  TangoMap map(&rt_a_, 1);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(map.Put("k" + std::to_string(i), "v").ok());
+  }
+  auto checkpoint_offset = rt_a_.WriteCheckpoint(1);
+  ASSERT_TRUE(checkpoint_offset.ok());
+  ASSERT_TRUE(rt_a_.Forget(1, *checkpoint_offset).ok());
+
+  // The prefix is gone from storage.
+  EXPECT_EQ(client_a_->Read(0).status().code(), StatusCode::kTrimmed);
+
+  // A fresh view can still be built — from the checkpoint.
+  auto fresh_client = MakeClient();
+  TangoRuntime fresh_rt(fresh_client.get());
+  TangoMap fresh(&fresh_rt, 1);
+  ASSERT_TRUE(fresh_rt.LoadObject(1).ok());
+  auto size = fresh.Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 10u);
+}
+
+TEST_F(RuntimeTest, TrimmedHistoryWithoutCheckpointFails) {
+  TangoRegister reg(&rt_a_, 1);
+  ASSERT_TRUE(reg.Write(1).ok());
+  ASSERT_TRUE(reg.Write(2).ok());
+  ASSERT_TRUE(client_a_->TrimPrefix(2).ok());
+
+  auto fresh_client = MakeClient();
+  TangoRuntime fresh_rt(fresh_client.get());
+  TangoRegister fresh(&fresh_rt, 1);
+  EXPECT_EQ(fresh_rt.LoadObject(1).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RuntimeTest, UpdateToUnhostedObjectAllowed) {
+  // Remote writes (§4.1 B): a producer appends to a stream it doesn't host.
+  ASSERT_TRUE(rt_a_.UpdateHelper(33, Bytes("remote")).ok());
+  // A host of object 33 sees the update.
+  TangoRegister host(&rt_b_, 33);
+  ASSERT_TRUE(host.Read().ok());
+  EXPECT_EQ(rt_b_.VersionOf(33), 0u);
+}
+
+TEST_F(RuntimeTest, StatsProgress) {
+  TangoRegister reg(&rt_a_, 1);
+  ASSERT_TRUE(reg.Write(1).ok());
+  ASSERT_TRUE(reg.Read().ok());
+  TangoRuntime::Stats stats = rt_a_.stats();
+  EXPECT_EQ(stats.updates_applied, 1u);
+  EXPECT_GE(stats.entries_played, 1u);
+}
+
+// --- directory -----------------------------------------------------------------
+
+TEST_F(RuntimeTest, DirectoryAssignsStableOids) {
+  TangoDirectory dir_a(&rt_a_);
+  TangoDirectory dir_b(&rt_b_);
+  auto oid1 = dir_a.Open("FreeNodeList");
+  ASSERT_TRUE(oid1.ok());
+  auto oid2 = dir_a.Open("WidgetAllocationMap");
+  ASSERT_TRUE(oid2.ok());
+  EXPECT_NE(*oid1, *oid2);
+  // Idempotent, and consistent across clients.
+  auto again = dir_b.Open("FreeNodeList");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *oid1);
+  auto looked_up = dir_b.Lookup("WidgetAllocationMap");
+  ASSERT_TRUE(looked_up.ok());
+  EXPECT_EQ(*looked_up, *oid2);
+}
+
+TEST_F(RuntimeTest, DirectoryLookupMissing) {
+  TangoDirectory dir(&rt_a_);
+  EXPECT_EQ(dir.Lookup("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RuntimeTest, DirectoryRacingCreatesConverge) {
+  TangoDirectory dir_a(&rt_a_);
+  TangoDirectory dir_b(&rt_b_);
+  // Both clients race to create the same name (appends race in the log).
+  auto a = dir_a.Open("shared");
+  auto b = dir_b.Open("shared");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST_F(RuntimeTest, DirectoryList) {
+  TangoDirectory dir(&rt_a_);
+  ASSERT_TRUE(dir.Open("alpha").ok());
+  ASSERT_TRUE(dir.Open("beta").ok());
+  auto names = dir.List();
+  EXPECT_EQ(names.size(), 2u);
+  EXPECT_TRUE(names.contains("alpha"));
+}
+
+TEST_F(RuntimeTest, DirectoryForgetTrimsAtMinimum) {
+  TangoDirectory dir(&rt_a_);
+  auto oid1 = dir.Open("one");
+  auto oid2 = dir.Open("two");
+  ASSERT_TRUE(oid1.ok());
+  ASSERT_TRUE(oid2.ok());
+  TangoRegister reg1(&rt_a_, *oid1);
+  TangoRegister reg2(&rt_a_, *oid2);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(reg1.Write(i).ok());
+    ASSERT_TRUE(reg2.Write(i).ok());
+  }
+  // Only object one forgets: the log must NOT be trimmed past object two's
+  // horizon (still 0).
+  ASSERT_TRUE(dir.Forget(*oid1, 8).ok());
+  EXPECT_TRUE(client_a_->Read(0).ok() ||
+              client_a_->Read(0).status().code() == StatusCode::kUnwritten);
+  // Once both forget, the prefix goes.
+  ASSERT_TRUE(dir.Forget(*oid2, 8).ok());
+  auto horizon = dir.TrimHorizon();
+  ASSERT_TRUE(horizon.ok());
+  EXPECT_EQ(*horizon, 8u);
+  EXPECT_EQ(client_a_->Read(0).status().code(), StatusCode::kTrimmed);
+}
+
+}  // namespace
+}  // namespace tango

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/corfu/sequencer.h"
+#include "src/net/inproc_transport.h"
+#include "src/util/threading.h"
+
+namespace corfu {
+namespace {
+
+using tango::StatusCode;
+
+class SequencerTest : public ::testing::Test {
+ protected:
+  SequencerTest() : sequencer_(&transport_, 1, /*epoch=*/0, /*K=*/4) {}
+
+  tango::InProcTransport transport_;
+  Sequencer sequencer_;
+};
+
+TEST_F(SequencerTest, GrantsMonotonicOffsets) {
+  for (LogOffset expected = 0; expected < 10; ++expected) {
+    auto grant = sequencer_.Next(0, 1, {});
+    ASSERT_TRUE(grant.ok());
+    EXPECT_EQ(grant->start, expected);
+  }
+}
+
+TEST_F(SequencerTest, BatchedGrant) {
+  auto grant = sequencer_.Next(0, 8, {});
+  ASSERT_TRUE(grant.ok());
+  EXPECT_EQ(grant->start, 0u);
+  auto next = sequencer_.Next(0, 1, {});
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->start, 8u);
+}
+
+TEST_F(SequencerTest, BatchWithStreamsRejected) {
+  EXPECT_EQ(sequencer_.Next(0, 4, {7}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(sequencer_.Next(0, 0, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SequencerTest, StreamBackpointersAccumulate) {
+  // First grant for a stream: no previous entries.
+  auto g0 = sequencer_.Next(0, 1, {5});
+  ASSERT_TRUE(g0.ok());
+  EXPECT_TRUE(g0->backpointers[0].empty());
+
+  auto g1 = sequencer_.Next(0, 1, {5});
+  ASSERT_TRUE(g1.ok());
+  EXPECT_EQ(g1->backpointers[0], (StreamTail{0}));
+
+  // Interleave another stream; stream 5's pointers are unaffected.
+  ASSERT_TRUE(sequencer_.Next(0, 1, {6}).ok());
+
+  auto g2 = sequencer_.Next(0, 1, {5});
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->backpointers[0], (StreamTail{1, 0}));
+}
+
+TEST_F(SequencerTest, BackpointersCappedAtK) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(sequencer_.Next(0, 1, {5}).ok());
+  }
+  auto info = sequencer_.Tail(0, {5});
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->backpointers[0].size(), 4u);
+  EXPECT_EQ(info->backpointers[0][0], 9u);  // most recent first
+  EXPECT_EQ(info->backpointers[0][3], 6u);
+}
+
+TEST_F(SequencerTest, MultiStreamGrantSharesOffset) {
+  auto grant = sequencer_.Next(0, 1, {1, 2, 3});
+  ASSERT_TRUE(grant.ok());
+  auto info = sequencer_.Tail(0, {1, 2, 3});
+  ASSERT_TRUE(info.ok());
+  for (const StreamTail& t : info->backpointers) {
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0], grant->start);
+  }
+}
+
+TEST_F(SequencerTest, TailDoesNotIncrement) {
+  ASSERT_TRUE(sequencer_.Next(0, 1, {}).ok());
+  auto a = sequencer_.Tail(0, {});
+  auto b = sequencer_.Tail(0, {});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->tail, 1u);
+  EXPECT_EQ(b->tail, 1u);
+}
+
+TEST_F(SequencerTest, UnknownStreamTailEmpty) {
+  auto info = sequencer_.Tail(0, {123});
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->backpointers[0].empty());
+}
+
+TEST_F(SequencerTest, EpochMismatchRejected) {
+  EXPECT_EQ(sequencer_.Next(3, 1, {}).status().code(),
+            StatusCode::kSealedEpoch);
+  EXPECT_EQ(sequencer_.Tail(3, {}).status().code(), StatusCode::kSealedEpoch);
+}
+
+TEST_F(SequencerTest, BootstrapInstallsState) {
+  std::unordered_map<StreamId, StreamTail> state;
+  state[9] = {100, 90, 80, 70};
+  ASSERT_TRUE(sequencer_.Bootstrap(2, 101, state).ok());
+  // Old epoch now rejected; new epoch serves the recovered state.
+  EXPECT_EQ(sequencer_.Next(0, 1, {}).status().code(),
+            StatusCode::kSealedEpoch);
+  auto info = sequencer_.Tail(2, {9});
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->tail, 101u);
+  EXPECT_EQ(info->backpointers[0], (StreamTail{100, 90, 80, 70}));
+}
+
+TEST_F(SequencerTest, BootstrapOldEpochRejected) {
+  ASSERT_TRUE(sequencer_.Bootstrap(2, 10, {}).ok());
+  EXPECT_EQ(sequencer_.Bootstrap(1, 20, {}).code(), StatusCode::kSealedEpoch);
+}
+
+TEST_F(SequencerTest, RpcWrappers) {
+  auto grant = SequencerNext(&transport_, 1, 0, 1, {4, 5});
+  ASSERT_TRUE(grant.ok());
+  EXPECT_EQ(grant->start, 0u);
+  EXPECT_EQ(grant->backpointers.size(), 2u);
+
+  auto info = SequencerTail(&transport_, 1, 0, {4});
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->tail, 1u);
+  EXPECT_EQ(info->backpointers[0], (StreamTail{0}));
+
+  std::unordered_map<StreamId, StreamTail> state;
+  state[8] = {3};
+  EXPECT_TRUE(SequencerBootstrap(&transport_, 1, 1, 50, state).ok());
+  auto after = SequencerTail(&transport_, 1, 1, {8});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->tail, 50u);
+}
+
+TEST_F(SequencerTest, ConcurrentGrantsAreUnique) {
+  std::mutex mu;
+  std::set<LogOffset> seen;
+  tango::RunParallel(4, [&](int) {
+    for (int i = 0; i < 250; ++i) {
+      auto grant = sequencer_.Next(0, 1, {1});
+      ASSERT_TRUE(grant.ok());
+      std::lock_guard<std::mutex> lock(mu);
+      EXPECT_TRUE(seen.insert(grant->start).second);
+    }
+  });
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST_F(SequencerTest, DumpReturnsFullState) {
+  ASSERT_TRUE(sequencer_.Next(0, 1, {5}).ok());
+  ASSERT_TRUE(sequencer_.Next(0, 1, {5, 6}).ok());
+  auto dump = sequencer_.Dump(0);
+  ASSERT_TRUE(dump.ok());
+  EXPECT_EQ(dump->tail, 2u);
+  EXPECT_EQ(dump->streams.at(5), (StreamTail{1, 0}));
+  EXPECT_EQ(dump->streams.at(6), (StreamTail{1}));
+  EXPECT_EQ(sequencer_.Dump(9).status().code(), StatusCode::kSealedEpoch);
+}
+
+TEST_F(SequencerTest, DumpOverRpcAndStateCodec) {
+  ASSERT_TRUE(sequencer_.Next(0, 1, {7}).ok());
+  auto dump = SequencerDump(&transport_, 1, 0);
+  ASSERT_TRUE(dump.ok());
+  EXPECT_EQ(dump->tail, 1u);
+  ASSERT_TRUE(dump->streams.contains(7));
+
+  // Round trip through the wire codec used by log checkpoints.
+  tango::ByteWriter w;
+  EncodeSequencerState(dump->tail, dump->streams, w);
+  tango::ByteReader r(w.bytes());
+  auto decoded = DecodeSequencerState(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->tail, dump->tail);
+  EXPECT_EQ(decoded->streams.at(7), dump->streams.at(7));
+}
+
+TEST_F(SequencerTest, StreamCount) {
+  EXPECT_EQ(sequencer_.StreamCount(), 0u);
+  ASSERT_TRUE(sequencer_.Next(0, 1, {1, 2, 3}).ok());
+  EXPECT_EQ(sequencer_.StreamCount(), 3u);
+}
+
+}  // namespace
+}  // namespace corfu

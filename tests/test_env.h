@@ -1,0 +1,45 @@
+// Shared test fixtures: a small in-process CORFU cluster plus helpers.
+
+#ifndef TESTS_TEST_ENV_H_
+#define TESTS_TEST_ENV_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/corfu/cluster.h"
+#include "src/net/inproc_transport.h"
+
+namespace tango_test {
+
+// A cluster with `kNodes` storage nodes in chains of `kRepl`, fast holes.
+class ClusterFixture : public ::testing::Test {
+ protected:
+  explicit ClusterFixture(int num_nodes = 6, int replication = 2) {
+    corfu::CorfuCluster::Options options;
+    options.num_storage_nodes = num_nodes;
+    options.replication_factor = replication;
+    cluster_ = std::make_unique<corfu::CorfuCluster>(&transport_, options);
+  }
+
+  std::unique_ptr<corfu::CorfuClient> MakeClient(uint32_t hole_timeout_ms = 5) {
+    corfu::CorfuClient::Options options;
+    options.hole_timeout_ms = hole_timeout_ms;
+    return cluster_->MakeClient(options);
+  }
+
+  tango::InProcTransport transport_;
+  std::unique_ptr<corfu::CorfuCluster> cluster_;
+};
+
+inline std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+inline std::string Str(const std::vector<uint8_t>& b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace tango_test
+
+#endif  // TESTS_TEST_ENV_H_

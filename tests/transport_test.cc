@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "src/net/inproc_transport.h"
+#include "src/net/tcp_transport.h"
+#include "src/util/threading.h"
+
+namespace tango {
+namespace {
+
+RpcHandler EchoHandler() {
+  return [](uint16_t method, ByteReader& req, ByteWriter& resp) {
+    if (method == 1) {  // echo
+      std::string s = req.GetString();
+      resp.PutString(s);
+      return Status::Ok();
+    }
+    if (method == 2) {  // fail
+      return Status(StatusCode::kFailedPrecondition, "nope");
+    }
+    return Status(StatusCode::kInvalidArgument, "unknown method");
+  };
+}
+
+std::vector<uint8_t> EchoRequest(const std::string& s) {
+  ByteWriter w;
+  w.PutString(s);
+  return w.Take();
+}
+
+template <typename T>
+void ExerciseEcho(T& transport) {
+  transport.RegisterNode(7, EchoHandler());
+  std::vector<uint8_t> resp;
+  Status st = transport.Call(7, 1, EchoRequest("ping"), &resp);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ByteReader r(resp);
+  EXPECT_EQ(r.GetString(), "ping");
+}
+
+// --- InProcTransport -----------------------------------------------------------
+
+TEST(InProcTransportTest, Echo) {
+  InProcTransport t;
+  ExerciseEcho(t);
+}
+
+TEST(InProcTransportTest, UnknownNodeUnavailable) {
+  InProcTransport t;
+  EXPECT_EQ(t.Call(99, 1, {}, nullptr).code(), StatusCode::kUnavailable);
+}
+
+TEST(InProcTransportTest, HandlerStatusPropagates) {
+  InProcTransport t;
+  t.RegisterNode(7, EchoHandler());
+  EXPECT_EQ(t.Call(7, 2, {}, nullptr).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(InProcTransportTest, KillAndRevive) {
+  InProcTransport t;
+  t.RegisterNode(7, EchoHandler());
+  t.KillNode(7);
+  EXPECT_TRUE(t.IsKilled(7));
+  EXPECT_EQ(t.Call(7, 1, EchoRequest("x"), nullptr).code(),
+            StatusCode::kUnavailable);
+  t.ReviveNode(7);
+  EXPECT_TRUE(t.Call(7, 1, EchoRequest("x"), nullptr).ok());
+}
+
+TEST(InProcTransportTest, UnregisterRemoves) {
+  InProcTransport t;
+  t.RegisterNode(7, EchoHandler());
+  t.UnregisterNode(7);
+  EXPECT_EQ(t.Call(7, 1, {}, nullptr).code(), StatusCode::kUnavailable);
+}
+
+TEST(InProcTransportTest, DropInjection) {
+  InProcTransport::Options options;
+  options.drop_probability = 1.0;
+  InProcTransport t(options);
+  t.RegisterNode(7, EchoHandler());
+  EXPECT_EQ(t.Call(7, 1, EchoRequest("x"), nullptr).code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(InProcTransportTest, PartialDropEventuallySucceeds) {
+  InProcTransport::Options options;
+  options.drop_probability = 0.5;
+  options.seed = 99;
+  InProcTransport t(options);
+  t.RegisterNode(7, EchoHandler());
+  int successes = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (t.Call(7, 1, EchoRequest("x"), nullptr).ok()) {
+      ++successes;
+    }
+  }
+  EXPECT_GT(successes, 20);
+  EXPECT_LT(successes, 80);
+}
+
+TEST(InProcTransportTest, CountsCalls) {
+  InProcTransport t;
+  t.RegisterNode(7, EchoHandler());
+  uint64_t before = t.call_count();
+  (void)t.Call(7, 1, EchoRequest("x"), nullptr);
+  (void)t.Call(7, 1, EchoRequest("y"), nullptr);
+  EXPECT_EQ(t.call_count(), before + 2);
+}
+
+TEST(InProcTransportTest, ConcurrentCallers) {
+  InProcTransport t;
+  std::atomic<uint64_t> handled{0};
+  t.RegisterNode(3, [&](uint16_t, ByteReader&, ByteWriter&) {
+    handled.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  });
+  RunParallel(4, [&](int) {
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(t.Call(3, 0, {}, nullptr).ok());
+    }
+  });
+  EXPECT_EQ(handled.load(), 2000u);
+}
+
+// --- TcpTransport ------------------------------------------------------------------
+
+TEST(TcpTransportTest, EchoOverLoopback) {
+  TcpTransport t;
+  ExerciseEcho(t);
+}
+
+TEST(TcpTransportTest, PortAssigned) {
+  TcpTransport t;
+  t.RegisterNode(7, EchoHandler());
+  EXPECT_GT(t.LocalPort(7), 0);
+  EXPECT_EQ(t.LocalPort(8), 0);
+}
+
+TEST(TcpTransportTest, StatusPropagates) {
+  TcpTransport t;
+  t.RegisterNode(7, EchoHandler());
+  EXPECT_EQ(t.Call(7, 2, {}, nullptr).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TcpTransportTest, NoRouteIsUnavailable) {
+  TcpTransport t;
+  EXPECT_EQ(t.Call(42, 1, {}, nullptr).code(), StatusCode::kUnavailable);
+}
+
+TEST(TcpTransportTest, LargePayloadRoundTrip) {
+  TcpTransport t;
+  t.RegisterNode(7, EchoHandler());
+  std::string big(1 << 20, 'z');  // 1 MiB
+  std::vector<uint8_t> resp;
+  ASSERT_TRUE(t.Call(7, 1, EchoRequest(big), &resp).ok());
+  ByteReader r(resp);
+  EXPECT_EQ(r.GetString(), big);
+}
+
+TEST(TcpTransportTest, SequentialRequestsReuseConnection) {
+  TcpTransport t;
+  t.RegisterNode(7, EchoHandler());
+  for (int i = 0; i < 50; ++i) {
+    std::vector<uint8_t> resp;
+    ASSERT_TRUE(t.Call(7, 1, EchoRequest(std::to_string(i)), &resp).ok());
+    ByteReader r(resp);
+    EXPECT_EQ(r.GetString(), std::to_string(i));
+  }
+}
+
+TEST(TcpTransportTest, TwoNodesIndependent) {
+  TcpTransport t;
+  t.RegisterNode(1, [](uint16_t, ByteReader&, ByteWriter& resp) {
+    resp.PutString("one");
+    return Status::Ok();
+  });
+  t.RegisterNode(2, [](uint16_t, ByteReader&, ByteWriter& resp) {
+    resp.PutString("two");
+    return Status::Ok();
+  });
+  std::vector<uint8_t> resp;
+  ASSERT_TRUE(t.Call(1, 0, {}, &resp).ok());
+  ByteReader r1(resp);
+  EXPECT_EQ(r1.GetString(), "one");
+  ASSERT_TRUE(t.Call(2, 0, {}, &resp).ok());
+  ByteReader r2(resp);
+  EXPECT_EQ(r2.GetString(), "two");
+}
+
+TEST(TcpTransportTest, UnregisterClosesServer) {
+  TcpTransport t;
+  t.RegisterNode(7, EchoHandler());
+  ASSERT_TRUE(t.Call(7, 1, EchoRequest("x"), nullptr).ok());
+  t.UnregisterNode(7);
+  EXPECT_FALSE(t.Call(7, 1, EchoRequest("x"), nullptr).ok());
+}
+
+}  // namespace
+}  // namespace tango

@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "src/util/histogram.h"
+#include "src/util/random.h"
+#include "src/util/serialize.h"
+#include "src/util/status.h"
+#include "src/util/threading.h"
+
+namespace tango {
+namespace {
+
+// --- Status / Result ---------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, CodeAndMessage) {
+  Status st(StatusCode::kNotFound, "missing widget");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.ToString(), "NOT_FOUND: missing widget");
+  EXPECT_TRUE(st == StatusCode::kNotFound);
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int i = 0; i <= static_cast<int>(StatusCode::kInternal); ++i) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(i)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status(StatusCode::kTimeout, "slow"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOut) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+// --- serialization -------------------------------------------------------------
+
+TEST(SerializeTest, RoundTripScalars) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutU16(0xbeef);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutI64(-12345);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.GetU8(), 0xab);
+  EXPECT_EQ(r.GetU16(), 0xbeef);
+  EXPECT_EQ(r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.GetI64(), -12345);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(SerializeTest, RoundTripStringsAndBlobs) {
+  ByteWriter w;
+  w.PutString("hello");
+  w.PutString("");
+  w.PutBlob(std::vector<uint8_t>{1, 2, 3});
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.GetString(), "hello");
+  EXPECT_EQ(r.GetString(), "");
+  EXPECT_EQ(r.GetBlob(), (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(SerializeTest, LittleEndianLayout) {
+  ByteWriter w;
+  w.PutU32(0x01020304);
+  EXPECT_EQ(w.bytes()[0], 0x04);
+  EXPECT_EQ(w.bytes()[3], 0x01);
+}
+
+TEST(SerializeTest, OverrunMarksFailed) {
+  ByteWriter w;
+  w.PutU16(7);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.GetU64(), 0u);  // not enough bytes
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(SerializeTest, TruncatedStringFails) {
+  ByteWriter w;
+  w.PutU32(1000);  // claims 1000 bytes follow
+  w.PutU8('x');
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.GetString(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerializeTest, PatchU32) {
+  ByteWriter w;
+  w.PutU32(0);
+  w.PutU8(9);
+  w.PatchU32(0, 0xcafebabe);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.GetU32(), 0xcafebabeu);
+}
+
+TEST(SerializeTest, BlobViewIsZeroCopy) {
+  ByteWriter w;
+  w.PutBlob(std::vector<uint8_t>{9, 8, 7});
+  ByteReader r(w.bytes());
+  auto view = r.GetBlobView();
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view.data(), w.bytes().data() + 4);
+}
+
+// --- rng / zipf ------------------------------------------------------------------
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolRoughlyCalibrated) {
+  Rng rng(11);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    heads += rng.NextBool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+}
+
+TEST(ZipfTest, StaysInRange) {
+  ZipfGenerator zipf(1000, 0.99, 42);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Next(), 1000u);
+  }
+}
+
+TEST(ZipfTest, IsSkewed) {
+  ZipfGenerator zipf(10000, 0.99, 42);
+  uint64_t low = 0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Next() < 100) {  // hottest 1% of the key space
+      ++low;
+    }
+  }
+  // Under zipf(0.99), the top 1% draws a large share; uniform would get 1%.
+  EXPECT_GT(static_cast<double>(low) / kSamples, 0.3);
+}
+
+TEST(ZipfTest, UniformThetaZeroIsFlat) {
+  // theta -> 0 approaches uniform; check no single key dominates.
+  ZipfGenerator zipf(100, 0.01, 9);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) {
+    counts[zipf.Next()]++;
+  }
+  EXPECT_LT(*std::max_element(counts.begin(), counts.end()), 5000);
+}
+
+TEST(PermutationTest, IsAPermutation) {
+  auto perm = RandomPermutation(257, 3);
+  std::set<uint64_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 257u);
+  EXPECT_EQ(*seen.rbegin(), 256u);
+}
+
+// --- histogram ----------------------------------------------------------------------
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_NEAR(h.Percentile(0.5), 100, 5);
+}
+
+TEST(HistogramTest, PercentilesOrdered) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) {
+    h.Record(v);
+  }
+  uint64_t p50 = h.Percentile(0.50);
+  uint64_t p90 = h.Percentile(0.90);
+  uint64_t p99 = h.Percentile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_NEAR(static_cast<double>(p50), 5000, 300);
+  EXPECT_NEAR(static_cast<double>(p99), 9900, 500);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, LargeValuesClamped) {
+  Histogram h;
+  h.Record(~0ULL);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.Percentile(1.0), ~0ULL);
+}
+
+TEST(MeterTest, ConcurrentAdds) {
+  Meter meter;
+  RunParallel(4, [&](int) {
+    for (int i = 0; i < 1000; ++i) {
+      meter.Add();
+    }
+  });
+  EXPECT_EQ(meter.Read(), 4000u);
+}
+
+// --- threading -------------------------------------------------------------------------
+
+TEST(NotificationTest, WaitAndNotify) {
+  Notification n;
+  EXPECT_FALSE(n.HasBeenNotified());
+  std::thread t([&] { n.Notify(); });
+  n.WaitForNotification();
+  EXPECT_TRUE(n.HasBeenNotified());
+  t.join();
+}
+
+TEST(NotificationTest, TimeoutExpires) {
+  Notification n;
+  EXPECT_FALSE(n.WaitForNotificationWithTimeout(std::chrono::milliseconds(5)));
+}
+
+TEST(StartBarrierTest, ReleasesAllParties) {
+  StartBarrier barrier(3);
+  std::atomic<int> released{0};
+  RunParallel(3, [&](int) {
+    barrier.ArriveAndWait();
+    released.fetch_add(1);
+  });
+  EXPECT_EQ(released.load(), 3);
+}
+
+TEST(RunParallelForTest, StopsWorkers) {
+  std::atomic<uint64_t> iterations{0};
+  RunParallelFor(2, std::chrono::milliseconds(20),
+                 [&](int, std::atomic<bool>* stop) {
+                   while (!stop->load()) {
+                     iterations.fetch_add(1, std::memory_order_relaxed);
+                   }
+                 });
+  EXPECT_GT(iterations.load(), 0u);
+}
+
+}  // namespace
+}  // namespace tango

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "src/objects/tango_zookeeper.h"
+#include "tests/test_env.h"
+
+namespace tango {
+namespace {
+
+using tango_test::ClusterFixture;
+
+class ZkTest : public ClusterFixture {
+ protected:
+  ZkTest()
+      : client_a_(MakeClient()),
+        client_b_(MakeClient()),
+        rt_a_(client_a_.get()),
+        rt_b_(client_b_.get()),
+        zk_(&rt_a_, 1) {}
+
+  std::unique_ptr<corfu::CorfuClient> client_a_;
+  std::unique_ptr<corfu::CorfuClient> client_b_;
+  TangoRuntime rt_a_;
+  TangoRuntime rt_b_;
+  TangoZk zk_;
+};
+
+TEST_F(ZkTest, CreateAndGet) {
+  ASSERT_TRUE(zk_.Create("/app", "root-data").ok());
+  auto data = zk_.GetData("/app");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->first, "root-data");
+  EXPECT_EQ(data->second.version, 0);
+}
+
+TEST_F(ZkTest, CreateRequiresParent) {
+  EXPECT_EQ(zk_.Create("/a/b", "x").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(zk_.Create("/a", "x").ok());
+  EXPECT_TRUE(zk_.Create("/a/b", "y").ok());
+}
+
+TEST_F(ZkTest, DuplicateCreateRejected) {
+  ASSERT_TRUE(zk_.Create("/a", "x").ok());
+  EXPECT_EQ(zk_.Create("/a", "y").code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(ZkTest, BadPathsRejected) {
+  EXPECT_EQ(zk_.Create("noslash", "x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(zk_.Create("/trailing/", "x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(zk_.Create("//double", "x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(zk_.Create("/", "x").code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ZkTest, SetDataBumpsVersion) {
+  ASSERT_TRUE(zk_.Create("/a", "v0").ok());
+  ASSERT_TRUE(zk_.SetData("/a", "v1").ok());
+  auto data = zk_.GetData("/a");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->first, "v1");
+  EXPECT_EQ(data->second.version, 1);
+}
+
+TEST_F(ZkTest, ConditionalSetData) {
+  ASSERT_TRUE(zk_.Create("/a", "v0").ok());
+  EXPECT_EQ(zk_.SetData("/a", "nope", 5).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(zk_.SetData("/a", "yes", 0).ok());
+  EXPECT_TRUE(zk_.SetData("/a", "again", 1).ok());
+}
+
+TEST_F(ZkTest, DeleteSemantics) {
+  ASSERT_TRUE(zk_.Create("/a", "x").ok());
+  ASSERT_TRUE(zk_.Create("/a/b", "y").ok());
+  // Parent with children cannot be deleted.
+  EXPECT_EQ(zk_.Delete("/a").code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(zk_.Delete("/a/b").ok());
+  EXPECT_TRUE(zk_.Delete("/a").ok());
+  EXPECT_EQ(zk_.Delete("/a").code(), StatusCode::kNotFound);
+  auto exists = zk_.Exists("/a");
+  ASSERT_TRUE(exists.ok());
+  EXPECT_FALSE(*exists);
+}
+
+TEST_F(ZkTest, ConditionalDelete) {
+  ASSERT_TRUE(zk_.Create("/a", "x").ok());
+  ASSERT_TRUE(zk_.SetData("/a", "y").ok());  // version now 1
+  EXPECT_EQ(zk_.Delete("/a", 0).code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(zk_.Delete("/a", 1).ok());
+}
+
+TEST_F(ZkTest, GetChildren) {
+  ASSERT_TRUE(zk_.Create("/app", "").ok());
+  ASSERT_TRUE(zk_.Create("/app/a", "").ok());
+  ASSERT_TRUE(zk_.Create("/app/b", "").ok());
+  ASSERT_TRUE(zk_.Create("/app/b/nested", "").ok());
+  auto children = zk_.GetChildren("/app");
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(*children, (std::vector<std::string>{"a", "b"}));
+  auto root_children = zk_.GetChildren("/");
+  ASSERT_TRUE(root_children.ok());
+  EXPECT_EQ(*root_children, (std::vector<std::string>{"app"}));
+  EXPECT_EQ(zk_.GetChildren("/missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ZkTest, SequentialNodes) {
+  ASSERT_TRUE(zk_.Create("/tasks", "").ok());
+  auto p1 = zk_.CreateSequential("/tasks/task-", "a");
+  auto p2 = zk_.CreateSequential("/tasks/task-", "b");
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(*p1, "/tasks/task-0000000000");
+  EXPECT_EQ(*p2, "/tasks/task-0000000001");
+  // Plain creates also consume sequence numbers (ZooKeeper cversion-like).
+  ASSERT_TRUE(zk_.Create("/tasks/fixed", "c").ok());
+  auto p3 = zk_.CreateSequential("/tasks/task-", "d");
+  ASSERT_TRUE(p3.ok());
+  EXPECT_EQ(*p3, "/tasks/task-0000000003");
+}
+
+TEST_F(ZkTest, MultiOpAtomic) {
+  ASSERT_TRUE(zk_.Create("/a", "1").ok());
+  std::vector<TangoZk::MultiOp> ops;
+  ops.push_back({TangoZk::MultiOp::kCreateOp, "/b", "2", -1});
+  ops.push_back({TangoZk::MultiOp::kSetDataOp, "/a", "updated", -1});
+  ASSERT_TRUE(zk_.Multi(ops).ok());
+  EXPECT_TRUE(*zk_.Exists("/b"));
+  EXPECT_EQ(zk_.GetData("/a")->first, "updated");
+
+  // A failing op poisons the whole batch.
+  std::vector<TangoZk::MultiOp> bad;
+  bad.push_back({TangoZk::MultiOp::kCreateOp, "/c", "3", -1});
+  bad.push_back({TangoZk::MultiOp::kDeleteOp, "/missing", "", -1});
+  EXPECT_EQ(zk_.Multi(bad).code(), StatusCode::kNotFound);
+  EXPECT_FALSE(*zk_.Exists("/c"));
+}
+
+TEST_F(ZkTest, TwoViewsConverge) {
+  TangoZk zk_b(&rt_b_, 1);
+  ASSERT_TRUE(zk_.Create("/shared", "from-a").ok());
+  auto data = zk_b.GetData("/shared");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->first, "from-a");
+  ASSERT_TRUE(zk_b.SetData("/shared", "from-b").ok());
+  EXPECT_EQ(zk_.GetData("/shared")->first, "from-b");
+}
+
+TEST_F(ZkTest, ConcurrentSequentialCreatesUnique) {
+  TangoZk zk_b(&rt_b_, 1);
+  ASSERT_TRUE(zk_.Create("/q", "").ok());
+  std::vector<std::string> paths_a, paths_b;
+  std::thread ta([&] {
+    for (int i = 0; i < 5; ++i) {
+      auto p = zk_.CreateSequential("/q/n-", "a");
+      ASSERT_TRUE(p.ok());
+      paths_a.push_back(*p);
+    }
+  });
+  std::thread tb([&] {
+    for (int i = 0; i < 5; ++i) {
+      auto p = zk_b.CreateSequential("/q/n-", "b");
+      ASSERT_TRUE(p.ok());
+      paths_b.push_back(*p);
+    }
+  });
+  ta.join();
+  tb.join();
+  std::set<std::string> all(paths_a.begin(), paths_a.end());
+  all.insert(paths_b.begin(), paths_b.end());
+  EXPECT_EQ(all.size(), 10u);  // no collisions
+}
+
+TEST_F(ZkTest, CrossNamespaceMove) {
+  // §6.3: atomically move a node between two TangoZk instances — the
+  // capability ZooKeeper itself does not have.
+  TangoZk other(&rt_a_, 2);
+  ASSERT_TRUE(zk_.Create("/file", "contents").ok());
+  ASSERT_TRUE(zk_.MoveTo("/file", other, "/imported").ok());
+  EXPECT_FALSE(*zk_.Exists("/file"));
+  auto data = other.GetData("/imported");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->first, "contents");
+}
+
+TEST_F(ZkTest, MoveMissingNodeFails) {
+  TangoZk other(&rt_a_, 2);
+  EXPECT_EQ(zk_.MoveTo("/nope", other, "/x").code(), StatusCode::kNotFound);
+}
+
+TEST_F(ZkTest, MoveToExistingTargetFails) {
+  TangoZk other(&rt_a_, 2);
+  ASSERT_TRUE(zk_.Create("/src", "s").ok());
+  ASSERT_TRUE(other.Create("/dst", "d").ok());
+  EXPECT_EQ(zk_.MoveTo("/src", other, "/dst").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(*zk_.Exists("/src"));  // unchanged
+}
+
+TEST_F(ZkTest, RebuildAfterReboot) {
+  ASSERT_TRUE(zk_.Create("/a", "1").ok());
+  ASSERT_TRUE(zk_.Create("/a/b", "2").ok());
+  ASSERT_TRUE(zk_.SetData("/a", "1x").ok());
+
+  auto fresh_client = MakeClient();
+  TangoRuntime fresh(fresh_client.get());
+  TangoZk rebooted(&fresh, 1);
+  auto data = rebooted.GetData("/a");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->first, "1x");
+  EXPECT_EQ(data->second.version, 1);
+  EXPECT_TRUE(*rebooted.Exists("/a/b"));
+}
+
+TEST_F(ZkTest, WatchFiresOnceOnDataChange) {
+  ASSERT_TRUE(zk_.Create("/watched", "v0").ok());
+  ASSERT_TRUE(zk_.GetData("/watched").ok());  // sync past the create
+  std::atomic<int> fired{0};
+  zk_.Watch("/watched", [&](const std::string& path) {
+    EXPECT_EQ(path, "/watched");
+    fired.fetch_add(1);
+  });
+  TangoZk zk_b(&rt_b_, 1);
+  ASSERT_TRUE(zk_b.SetData("/watched", "v1").ok());
+  ASSERT_TRUE(zk_.GetData("/watched").ok());  // playback fires the watch
+  EXPECT_EQ(fired.load(), 1);
+  // One-shot: a second change does not re-fire.
+  ASSERT_TRUE(zk_b.SetData("/watched", "v2").ok());
+  ASSERT_TRUE(zk_.GetData("/watched").ok());
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST_F(ZkTest, WatchFiresOnCreateDeleteAndChildChange) {
+  ASSERT_TRUE(zk_.Create("/dir", "").ok());
+  ASSERT_TRUE(zk_.GetData("/dir").ok());
+  std::atomic<int> parent_fired{0};
+  std::atomic<int> child_fired{0};
+  zk_.Watch("/dir", [&](const std::string&) { parent_fired.fetch_add(1); });
+  zk_.Watch("/dir/new", [&](const std::string&) { child_fired.fetch_add(1); });
+
+  // Creating a child fires both the parent's watch (child-set change) and
+  // the created path's own existence watch.
+  ASSERT_TRUE(zk_.Create("/dir/new", "x").ok());
+  EXPECT_EQ(parent_fired.load(), 1);
+  EXPECT_EQ(child_fired.load(), 1);
+
+  // Deletion fires a fresh watch on the deleted node.
+  std::atomic<int> delete_fired{0};
+  zk_.Watch("/dir/new", [&](const std::string&) { delete_fired.fetch_add(1); });
+  ASSERT_TRUE(zk_.Delete("/dir/new").ok());
+  EXPECT_EQ(delete_fired.load(), 1);
+}
+
+TEST_F(ZkTest, DisjointSubtreesDontConflict) {
+  // Fine-grained versioning: ops under /x and /y proceed without aborts.
+  ASSERT_TRUE(zk_.Create("/x", "").ok());
+  ASSERT_TRUE(zk_.Create("/y", "").ok());
+  TangoZk zk_b(&rt_b_, 1);
+  std::atomic<int> failures{0};
+  std::thread ta([&] {
+    for (int i = 0; i < 10; ++i) {
+      if (!zk_.Create("/x/n" + std::to_string(i), "").ok()) {
+        failures.fetch_add(1);
+      }
+    }
+  });
+  std::thread tb([&] {
+    for (int i = 0; i < 10; ++i) {
+      if (!zk_b.Create("/y/n" + std::to_string(i), "").ok()) {
+        failures.fetch_add(1);
+      }
+    }
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(zk_.GetChildren("/x")->size(), 10u);
+  EXPECT_EQ(zk_.GetChildren("/y")->size(), 10u);
+}
+
+}  // namespace
+}  // namespace tango

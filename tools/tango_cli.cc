@@ -1,0 +1,214 @@
+// tango_cli: command-line client for a tango_logd deployment.
+//
+// Speaks the full protocol over TCP: raw log operations, stream operations,
+// recovery actions, and object-level access (a TangoMap keyed by OID), so a
+// deployment can be inspected and driven without writing code.
+//
+// Usage (flags must match the daemon's):
+//   tango_cli [--base-port=19700] [--nodes=6] [--repl=2] [--host=127.0.0.1]
+//             <command> [args...]
+//
+// Commands:
+//   tail                      fast tail check (sequencer round trip)
+//   tail-slow                 slow tail check (storage-node quorum)
+//   append <text> [sid...]    append an entry, optionally to streams
+//   read <offset>             read + decode one entry
+//   fill <offset>             patch a hole with junk
+//   trim-prefix <offset>      garbage-collect the log below <offset>
+//   stream-read <sid>         replay one stream end to end
+//   checkpoint-seq            checkpoint sequencer state into the log
+//   recover                   reconfigure: seal, bump epoch, rebuild sequencer
+//   map-put <oid> <key> <val> put through a TangoMap view
+//   map-get <oid> <key>       linearizable read through a TangoMap view
+//   map-list <oid>            dump a TangoMap
+
+#include <cstdio>
+#include <string>
+
+#include "src/corfu/log_client.h"
+#include "src/corfu/stream.h"
+#include "src/net/tcp_transport.h"
+#include "src/objects/tango_map.h"
+#include "src/runtime/runtime.h"
+#include "tools/node_layout.h"
+
+namespace {
+
+using tangotools::NodeLayout;
+using tangotools::ToolArgs;
+
+int Fail(const tango::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+void PrintEntry(corfu::LogOffset offset, const corfu::LogEntry& entry) {
+  std::printf("offset %llu: %s, %zu bytes, streams [",
+              static_cast<unsigned long long>(offset),
+              entry.is_junk() ? "JUNK" : "data", entry.payload.size());
+  for (size_t i = 0; i < entry.headers.size(); ++i) {
+    std::printf("%s%u", i > 0 ? " " : "", entry.headers[i].stream);
+  }
+  std::printf("]\n");
+  if (!entry.payload.empty()) {
+    std::printf("  payload: ");
+    for (uint8_t b : entry.payload) {
+      std::printf(b >= 0x20 && b < 0x7f ? "%c" : "\\x%02x",
+                  b >= 0x20 && b < 0x7f ? b : b);
+    }
+    std::printf("\n");
+  }
+}
+
+int RunCommand(corfu::CorfuClient& client, const ToolArgs& args) {
+  const auto& cmd = args.positional;
+  const std::string& verb = cmd[0];
+
+  if (verb == "tail") {
+    auto tail = client.CheckTail();
+    if (!tail.ok()) {
+      return Fail(tail.status());
+    }
+    std::printf("tail: %llu\n", static_cast<unsigned long long>(*tail));
+    return 0;
+  }
+  if (verb == "tail-slow") {
+    auto tail = client.CheckTailSlow();
+    if (!tail.ok()) {
+      return Fail(tail.status());
+    }
+    std::printf("tail (slow check): %llu\n",
+                static_cast<unsigned long long>(*tail));
+    return 0;
+  }
+  if (verb == "append" && cmd.size() >= 2) {
+    std::vector<corfu::StreamId> streams;
+    for (size_t i = 2; i < cmd.size(); ++i) {
+      streams.push_back(static_cast<corfu::StreamId>(std::stoul(cmd[i])));
+    }
+    std::vector<uint8_t> payload(cmd[1].begin(), cmd[1].end());
+    auto offset = client.AppendToStreams(payload, streams);
+    if (!offset.ok()) {
+      return Fail(offset.status());
+    }
+    std::printf("appended at offset %llu\n",
+                static_cast<unsigned long long>(*offset));
+    return 0;
+  }
+  if (verb == "read" && cmd.size() == 2) {
+    corfu::LogOffset offset = std::stoull(cmd[1]);
+    auto entry = client.Read(offset);
+    if (!entry.ok()) {
+      return Fail(entry.status());
+    }
+    PrintEntry(offset, *entry);
+    return 0;
+  }
+  if (verb == "fill" && cmd.size() == 2) {
+    tango::Status st = client.Fill(std::stoull(cmd[1]));
+    if (!st.ok()) {
+      return Fail(st);
+    }
+    std::printf("filled\n");
+    return 0;
+  }
+  if (verb == "trim-prefix" && cmd.size() == 2) {
+    tango::Status st = client.TrimPrefix(std::stoull(cmd[1]));
+    if (!st.ok()) {
+      return Fail(st);
+    }
+    std::printf("trimmed below %s\n", cmd[1].c_str());
+    return 0;
+  }
+  if (verb == "stream-read" && cmd.size() == 2) {
+    corfu::StreamStore store(&client);
+    corfu::StreamId stream = static_cast<corfu::StreamId>(std::stoul(cmd[1]));
+    store.Open(stream);
+    auto tail = store.Sync(stream);
+    if (!tail.ok()) {
+      return Fail(tail.status());
+    }
+    int count = 0;
+    while (true) {
+      auto entry = store.ReadNext(stream);
+      if (!entry.ok()) {
+        break;
+      }
+      PrintEntry(entry->offset, *entry->entry);
+      ++count;
+    }
+    std::printf("%d entries in stream %u\n", count, stream);
+    return 0;
+  }
+  if (verb == "checkpoint-seq") {
+    auto offset = client.WriteSequencerCheckpoint();
+    if (!offset.ok()) {
+      return Fail(offset.status());
+    }
+    std::printf("sequencer state checkpointed at offset %llu\n",
+                static_cast<unsigned long long>(*offset));
+    return 0;
+  }
+  if (verb == "recover") {
+    tango::Status st = corfu::Reconfigure(&client, [](corfu::Projection&) {});
+    if (!st.ok()) {
+      return Fail(st);
+    }
+    std::printf("reconfigured to epoch %u\n", client.projection().epoch);
+    return 0;
+  }
+  if (verb.rfind("map-", 0) == 0 && cmd.size() >= 2) {
+    tango::TangoRuntime runtime(&client);
+    tango::TangoMap map(&runtime,
+                        static_cast<tango::ObjectId>(std::stoul(cmd[1])));
+    if (verb == "map-put" && cmd.size() == 4) {
+      tango::Status st = map.Put(cmd[2], cmd[3]);
+      if (!st.ok()) {
+        return Fail(st);
+      }
+      std::printf("ok\n");
+      return 0;
+    }
+    if (verb == "map-get" && cmd.size() == 3) {
+      auto value = map.Get(cmd[2]);
+      if (!value.ok()) {
+        return Fail(value.status());
+      }
+      std::printf("%s\n", value->c_str());
+      return 0;
+    }
+    if (verb == "map-list" && cmd.size() == 2) {
+      auto keys = map.Keys();
+      if (!keys.ok()) {
+        return Fail(keys.status());
+      }
+      for (const std::string& key : *keys) {
+        auto value = map.Get(key);
+        std::printf("%s = %s\n", key.c_str(),
+                    value.ok() ? value->c_str() : "?");
+      }
+      return 0;
+    }
+  }
+
+  std::fprintf(stderr, "unknown or malformed command; see header comment\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ToolArgs args(argc, argv);
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: tango_cli [flags] <command> [args]\n");
+    return 2;
+  }
+  NodeLayout layout{static_cast<int>(args.GetInt("nodes", 6)),
+                    static_cast<uint16_t>(args.GetInt("base-port", 19700))};
+  std::string host = args.Get("host", "127.0.0.1");
+
+  tango::TcpTransport transport;
+  layout.AddRoutes(transport, host);
+  corfu::CorfuClient client(&transport, layout.projection_store_node());
+  return RunCommand(client, args);
+}

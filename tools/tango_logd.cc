@@ -1,0 +1,72 @@
+// tango_logd: a standalone CORFU shared-log deployment served over TCP.
+//
+// Hosts the storage nodes, the sequencer and the projection store of one
+// log deployment in a single process (one process per machine is the
+// expected production layout; this tool also supports running the whole
+// cluster on one box for development).  Clients — tango_cli or any program
+// using TcpTransport + NodeLayout routes — speak the same protocol the
+// in-process tests and benches use.
+//
+// Usage:
+//   tango_logd [--base-port=19700] [--nodes=6] [--repl=2]
+//              [--journal-dir=/var/lib/tango] [--listen=127.0.0.1]
+//
+// With --journal-dir, storage nodes persist their pages and survive daemon
+// restarts (restart with the same flags, then run `tango_cli recover` once
+// to rebuild the fresh sequencer's state from the log).
+
+#include <csignal>
+#include <cstdio>
+
+#include "src/corfu/cluster.h"
+#include "src/net/tcp_transport.h"
+#include "src/util/threading.h"
+#include "tools/node_layout.h"
+
+namespace {
+
+tango::Notification* g_shutdown = nullptr;
+
+void HandleSignal(int /*sig*/) {
+  if (g_shutdown != nullptr) {
+    g_shutdown->Notify();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tangotools::ToolArgs args(argc, argv);
+  tangotools::NodeLayout layout{
+      static_cast<int>(args.GetInt("nodes", 6)),
+      static_cast<uint16_t>(args.GetInt("base-port", 19700))};
+  int replication = static_cast<int>(args.GetInt("repl", 2));
+  std::string journal_dir = args.Get("journal-dir", "");
+  std::string listen = args.Get("listen", "127.0.0.1");
+
+  tango::TcpTransport transport;
+  transport.SetListenAddress(listen);
+  layout.AssignListenPorts(transport);
+
+  corfu::CorfuCluster::Options options = layout.ClusterOptions(replication);
+  options.journal_dir = journal_dir;
+  corfu::CorfuCluster cluster(&transport, options);
+
+  std::printf(
+      "tango_logd: serving %d storage nodes (x%d replication) on %s ports "
+      "%u-%u%s\n",
+      layout.num_storage_nodes, replication, listen.c_str(),
+      layout.ProjectionStorePort(),
+      layout.StoragePort(layout.num_storage_nodes - 1),
+      journal_dir.empty() ? "" : (", journaling to " + journal_dir).c_str());
+  std::printf("tango_logd: ready\n");
+  std::fflush(stdout);
+
+  tango::Notification shutdown;
+  g_shutdown = &shutdown;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  shutdown.WaitForNotification();
+  std::printf("tango_logd: shutting down\n");
+  return 0;
+}
