@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_backpointers.dir/ablate_backpointers.cc.o"
+  "CMakeFiles/ablate_backpointers.dir/ablate_backpointers.cc.o.d"
+  "ablate_backpointers"
+  "ablate_backpointers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_backpointers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_batching.dir/ablate_batching.cc.o"
+  "CMakeFiles/ablate_batching.dir/ablate_batching.cc.o.d"
+  "ablate_batching"
+  "ablate_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_checkpoint.dir/ablate_checkpoint.cc.o"
+  "CMakeFiles/ablate_checkpoint.dir/ablate_checkpoint.cc.o.d"
+  "ablate_checkpoint"
+  "ablate_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

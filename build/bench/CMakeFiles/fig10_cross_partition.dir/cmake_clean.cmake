@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cross_partition.dir/fig10_cross_partition.cc.o"
+  "CMakeFiles/fig10_cross_partition.dir/fig10_cross_partition.cc.o.d"
+  "fig10_cross_partition"
+  "fig10_cross_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cross_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

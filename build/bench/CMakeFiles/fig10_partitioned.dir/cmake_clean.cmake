@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_partitioned.dir/fig10_partitioned.cc.o"
+  "CMakeFiles/fig10_partitioned.dir/fig10_partitioned.cc.o.d"
+  "fig10_partitioned"
+  "fig10_partitioned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_partitioned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_shared_object.dir/fig10_shared_object.cc.o"
+  "CMakeFiles/fig10_shared_object.dir/fig10_shared_object.cc.o.d"
+  "fig10_shared_object"
+  "fig10_shared_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_shared_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

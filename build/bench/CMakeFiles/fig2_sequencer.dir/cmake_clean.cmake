@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_sequencer.dir/fig2_sequencer.cc.o"
+  "CMakeFiles/fig2_sequencer.dir/fig2_sequencer.cc.o.d"
+  "fig2_sequencer"
+  "fig2_sequencer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_sequencer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_elasticity.dir/fig8_elasticity.cc.o"
+  "CMakeFiles/fig8_elasticity.dir/fig8_elasticity.cc.o.d"
+  "fig8_elasticity"
+  "fig8_elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

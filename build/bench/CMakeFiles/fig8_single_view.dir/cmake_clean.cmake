@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_single_view.dir/fig8_single_view.cc.o"
+  "CMakeFiles/fig8_single_view.dir/fig8_single_view.cc.o.d"
+  "fig8_single_view"
+  "fig8_single_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_single_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_two_views.dir/fig8_two_views.cc.o"
+  "CMakeFiles/fig8_two_views.dir/fig8_two_views.cc.o.d"
+  "fig8_two_views"
+  "fig8_two_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_two_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_txn_map.dir/fig9_txn_map.cc.o"
+  "CMakeFiles/fig9_txn_map.dir/fig9_txn_map.cc.o.d"
+  "fig9_txn_map"
+  "fig9_txn_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_txn_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

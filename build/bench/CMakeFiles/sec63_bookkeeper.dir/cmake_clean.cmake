@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec63_bookkeeper.dir/sec63_bookkeeper.cc.o"
+  "CMakeFiles/sec63_bookkeeper.dir/sec63_bookkeeper.cc.o.d"
+  "sec63_bookkeeper"
+  "sec63_bookkeeper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec63_bookkeeper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

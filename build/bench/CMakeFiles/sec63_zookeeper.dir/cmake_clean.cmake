@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec63_zookeeper.dir/sec63_zookeeper.cc.o"
+  "CMakeFiles/sec63_zookeeper.dir/sec63_zookeeper.cc.o.d"
+  "sec63_zookeeper"
+  "sec63_zookeeper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec63_zookeeper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

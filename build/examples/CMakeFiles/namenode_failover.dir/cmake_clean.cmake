@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namenode_failover.dir/namenode_failover.cpp.o"
+  "CMakeFiles/namenode_failover.dir/namenode_failover.cpp.o.d"
+  "namenode_failover"
+  "namenode_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namenode_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namespace_shard.dir/namespace_shard.cpp.o"
+  "CMakeFiles/namespace_shard.dir/namespace_shard.cpp.o.d"
+  "namespace_shard"
+  "namespace_shard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namespace_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

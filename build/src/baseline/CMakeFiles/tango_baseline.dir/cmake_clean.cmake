@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_baseline.dir/two_phase_locking.cc.o"
+  "CMakeFiles/tango_baseline.dir/two_phase_locking.cc.o.d"
+  "libtango_baseline.a"
+  "libtango_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_c.dir/tango_c.cc.o"
+  "CMakeFiles/tango_c.dir/tango_c.cc.o.d"
+  "libtango_c.a"
+  "libtango_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

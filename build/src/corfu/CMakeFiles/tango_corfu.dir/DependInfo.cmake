@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corfu/cluster.cc" "src/corfu/CMakeFiles/tango_corfu.dir/cluster.cc.o" "gcc" "src/corfu/CMakeFiles/tango_corfu.dir/cluster.cc.o.d"
+  "/root/repo/src/corfu/entry.cc" "src/corfu/CMakeFiles/tango_corfu.dir/entry.cc.o" "gcc" "src/corfu/CMakeFiles/tango_corfu.dir/entry.cc.o.d"
+  "/root/repo/src/corfu/log_client.cc" "src/corfu/CMakeFiles/tango_corfu.dir/log_client.cc.o" "gcc" "src/corfu/CMakeFiles/tango_corfu.dir/log_client.cc.o.d"
+  "/root/repo/src/corfu/projection.cc" "src/corfu/CMakeFiles/tango_corfu.dir/projection.cc.o" "gcc" "src/corfu/CMakeFiles/tango_corfu.dir/projection.cc.o.d"
+  "/root/repo/src/corfu/sequencer.cc" "src/corfu/CMakeFiles/tango_corfu.dir/sequencer.cc.o" "gcc" "src/corfu/CMakeFiles/tango_corfu.dir/sequencer.cc.o.d"
+  "/root/repo/src/corfu/storage_node.cc" "src/corfu/CMakeFiles/tango_corfu.dir/storage_node.cc.o" "gcc" "src/corfu/CMakeFiles/tango_corfu.dir/storage_node.cc.o.d"
+  "/root/repo/src/corfu/stream.cc" "src/corfu/CMakeFiles/tango_corfu.dir/stream.cc.o" "gcc" "src/corfu/CMakeFiles/tango_corfu.dir/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tango_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tango_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_corfu.dir/cluster.cc.o"
+  "CMakeFiles/tango_corfu.dir/cluster.cc.o.d"
+  "CMakeFiles/tango_corfu.dir/entry.cc.o"
+  "CMakeFiles/tango_corfu.dir/entry.cc.o.d"
+  "CMakeFiles/tango_corfu.dir/log_client.cc.o"
+  "CMakeFiles/tango_corfu.dir/log_client.cc.o.d"
+  "CMakeFiles/tango_corfu.dir/projection.cc.o"
+  "CMakeFiles/tango_corfu.dir/projection.cc.o.d"
+  "CMakeFiles/tango_corfu.dir/sequencer.cc.o"
+  "CMakeFiles/tango_corfu.dir/sequencer.cc.o.d"
+  "CMakeFiles/tango_corfu.dir/storage_node.cc.o"
+  "CMakeFiles/tango_corfu.dir/storage_node.cc.o.d"
+  "CMakeFiles/tango_corfu.dir/stream.cc.o"
+  "CMakeFiles/tango_corfu.dir/stream.cc.o.d"
+  "libtango_corfu.a"
+  "libtango_corfu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_corfu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_net.dir/inproc_transport.cc.o"
+  "CMakeFiles/tango_net.dir/inproc_transport.cc.o.d"
+  "CMakeFiles/tango_net.dir/tcp_transport.cc.o"
+  "CMakeFiles/tango_net.dir/tcp_transport.cc.o.d"
+  "libtango_net.a"
+  "libtango_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

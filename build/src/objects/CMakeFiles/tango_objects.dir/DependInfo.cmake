@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objects/tango_bookkeeper.cc" "src/objects/CMakeFiles/tango_objects.dir/tango_bookkeeper.cc.o" "gcc" "src/objects/CMakeFiles/tango_objects.dir/tango_bookkeeper.cc.o.d"
+  "/root/repo/src/objects/tango_counter.cc" "src/objects/CMakeFiles/tango_objects.dir/tango_counter.cc.o" "gcc" "src/objects/CMakeFiles/tango_objects.dir/tango_counter.cc.o.d"
+  "/root/repo/src/objects/tango_graph.cc" "src/objects/CMakeFiles/tango_objects.dir/tango_graph.cc.o" "gcc" "src/objects/CMakeFiles/tango_objects.dir/tango_graph.cc.o.d"
+  "/root/repo/src/objects/tango_list.cc" "src/objects/CMakeFiles/tango_objects.dir/tango_list.cc.o" "gcc" "src/objects/CMakeFiles/tango_objects.dir/tango_list.cc.o.d"
+  "/root/repo/src/objects/tango_map.cc" "src/objects/CMakeFiles/tango_objects.dir/tango_map.cc.o" "gcc" "src/objects/CMakeFiles/tango_objects.dir/tango_map.cc.o.d"
+  "/root/repo/src/objects/tango_queue.cc" "src/objects/CMakeFiles/tango_objects.dir/tango_queue.cc.o" "gcc" "src/objects/CMakeFiles/tango_objects.dir/tango_queue.cc.o.d"
+  "/root/repo/src/objects/tango_register.cc" "src/objects/CMakeFiles/tango_objects.dir/tango_register.cc.o" "gcc" "src/objects/CMakeFiles/tango_objects.dir/tango_register.cc.o.d"
+  "/root/repo/src/objects/tango_set.cc" "src/objects/CMakeFiles/tango_objects.dir/tango_set.cc.o" "gcc" "src/objects/CMakeFiles/tango_objects.dir/tango_set.cc.o.d"
+  "/root/repo/src/objects/tango_treemap.cc" "src/objects/CMakeFiles/tango_objects.dir/tango_treemap.cc.o" "gcc" "src/objects/CMakeFiles/tango_objects.dir/tango_treemap.cc.o.d"
+  "/root/repo/src/objects/tango_zookeeper.cc" "src/objects/CMakeFiles/tango_objects.dir/tango_zookeeper.cc.o" "gcc" "src/objects/CMakeFiles/tango_objects.dir/tango_zookeeper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/tango_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/corfu/CMakeFiles/tango_corfu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tango_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tango_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

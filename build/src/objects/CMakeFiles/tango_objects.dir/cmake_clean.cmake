@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_objects.dir/tango_bookkeeper.cc.o"
+  "CMakeFiles/tango_objects.dir/tango_bookkeeper.cc.o.d"
+  "CMakeFiles/tango_objects.dir/tango_counter.cc.o"
+  "CMakeFiles/tango_objects.dir/tango_counter.cc.o.d"
+  "CMakeFiles/tango_objects.dir/tango_graph.cc.o"
+  "CMakeFiles/tango_objects.dir/tango_graph.cc.o.d"
+  "CMakeFiles/tango_objects.dir/tango_list.cc.o"
+  "CMakeFiles/tango_objects.dir/tango_list.cc.o.d"
+  "CMakeFiles/tango_objects.dir/tango_map.cc.o"
+  "CMakeFiles/tango_objects.dir/tango_map.cc.o.d"
+  "CMakeFiles/tango_objects.dir/tango_queue.cc.o"
+  "CMakeFiles/tango_objects.dir/tango_queue.cc.o.d"
+  "CMakeFiles/tango_objects.dir/tango_register.cc.o"
+  "CMakeFiles/tango_objects.dir/tango_register.cc.o.d"
+  "CMakeFiles/tango_objects.dir/tango_set.cc.o"
+  "CMakeFiles/tango_objects.dir/tango_set.cc.o.d"
+  "CMakeFiles/tango_objects.dir/tango_treemap.cc.o"
+  "CMakeFiles/tango_objects.dir/tango_treemap.cc.o.d"
+  "CMakeFiles/tango_objects.dir/tango_zookeeper.cc.o"
+  "CMakeFiles/tango_objects.dir/tango_zookeeper.cc.o.d"
+  "libtango_objects.a"
+  "libtango_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/batcher.cc" "src/runtime/CMakeFiles/tango_runtime.dir/batcher.cc.o" "gcc" "src/runtime/CMakeFiles/tango_runtime.dir/batcher.cc.o.d"
+  "/root/repo/src/runtime/directory.cc" "src/runtime/CMakeFiles/tango_runtime.dir/directory.cc.o" "gcc" "src/runtime/CMakeFiles/tango_runtime.dir/directory.cc.o.d"
+  "/root/repo/src/runtime/mirror.cc" "src/runtime/CMakeFiles/tango_runtime.dir/mirror.cc.o" "gcc" "src/runtime/CMakeFiles/tango_runtime.dir/mirror.cc.o.d"
+  "/root/repo/src/runtime/record.cc" "src/runtime/CMakeFiles/tango_runtime.dir/record.cc.o" "gcc" "src/runtime/CMakeFiles/tango_runtime.dir/record.cc.o.d"
+  "/root/repo/src/runtime/runtime.cc" "src/runtime/CMakeFiles/tango_runtime.dir/runtime.cc.o" "gcc" "src/runtime/CMakeFiles/tango_runtime.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corfu/CMakeFiles/tango_corfu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tango_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tango_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_runtime.dir/batcher.cc.o"
+  "CMakeFiles/tango_runtime.dir/batcher.cc.o.d"
+  "CMakeFiles/tango_runtime.dir/directory.cc.o"
+  "CMakeFiles/tango_runtime.dir/directory.cc.o.d"
+  "CMakeFiles/tango_runtime.dir/mirror.cc.o"
+  "CMakeFiles/tango_runtime.dir/mirror.cc.o.d"
+  "CMakeFiles/tango_runtime.dir/record.cc.o"
+  "CMakeFiles/tango_runtime.dir/record.cc.o.d"
+  "CMakeFiles/tango_runtime.dir/runtime.cc.o"
+  "CMakeFiles/tango_runtime.dir/runtime.cc.o.d"
+  "libtango_runtime.a"
+  "libtango_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

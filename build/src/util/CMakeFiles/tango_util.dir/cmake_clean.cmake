@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_util.dir/histogram.cc.o"
+  "CMakeFiles/tango_util.dir/histogram.cc.o.d"
+  "CMakeFiles/tango_util.dir/logging.cc.o"
+  "CMakeFiles/tango_util.dir/logging.cc.o.d"
+  "CMakeFiles/tango_util.dir/random.cc.o"
+  "CMakeFiles/tango_util.dir/random.cc.o.d"
+  "CMakeFiles/tango_util.dir/status.cc.o"
+  "CMakeFiles/tango_util.dir/status.cc.o.d"
+  "CMakeFiles/tango_util.dir/threading.cc.o"
+  "CMakeFiles/tango_util.dir/threading.cc.o.d"
+  "libtango_util.a"
+  "libtango_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

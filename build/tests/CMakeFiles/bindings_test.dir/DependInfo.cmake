@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bindings_test.cc" "tests/CMakeFiles/bindings_test.dir/bindings_test.cc.o" "gcc" "tests/CMakeFiles/bindings_test.dir/bindings_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bindings/CMakeFiles/tango_c.dir/DependInfo.cmake"
+  "/root/repo/build/src/objects/CMakeFiles/tango_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tango_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/corfu/CMakeFiles/tango_corfu.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/tango_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tango_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tango_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

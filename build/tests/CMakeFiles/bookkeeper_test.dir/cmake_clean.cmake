@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bookkeeper_test.dir/bookkeeper_test.cc.o"
+  "CMakeFiles/bookkeeper_test.dir/bookkeeper_test.cc.o.d"
+  "bookkeeper_test"
+  "bookkeeper_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bookkeeper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_runtime_test.dir/deep_runtime_test.cc.o"
+  "CMakeFiles/deep_runtime_test.dir/deep_runtime_test.cc.o.d"
+  "deep_runtime_test"
+  "deep_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objects_test.dir/objects_test.cc.o"
+  "CMakeFiles/objects_test.dir/objects_test.cc.o.d"
+  "objects_test"
+  "objects_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objects_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_node_test.dir/storage_node_test.cc.o"
+  "CMakeFiles/storage_node_test.dir/storage_node_test.cc.o.d"
+  "storage_node_test"
+  "storage_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

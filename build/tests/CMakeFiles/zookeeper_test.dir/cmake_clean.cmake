@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zookeeper_test.dir/zookeeper_test.cc.o"
+  "CMakeFiles/zookeeper_test.dir/zookeeper_test.cc.o.d"
+  "zookeeper_test"
+  "zookeeper_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zookeeper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_cli.dir/tango_cli.cc.o"
+  "CMakeFiles/tango_cli.dir/tango_cli.cc.o.d"
+  "tango_cli"
+  "tango_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_logd.dir/tango_logd.cc.o"
+  "CMakeFiles/tango_logd.dir/tango_logd.cc.o.d"
+  "tango_logd"
+  "tango_logd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_logd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
