@@ -62,6 +62,16 @@ class Flags {
     return fallback;
   }
 
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    for (const auto& [k, v] : values_) {
+      if (k == name) {
+        return v;
+      }
+    }
+    return fallback;
+  }
+
  private:
   std::vector<std::pair<std::string, std::string>> values_;
 };

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure + build + ctest, then the same suite under
+# ASan/UBSan.  Run from anywhere; builds land in build/ and build-asan/.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: RelWithDebInfo build + ctest =="
+cmake -B "$ROOT/build" -S "$ROOT"
+cmake --build "$ROOT/build" -j "$JOBS"
+ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
+
+echo "== tier-2: ASan/UBSan build + ctest =="
+cmake -B "$ROOT/build-asan" -S "$ROOT" -DCMAKE_BUILD_TYPE=Asan
+cmake --build "$ROOT/build-asan" -j "$JOBS"
+ctest --test-dir "$ROOT/build-asan" --output-on-failure -j "$JOBS"
+
+echo "check.sh: all green"

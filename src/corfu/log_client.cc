@@ -1,5 +1,6 @@
 #include "src/corfu/log_client.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -213,6 +214,101 @@ Result<LogEntry> CorfuClient::Read(LogOffset offset) {
     return st;
   }
   return DecodeEntry(page, offset);
+}
+
+Result<std::vector<CorfuClient::BatchedRead>> CorfuClient::ReadBatch(
+    std::span<const LogOffset> offsets) {
+  std::vector<BatchedRead> out(offsets.size());
+  if (offsets.empty()) {
+    return out;
+  }
+  // Indices into `offsets` still awaiting a result.  A sealed or unreachable
+  // sub-batch re-queues only its own indices for the next attempt.
+  std::vector<size_t> pending(offsets.size());
+  for (size_t i = 0; i < pending.size(); ++i) {
+    pending[i] = i;
+  }
+  Status last_retryable = Status::Ok();
+  for (int attempt = 0; attempt <= options_.max_epoch_retries; ++attempt) {
+    if (attempt > 0) {
+      TANGO_RETURN_IF_ERROR(RefreshProjection());
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(1 << std::min(attempt, 4)));
+    }
+    Projection p = Snapshot();
+
+    // Group the pending offsets per replica set; each group is one RPC to
+    // that chain's tail.
+    std::vector<std::vector<size_t>> groups(p.replica_sets.size());
+    for (size_t idx : pending) {
+      groups[p.SetIndexFor(offsets[idx])].push_back(idx);
+    }
+    std::vector<const std::vector<size_t>*> live;
+    for (const std::vector<size_t>& g : groups) {
+      if (!g.empty()) {
+        live.push_back(&g);
+      }
+    }
+
+    std::vector<Status> rpc_status(live.size());
+    std::vector<std::vector<uint8_t>> rpc_resp(live.size());
+    ParallelDispatch(tango::ThreadPool::Shared(), live.size(), [&](size_t g) {
+      const std::vector<size_t>& group = *live[g];
+      ByteWriter w(8 + 8 * group.size());
+      w.PutU32(p.epoch);
+      w.PutU32(static_cast<uint32_t>(group.size()));
+      for (size_t idx : group) {
+        w.PutU64(p.LocalOffsetFor(offsets[idx]));
+      }
+      const std::vector<NodeId>& chain = p.ChainFor(offsets[group[0]]);
+      rpc_status[g] = transport_->Call(chain.back(), kStorageReadBatch,
+                                       w.bytes(), &rpc_resp[g]);
+    });
+
+    pending.clear();
+    for (size_t g = 0; g < live.size(); ++g) {
+      const std::vector<size_t>& group = *live[g];
+      const Status& st = rpc_status[g];
+      if (st == StatusCode::kSealedEpoch || st == StatusCode::kUnavailable) {
+        last_retryable = st;
+        pending.insert(pending.end(), group.begin(), group.end());
+        continue;
+      }
+      if (!st.ok()) {
+        return st;  // hard error: malformed request, internal fault, ...
+      }
+      ByteReader r(rpc_resp[g]);
+      uint32_t count = r.GetU32();
+      if (!r.ok() || count != group.size()) {
+        return Status(StatusCode::kInternal, "malformed batch read response");
+      }
+      for (size_t idx : group) {
+        StatusCode code = static_cast<StatusCode>(r.GetU8());
+        if (code != StatusCode::kOk) {
+          out[idx].status = Status(code);
+          continue;
+        }
+        std::vector<uint8_t> page = r.GetBlob();
+        if (!r.ok()) {
+          return Status(StatusCode::kInternal,
+                        "malformed batch read response");
+        }
+        Result<LogEntry> entry = DecodeEntry(page, offsets[idx]);
+        if (entry.ok()) {
+          out[idx].status = Status::Ok();
+          out[idx].entry = std::move(entry).value();
+        } else {
+          out[idx].status = entry.status();
+        }
+      }
+    }
+    if (pending.empty()) {
+      return out;
+    }
+  }
+  return last_retryable.ok()
+             ? Status(StatusCode::kTimeout, "read batch retries exhausted")
+             : last_retryable;
 }
 
 Result<LogEntry> CorfuClient::ReadRepair(LogOffset offset) {

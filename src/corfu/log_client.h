@@ -60,6 +60,23 @@ class CorfuClient {
   // Reads and decodes the entry at `offset`.
   tango::Result<LogEntry> Read(LogOffset offset);
 
+  // One slot of a ReadBatch result.  `status` is per-offset: kOk with a
+  // decoded entry, or kUnwritten / kTrimmed (and, rarely, a decode error).
+  struct BatchedRead {
+    tango::Status status{tango::StatusCode::kUnwritten};
+    LogEntry entry;  // valid only when status.ok()
+  };
+
+  // Vectored read (the playback fast path): fetches every offset in one
+  // kStorageReadBatch round trip per replica set, with the per-set sub-batches
+  // dispatched in parallel on the shared thread pool.  Per-offset failures
+  // (holes, trims) are reported in the slots and never fail the batch; a
+  // sealed epoch refreshes the projection and retries only the failed
+  // sub-batches.  Unlike ReadRepair this never waits out or fills a hole —
+  // callers fall back to ReadRepair for offsets they actually need.
+  tango::Result<std::vector<BatchedRead>> ReadBatch(
+      std::span<const LogOffset> offsets);
+
   // Reads, waiting up to hole_timeout_ms for a lagging writer, then fills the
   // hole with junk and reads whatever won.  This is the playback read.
   tango::Result<LogEntry> ReadRepair(LogOffset offset);

@@ -21,6 +21,10 @@ StorageNode::StorageNode(tango::Transport* transport, NodeId node,
   dispatcher_.Register(kStorageRead, [this](ByteReader& q, ByteWriter& p) {
     return HandleRead(q, p);
   });
+  dispatcher_.Register(kStorageReadBatch,
+                       [this](ByteReader& q, ByteWriter& p) {
+                         return HandleReadBatch(q, p);
+                       });
   dispatcher_.Register(kStorageSeal, [this](ByteReader& q, ByteWriter& p) {
     return HandleSeal(q, p);
   });
@@ -173,6 +177,32 @@ Result<std::vector<uint8_t>> StorageNode::ReadLocal(Epoch epoch,
   return it->second;
 }
 
+Status StorageNode::ReadBatchLocal(
+    Epoch epoch, const std::vector<LogOffset>& locals,
+    std::vector<Result<std::vector<uint8_t>>>* pages) {
+  // One media pass for the whole batch: the device still transfers every
+  // page, but seek/setup cost and the RPC round trip are amortized.
+  SimulateMedia(options_.read_latency_us *
+                static_cast<uint32_t>(locals.size()));
+  std::lock_guard<std::mutex> lock(mu_);
+  TANGO_RETURN_IF_ERROR(CheckEpoch(epoch));
+  pages->clear();
+  pages->reserve(locals.size());
+  for (LogOffset local : locals) {
+    if (local < trim_prefix_ || trimmed_.contains(local)) {
+      pages->emplace_back(Status(StatusCode::kTrimmed));
+      continue;
+    }
+    auto it = pages_.find(local);
+    if (it == pages_.end()) {
+      pages->emplace_back(Status(StatusCode::kUnwritten));
+      continue;
+    }
+    pages->emplace_back(it->second);
+  }
+  return Status::Ok();
+}
+
 Result<LogOffset> StorageNode::Seal(Epoch epoch) {
   std::lock_guard<std::mutex> lock(mu_);
   if (epoch <= sealed_epoch_) {
@@ -251,6 +281,31 @@ Status StorageNode::HandleRead(ByteReader& req, ByteWriter& resp) {
     return page.status();
   }
   resp.PutBlob(*page);
+  return Status::Ok();
+}
+
+Status StorageNode::HandleReadBatch(ByteReader& req, ByteWriter& resp) {
+  Epoch epoch = req.GetU32();
+  uint32_t count = req.GetU32();
+  if (!req.ok() || count > kMaxReadBatch) {
+    return Status(StatusCode::kInvalidArgument, "malformed batch read");
+  }
+  std::vector<LogOffset> locals(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    locals[i] = req.GetU64();
+  }
+  if (!req.ok()) {
+    return Status(StatusCode::kInvalidArgument, "malformed batch read");
+  }
+  std::vector<Result<std::vector<uint8_t>>> pages;
+  TANGO_RETURN_IF_ERROR(ReadBatchLocal(epoch, locals, &pages));
+  resp.PutU32(count);
+  for (const Result<std::vector<uint8_t>>& page : pages) {
+    resp.PutU8(static_cast<uint8_t>(page.status().code()));
+    if (page.ok()) {
+      resp.PutBlob(*page);
+    }
+  }
   return Status::Ok();
 }
 

@@ -58,6 +58,13 @@ class StorageNode {
   tango::Status WriteLocal(Epoch epoch, LogOffset local,
                            std::vector<uint8_t> bytes);
   tango::Result<std::vector<uint8_t>> ReadLocal(Epoch epoch, LogOffset local);
+  // Vectored read: serves every offset in `locals` under one epoch check and
+  // one media pass.  `pages` gets one Result per offset, in order; per-offset
+  // failures (kUnwritten, kTrimmed) land in the Results while the call itself
+  // fails only on a stale epoch or malformed input.
+  tango::Status ReadBatchLocal(
+      Epoch epoch, const std::vector<LogOffset>& locals,
+      std::vector<tango::Result<std::vector<uint8_t>>>* pages);
   // Seals the node at `epoch` and returns the local tail (highest written
   // local offset + 1, i.e. number of the next unwritten slot upper bound).
   tango::Result<LogOffset> Seal(Epoch epoch);
@@ -71,6 +78,8 @@ class StorageNode {
  private:
   tango::Status HandleWrite(tango::ByteReader& req, tango::ByteWriter& resp);
   tango::Status HandleRead(tango::ByteReader& req, tango::ByteWriter& resp);
+  tango::Status HandleReadBatch(tango::ByteReader& req,
+                                tango::ByteWriter& resp);
   tango::Status HandleSeal(tango::ByteReader& req, tango::ByteWriter& resp);
   tango::Status HandleTrim(tango::ByteReader& req, tango::ByteWriter& resp);
   tango::Status HandleTrimPrefix(tango::ByteReader& req,

@@ -29,23 +29,99 @@ Result<LogOffset> StreamStore::MultiAppend(
   return log_->AppendToStreams(payload, streams);
 }
 
-Result<std::shared_ptr<const LogEntry>> StreamStore::FetchEntry(
-    LogOffset offset) {
+std::shared_ptr<const LogEntry> StreamStore::CacheLookup(LogOffset offset) {
+  auto it = cache_.find(offset);
+  if (it == cache_.end()) {
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // promote on hit
+  return it->second.entry;
+}
+
+void StreamStore::CacheInsert(LogOffset offset,
+                              std::shared_ptr<const LogEntry> entry) {
   auto it = cache_.find(offset);
   if (it != cache_.end()) {
-    return it->second;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;  // entries are immutable; keep the existing copy
+  }
+  lru_.push_front(offset);
+  cache_.emplace(offset, CachedEntry{std::move(entry), lru_.begin()});
+  while (cache_.size() > options_.cache_capacity) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+void StreamStore::ClearEntryCache() {
+  cache_.clear();
+  lru_.clear();
+}
+
+void StreamStore::PrefetchOffsets(const std::vector<LogOffset>& offsets) {
+  if (offsets.empty()) {
+    return;
+  }
+  ++prefetch_batches_;
+  Result<std::vector<CorfuClient::BatchedRead>> batch =
+      log_->ReadBatch(offsets);
+  if (!batch.ok()) {
+    return;  // best effort: demand reads repair or surface the error
+  }
+  for (size_t i = 0; i < offsets.size(); ++i) {
+    CorfuClient::BatchedRead& slot = (*batch)[i];
+    if (slot.status.ok()) {
+      CacheInsert(offsets[i],
+                  std::make_shared<const LogEntry>(std::move(slot.entry)));
+    }
+  }
+}
+
+void StreamStore::Prefetch(LogOffset offset, PrefetchDirection direction) {
+  std::vector<LogOffset> wanted;
+  wanted.reserve(options_.readahead);
+  if (direction == PrefetchDirection::kForward) {
+    for (auto it = known_offsets_.lower_bound(offset);
+         it != known_offsets_.end() && wanted.size() < options_.readahead;
+         ++it) {
+      if (!cache_.contains(*it)) {
+        wanted.push_back(*it);
+      }
+    }
+  } else {
+    auto it = known_offsets_.upper_bound(offset);
+    while (it != known_offsets_.begin() &&
+           wanted.size() < options_.readahead) {
+      --it;
+      if (!cache_.contains(*it)) {
+        wanted.push_back(*it);
+      }
+    }
+  }
+  PrefetchOffsets(wanted);
+}
+
+Result<std::shared_ptr<const LogEntry>> StreamStore::FetchEntry(
+    LogOffset offset, PrefetchDirection direction) {
+  if (std::shared_ptr<const LogEntry> hit = CacheLookup(offset)) {
+    ++cache_hits_;
+    return hit;
+  }
+  ++cache_misses_;
+  if (options_.readahead > 0) {
+    Prefetch(offset, direction);
+    if (std::shared_ptr<const LogEntry> hit = CacheLookup(offset)) {
+      return hit;
+    }
+    // The batch reported a hole, a trim, or an error for this offset; fall
+    // through to the single-read path, which waits out and repairs holes.
   }
   Result<LogEntry> entry = log_->ReadRepair(offset);
   if (!entry.ok()) {
     return entry.status();
   }
   auto shared = std::make_shared<const LogEntry>(std::move(entry).value());
-  cache_.emplace(offset, shared);
-  cache_fifo_.push_back(offset);
-  while (cache_fifo_.size() > options_.cache_capacity) {
-    cache_.erase(cache_fifo_.front());
-    cache_fifo_.pop_front();
-  }
+  CacheInsert(offset, shared);
   return shared;
 }
 
@@ -78,6 +154,20 @@ Status StreamStore::Backfill(StreamId stream, StreamState& state,
     }
 
     // Stride: one read yields the next K backpointers.
+    if (options_.readahead > 1) {
+      // Vectored stride: every new frontier offset is a stream member the
+      // replay will need anyway, so fetch the whole frontier in one round
+      // trip and let the stride read below hit the cache.
+      std::vector<LogOffset> frontier;
+      for (LogOffset o : chain) {
+        if (is_new(o) && !cache_.contains(o)) {
+          frontier.push_back(o);
+        }
+      }
+      if (frontier.size() > 1) {
+        PrefetchOffsets(frontier);
+      }
+    }
     ++reconstruction_reads_;
     Result<std::shared_ptr<const LogEntry>> entry = FetchEntry(oldest);
     if (!entry.ok()) {
@@ -94,12 +184,31 @@ Status StreamStore::Backfill(StreamId stream, StreamState& state,
 
     // Dead end: the frontier entry is junk (a filled hole carries no
     // backpointers).  Fall back to scanning the log backward until we
-    // reconnect with known territory (§5, Failure Handling).
+    // reconnect with known territory (§5, Failure Handling).  The scan
+    // walks raw log offsets, so it prefetches fixed-size descending chunks
+    // rather than known-offset runs.
     LogOffset scan = oldest;
+    LogOffset batched_floor = oldest;  // offsets in [batched_floor, oldest)
+                                       // were already batch-read
     while (scan > 0) {
       --scan;
       if (have_floor && scan <= floor) {
         break;
+      }
+      if (options_.readahead > 1 && scan < batched_floor) {
+        LogOffset lo =
+            scan + 1 > options_.readahead ? scan + 1 - options_.readahead : 0;
+        if (have_floor && lo <= floor) {
+          lo = floor + 1;
+        }
+        std::vector<LogOffset> chunk;
+        for (LogOffset o = scan + 1; o-- > lo;) {
+          if (!cache_.contains(o)) {
+            chunk.push_back(o);
+          }
+        }
+        PrefetchOffsets(chunk);
+        batched_floor = lo;
       }
       ++reconstruction_reads_;
       Result<std::shared_ptr<const LogEntry>> e = FetchEntry(scan);
@@ -122,6 +231,7 @@ Status StreamStore::Backfill(StreamId stream, StreamState& state,
                      discovered.end());
     state.offsets.insert(state.offsets.end(), discovered.begin(),
                          discovered.end());
+    known_offsets_.insert(discovered.begin(), discovered.end());
   }
   return Status::Ok();
 }

@@ -18,8 +18,9 @@
 #define SRC_CORFU_STREAM_H_
 
 #include <cstdint>
-#include <deque>
+#include <list>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -39,9 +40,19 @@ class StreamStore {
  public:
   struct Options {
     // Entries cached across streams (a multiappended entry is fetched from
-    // the log once even if it belongs to many local streams).
+    // the log once even if it belongs to many local streams).  The cache is
+    // LRU: a hit promotes, so hot multiappended entries survive long replays.
     size_t cache_capacity = 8192;
+    // Read-ahead depth: on a cache miss, FetchEntry batch-reads up to this
+    // many upcoming known offsets in one CorfuClient::ReadBatch call and
+    // lands them in the entry cache.  0 disables prefetching entirely (the
+    // original one-RPC-per-entry path).
+    size_t readahead = 0;
   };
+
+  // Which way FetchEntry prefetches through the known-offset list: forward
+  // for playback, backward for newest-first scans (checkpoint search).
+  enum class PrefetchDirection { kForward, kBackward };
 
   explicit StreamStore(CorfuClient* log) : StreamStore(log, Options{}) {}
   StreamStore(CorfuClient* log, Options options);
@@ -95,12 +106,26 @@ class StreamStore {
   void ResetCursor(StreamId stream);
 
   // Cached random read of any log position (repairing holes if needed).
-  tango::Result<std::shared_ptr<const LogEntry>> FetchEntry(LogOffset offset);
+  // With Options::readahead > 0, a miss prefetches the next known offsets in
+  // `direction` via one batched read before falling back to ReadRepair for
+  // the demanded offset.
+  tango::Result<std::shared_ptr<const LogEntry>> FetchEntry(
+      LogOffset offset,
+      PrefetchDirection direction = PrefetchDirection::kForward);
+
+  // Drops every cached entry (bench/test hook; counters are kept).
+  void ClearEntryCache();
 
   CorfuClient* log() const { return log_; }
 
   // Number of log reads issued for metadata reconstruction (ablation metric).
   uint64_t reconstruction_reads() const { return reconstruction_reads_; }
+  // Entry-cache effectiveness counters (demanded FetchEntry lookups only;
+  // prefetch inserts are not counted as misses).
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
+  // Number of ReadBatch calls issued by the prefetcher.
+  uint64_t prefetch_batches() const { return prefetch_batches_; }
 
  private:
   struct StreamState {
@@ -116,14 +141,37 @@ class StreamStore {
 
   StreamState& StateFor(StreamId stream);
 
+  // LRU cache primitives.  Lookup promotes; insert evicts from the cold end.
+  std::shared_ptr<const LogEntry> CacheLookup(LogOffset offset);
+  void CacheInsert(LogOffset offset, std::shared_ptr<const LogEntry> entry);
+
+  // Batch-reads up to Options::readahead uncached known offsets starting at
+  // `offset` (inclusive) in `direction`, landing successes in the cache.
+  // Holes/trims degrade per offset and are simply not cached.
+  void Prefetch(LogOffset offset, PrefetchDirection direction);
+
+  // Batch-reads `offsets`, caching every page that decodes (best effort).
+  void PrefetchOffsets(const std::vector<LogOffset>& offsets);
+
   CorfuClient* log_;
   Options options_;
   std::unordered_map<StreamId, StreamState> streams_;
 
-  // FIFO entry cache.
-  std::unordered_map<LogOffset, std::shared_ptr<const LogEntry>> cache_;
-  std::deque<LogOffset> cache_fifo_;
+  // Union of every stream's known offsets (ascending) — the prefetcher's
+  // read-ahead source, maintained by Backfill.
+  std::set<LogOffset> known_offsets_;
+
+  // LRU entry cache: lru_ front is hottest, back is next to evict.
+  struct CachedEntry {
+    std::shared_ptr<const LogEntry> entry;
+    std::list<LogOffset>::iterator lru_it;
+  };
+  std::unordered_map<LogOffset, CachedEntry> cache_;
+  std::list<LogOffset> lru_;
   uint64_t reconstruction_reads_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+  uint64_t prefetch_batches_ = 0;
 };
 
 }  // namespace corfu

@@ -29,6 +29,10 @@ inline constexpr StreamId kSequencerStateStream = kMaxStreamId;
 // Redundancy factor for stream backpointers ("K" in the paper, default 4).
 inline constexpr int kDefaultBackpointerCount = 4;
 
+// Upper bound on offsets per kStorageReadBatch request; a backstop against
+// malformed frames, far above any readahead depth clients actually use.
+inline constexpr uint32_t kMaxReadBatch = 65536;
+
 // RPC method ids, grouped by service.
 enum RpcMethod : uint16_t {
   // StorageNode
@@ -38,6 +42,10 @@ enum RpcMethod : uint16_t {
   kStorageTrim = 0x0103,
   kStorageTrimPrefix = 0x0104,
   kStorageLocalTail = 0x0105,
+  // Vectored read: N local offsets in, N per-offset (status, page) out, one
+  // round trip.  A stale epoch fails the whole batch with kSealedEpoch;
+  // per-offset failures (unwritten, trimmed) never do.
+  kStorageReadBatch = 0x0106,
 
   // Sequencer
   kSequencerNext = 0x0200,

@@ -6,23 +6,28 @@
 
 namespace tango {
 
-InProcTransport::InProcTransport(Options options) : options_(options) {}
+InProcTransport::InProcTransport(Options options)
+    : options_(options),
+      link_latency_us_(options.link_latency_us),
+      drop_probability_(options.drop_probability) {}
 
 Status InProcTransport::Call(NodeId dest, uint16_t method,
                              std::span<const uint8_t> request,
                              std::vector<uint8_t>* response) {
-  if (options_.drop_probability > 0.0) {
+  double drop_probability = drop_probability_.load(std::memory_order_relaxed);
+  if (drop_probability > 0.0) {
     // A cheap per-call hash keeps drops deterministic given the seed without
     // a shared RNG lock.
     uint64_t seq = drop_seq_.fetch_add(1, std::memory_order_relaxed);
     Rng rng(options_.seed ^ (seq * 0x9e3779b97f4a7c15ULL));
-    if (rng.NextBool(options_.drop_probability)) {
+    if (rng.NextBool(drop_probability)) {
       return Status(StatusCode::kUnavailable, "injected drop");
     }
   }
-  if (options_.link_latency_us > 0) {
+  uint32_t link_latency_us = link_latency_us_.load(std::memory_order_relaxed);
+  if (link_latency_us > 0) {
     std::this_thread::sleep_for(
-        std::chrono::microseconds(2 * options_.link_latency_us));
+        std::chrono::microseconds(2 * link_latency_us));
   }
 
   RpcHandler handler;

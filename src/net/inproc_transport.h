@@ -46,6 +46,15 @@ class InProcTransport : public Transport {
   void ReviveNode(NodeId node);
   bool IsKilled(NodeId node) const;
 
+  // Runtime knobs: adjust the injected link latency / drop rate mid-test
+  // (e.g. fast setup, then a lossy or slow measurement phase).
+  void set_link_latency_us(uint32_t us) {
+    link_latency_us_.store(us, std::memory_order_relaxed);
+  }
+  void set_drop_probability(double p) {
+    drop_probability_.store(p, std::memory_order_relaxed);
+  }
+
   // Total number of successful RPC round trips (for protocol-cost tests).
   uint64_t call_count() const {
     return call_count_.load(std::memory_order_relaxed);
@@ -53,6 +62,8 @@ class InProcTransport : public Transport {
 
  private:
   Options options_;
+  std::atomic<uint32_t> link_latency_us_;
+  std::atomic<double> drop_probability_;
   mutable std::shared_mutex mu_;
   std::unordered_map<NodeId, RpcHandler> handlers_;
   std::unordered_set<NodeId> killed_;

@@ -39,7 +39,7 @@ TangoRuntime::TangoRuntime(corfu::CorfuClient* log, Options options)
     : log_(log),
       options_(options),
       client_id_(g_next_client_id.fetch_add(1)),
-      store_(log) {
+      store_(log, options_.store) {
   if (options_.enable_batching) {
     batcher_ = std::make_unique<Batcher>(log_, options_.batch);
   }
@@ -169,6 +169,14 @@ Status TangoRuntime::PlayUntil(LogOffset limit) {
     Result<std::shared_ptr<const corfu::LogEntry>> entry =
         store_.FetchEntry(best);
 
+    // Consume the position only once the fetch has resolved: a transient
+    // read error (dropped RPC, unreachable replica) must leave every cursor
+    // in place so the retry replays this entry instead of skipping it.
+    // kTrimmed is a terminal resolution — forgotten history is consumed.
+    if (!entry.ok() && entry.status() != StatusCode::kTrimmed) {
+      return entry.status();
+    }
+
     // Step every co-located stream through this position in lockstep, so a
     // multiappended record is observed exactly once.
     fresh.clear();
@@ -182,10 +190,7 @@ Status TangoRuntime::PlayUntil(LogOffset limit) {
     ++stats_.entries_played;
 
     if (!entry.ok()) {
-      if (entry.status() == StatusCode::kTrimmed) {
-        continue;  // forgotten history
-      }
-      return entry.status();
+      continue;  // forgotten (trimmed) history
     }
     if ((*entry)->is_junk()) {
       continue;
@@ -666,11 +671,12 @@ Status TangoRuntime::LoadObject(ObjectId oid) {
   }
   const std::vector<LogOffset>& offsets = store_.KnownOffsets(oid);
 
-  // Search newest-first for the latest checkpoint record.
+  // Search newest-first for the latest checkpoint record, prefetching
+  // backward so the scan batches its reads.
   bool history_trimmed = false;
   for (auto rit = offsets.rbegin(); rit != offsets.rend(); ++rit) {
-    Result<std::shared_ptr<const corfu::LogEntry>> entry =
-        store_.FetchEntry(*rit);
+    Result<std::shared_ptr<const corfu::LogEntry>> entry = store_.FetchEntry(
+        *rit, corfu::StreamStore::PrefetchDirection::kBackward);
     if (!entry.ok()) {
       if (entry.status() == StatusCode::kTrimmed) {
         history_trimmed = true;

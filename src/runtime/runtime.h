@@ -54,6 +54,11 @@ class TangoRuntime {
     // latency for bandwidth.
     bool enable_batching = false;
     Batcher::Options batch;
+    // Read path: entry-cache sizing and read-ahead depth for playback.  The
+    // default prefetches 32 known offsets per batched read, so PlayUntil and
+    // LoadObject amortize the per-RPC transport cost; set readahead to 0 for
+    // the one-round-trip-per-entry path.
+    corfu::StreamStore::Options store{.cache_capacity = 8192, .readahead = 32};
   };
 
   struct Stats {
@@ -143,6 +148,9 @@ class TangoRuntime {
 
   Stats stats() const;
   corfu::CorfuClient* log() const { return log_; }
+  // Read-path counters (cache hits/misses, prefetch batches) for benches and
+  // tests; read it only while playback is quiescent.
+  const corfu::StreamStore& store() const { return store_; }
 
   // Exposed for tests: the current version of (oid) or (oid, key).
   corfu::LogOffset VersionOf(ObjectId oid,

@@ -1,6 +1,81 @@
 #include "src/util/threading.h"
 
+#include <algorithm>
+
 namespace tango {
+
+ThreadPool::ThreadPool(int num_threads) {
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ set and queue drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(std::max(4u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+void ParallelDispatch(ThreadPool& pool, size_t n,
+                      const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining = n - 1;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    pool.Submit([&, i] {
+      fn(i);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) {
+        cv.notify_one();
+      }
+    });
+  }
+  fn(n - 1);
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return remaining == 0; });
+}
 
 void RunParallel(int n, const std::function<void(int)>& fn) {
   std::vector<std::thread> threads;

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -67,6 +68,39 @@ class StartBarrier {
   std::condition_variable cv_;
   int remaining_;
 };
+
+// A fixed-size worker pool for fanning out blocking I/O (e.g. vectored chain
+// reads dispatched per replica set).  Tasks are independent: a submitted task
+// must never block on another queued task, or the pool can stall.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  // Process-wide pool shared by all log clients; sized to the machine.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// Runs `fn(0..n-1)` with tasks 0..n-2 on the pool and task n-1 inline on the
+// caller; returns when all n complete.  Safe to call from many threads at
+// once — tasks from concurrent callers interleave on the shared workers.
+void ParallelDispatch(ThreadPool& pool, size_t n,
+                      const std::function<void(size_t)>& fn);
 
 // Runs `fn(worker_index)` on `n` threads and joins them all.
 void RunParallel(int n, const std::function<void(int)>& fn);

@@ -1,0 +1,149 @@
+// CorfuClient::ReadBatch: the vectored chain read behind playback
+// prefetching.  Covers the per-offset status contract (holes and trims
+// degrade individual slots, never the batch), replica-set fan-out, and the
+// sealed-epoch path that refreshes and retries only the failed sub-batch.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/corfu/projection.h"
+#include "src/corfu/stream.h"
+#include "tests/test_env.h"
+
+namespace corfu {
+namespace {
+
+using tango::StatusCode;
+using tango_test::Bytes;
+using tango_test::ClusterFixture;
+using tango_test::Str;
+
+class ReadBatchTest : public ClusterFixture {
+ protected:
+  ReadBatchTest() : client_(MakeClient()) {}
+
+  // Appends `n` raw entries "e0".."e<n-1>" at offsets 0..n-1.
+  void AppendEntries(int n) {
+    for (int i = 0; i < n; ++i) {
+      auto off = client_->Append(Bytes("e" + std::to_string(i)));
+      ASSERT_TRUE(off.ok());
+      ASSERT_EQ(*off, static_cast<LogOffset>(i));
+    }
+  }
+
+  std::unique_ptr<CorfuClient> client_;
+};
+
+TEST_F(ReadBatchTest, EmptyBatchIsFree) {
+  uint64_t before = transport_.call_count();
+  auto batch = client_->ReadBatch({});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->empty());
+  EXPECT_EQ(transport_.call_count(), before);
+}
+
+TEST_F(ReadBatchTest, OneRoundTripPerReplicaSet) {
+  // 6 nodes at replication 2 = 3 replica sets; offsets 0..8 hit every set
+  // three times.  The whole batch must cost exactly one RPC per set.
+  AppendEntries(9);
+  std::vector<LogOffset> offsets{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  uint64_t before = transport_.call_count();
+  auto batch = client_->ReadBatch(offsets);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(transport_.call_count() - before, 3u);
+  ASSERT_EQ(batch->size(), 9u);
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE((*batch)[i].status.ok()) << "offset " << i;
+    EXPECT_EQ(Str((*batch)[i].entry.payload), "e" + std::to_string(i));
+  }
+}
+
+TEST_F(ReadBatchTest, UnwrittenOffsetDegradesOneSlot) {
+  AppendEntries(3);
+  // Burn a sequencer grant without writing it: a hole left by a crashed
+  // writer.  ReadBatch must report the slot, not fill it or fail the batch.
+  auto grant = SequencerNext(&transport_, client_->projection().sequencer,
+                             client_->projection().epoch, 1, {1});
+  ASSERT_TRUE(grant.ok());
+  ASSERT_EQ(grant->start, 3u);
+
+  std::vector<LogOffset> offsets{0, 1, 2, 3};
+  auto batch = client_->ReadBatch(offsets);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 4u);
+  EXPECT_TRUE((*batch)[0].status.ok());
+  EXPECT_TRUE((*batch)[1].status.ok());
+  EXPECT_TRUE((*batch)[2].status.ok());
+  EXPECT_EQ((*batch)[3].status.code(), StatusCode::kUnwritten);
+  // The hole is still a hole: ReadBatch never writes junk.
+  EXPECT_EQ(client_->Read(3).status().code(), StatusCode::kUnwritten);
+}
+
+TEST_F(ReadBatchTest, TrimmedOffsetDegradesOneSlot) {
+  AppendEntries(3);
+  ASSERT_TRUE(client_->Trim(1).ok());
+  std::vector<LogOffset> offsets{0, 1, 2};
+  auto batch = client_->ReadBatch(offsets);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 3u);
+  EXPECT_TRUE((*batch)[0].status.ok());
+  EXPECT_EQ((*batch)[1].status.code(), StatusCode::kTrimmed);
+  EXPECT_TRUE((*batch)[2].status.ok());
+}
+
+TEST_F(ReadBatchTest, DuplicateOffsetsEachGetASlot) {
+  AppendEntries(3);
+  std::vector<LogOffset> offsets{2, 0, 2};
+  auto batch = client_->ReadBatch(offsets);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 3u);
+  EXPECT_EQ(Str((*batch)[0].entry.payload), "e2");
+  EXPECT_EQ(Str((*batch)[1].entry.payload), "e0");
+  EXPECT_EQ(Str((*batch)[2].entry.payload), "e2");
+}
+
+TEST_F(ReadBatchTest, SealedEpochRetriesOnlyTheFailedSubBatch) {
+  AppendEntries(9);
+
+  // Reconfigure to epoch 1 (same membership) and seal only replica set 0's
+  // nodes, so a stale client's batch fails on one sub-batch mid-flight.
+  Projection next = client_->projection();
+  ASSERT_EQ(next.epoch, 0u);
+  next.epoch = 1;
+  ASSERT_TRUE(ProposeProjection(&transport_, cluster_->projection_store_node(),
+                                next)
+                  .ok());
+  const tango::NodeId base = cluster_->options().storage_base;
+  for (tango::NodeId node : next.replica_sets[0]) {
+    ASSERT_TRUE(cluster_->storage_nodes()[node - base]->Seal(1).ok());
+  }
+
+  std::vector<LogOffset> offsets{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  uint64_t before = transport_.call_count();
+  auto batch = client_->ReadBatch(offsets);
+  ASSERT_TRUE(batch.ok());
+  // Round 1: 3 sub-batch RPCs, set 0 rejected with kSealedEpoch.  Then one
+  // projection fetch and one retried sub-batch — the already-successful
+  // sets 1 and 2 must not be re-read.
+  EXPECT_EQ(transport_.call_count() - before, 5u);
+  ASSERT_EQ(batch->size(), 9u);
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE((*batch)[i].status.ok()) << "offset " << i;
+    EXPECT_EQ(Str((*batch)[i].entry.payload), "e" + std::to_string(i));
+  }
+  EXPECT_EQ(client_->projection().epoch, 1u);
+}
+
+TEST_F(ReadBatchTest, OversizedBatchRejectedByServer) {
+  // The server bounds a single request; the client surfaces the error
+  // rather than silently truncating.
+  AppendEntries(1);
+  std::vector<LogOffset> offsets(kMaxReadBatch + 1, 0);
+  auto batch = client_->ReadBatch(offsets);
+  EXPECT_FALSE(batch.ok());
+}
+
+}  // namespace
+}  // namespace corfu

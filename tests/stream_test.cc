@@ -275,6 +275,85 @@ TEST_F(StreamTest, AbsoluteBackpointerFormatOverLiveStream) {
   EXPECT_EQ(Str(second->entry->payload), "late");
 }
 
+TEST_F(StreamTest, EntryCacheIsLruNotFifo) {
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client_->Append(Bytes("e" + std::to_string(i))).ok());
+  }
+  StreamStore::Options opt;
+  opt.cache_capacity = 2;
+  opt.readahead = 0;
+  StreamStore lru(client_.get(), opt);
+
+  ASSERT_TRUE(lru.FetchEntry(0).ok());  // miss
+  ASSERT_TRUE(lru.FetchEntry(1).ok());  // miss
+  ASSERT_TRUE(lru.FetchEntry(0).ok());  // hit: promotes 0 over 1
+  ASSERT_TRUE(lru.FetchEntry(2).ok());  // miss: evicts 1 (FIFO would evict 0)
+  ASSERT_TRUE(lru.FetchEntry(0).ok());  // hit under LRU, miss under FIFO
+  EXPECT_EQ(lru.cache_hits(), 2u);
+  EXPECT_EQ(lru.cache_misses(), 3u);
+  ASSERT_TRUE(lru.FetchEntry(1).ok());  // evicted above: miss again
+  EXPECT_EQ(lru.cache_misses(), 4u);
+}
+
+TEST_F(StreamTest, ReadAheadBatchesPlaybackRoundTrips) {
+  store_.Open(1);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(store_.Append(1, Bytes("x" + std::to_string(i))).ok());
+  }
+  StreamStore::Options opt;
+  opt.readahead = 16;
+  StreamStore pf(client_.get(), opt);
+  pf.Open(1);
+  ASSERT_TRUE(pf.Sync(1).ok());
+
+  // Cold replay: 30 entries over 3 replica sets with readahead 16 is two
+  // prefetch batches of three sub-RPCs each — not 30 round trips.
+  pf.ClearEntryCache();
+  pf.ResetCursor(1);
+  uint64_t calls_before = transport_.call_count();
+  uint64_t batches_before = pf.prefetch_batches();
+  for (int i = 0; i < 30; ++i) {
+    auto entry = pf.ReadNext(1);
+    ASSERT_TRUE(entry.ok());
+    EXPECT_EQ(Str(entry->entry->payload), "x" + std::to_string(i));
+  }
+  EXPECT_LE(transport_.call_count() - calls_before, 8u);
+  EXPECT_EQ(pf.prefetch_batches() - batches_before, 2u);
+  EXPECT_GE(pf.cache_hits(), 28u);
+}
+
+TEST_F(StreamTest, ReadAheadSkipsHoleAndDemandReadRepairsIt) {
+  // A hole inside the prefetch window: the batch reports kUnwritten for the
+  // slot (never fills it), and only the demand read waits out the straggler
+  // and repairs.
+  store_.Open(1);
+  ASSERT_TRUE(store_.Append(1, Bytes("a")).ok());
+  auto grant = SequencerNext(&transport_, client_->projection().sequencer,
+                             client_->projection().epoch, 1, {1});
+  ASSERT_TRUE(grant.ok());
+  ASSERT_TRUE(store_.Append(1, Bytes("b")).ok());
+
+  auto cold_client = MakeClient();
+  StreamStore::Options opt;
+  opt.readahead = 8;
+  StreamStore cold(cold_client.get(), opt);
+  cold.Open(1);
+  ASSERT_TRUE(cold.Sync(1).ok());
+  std::vector<std::string> got;
+  while (true) {
+    auto entry = cold.ReadNext(1);
+    if (!entry.ok()) {
+      EXPECT_EQ(entry.status().code(), StatusCode::kUnwritten);
+      break;
+    }
+    got.push_back(Str(entry->entry->payload));
+  }
+  EXPECT_EQ(got, (std::vector<std::string>{"a", "b"}));
+  auto filled = cold_client->Read(grant->start);
+  ASSERT_TRUE(filled.ok());
+  EXPECT_TRUE(filled->is_junk());
+}
+
 // Property test: random interleavings of appends across streams always
 // replay per-stream in order, matching a sequential oracle.
 class StreamInterleavingTest : public ClusterFixture,
