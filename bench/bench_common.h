@@ -22,6 +22,7 @@
 
 #include "src/corfu/cluster.h"
 #include "src/net/inproc_transport.h"
+#include "src/obs/metrics.h"
 #include "src/util/histogram.h"
 #include "src/util/random.h"
 #include "src/util/threading.h"
@@ -205,6 +206,29 @@ inline std::string Fmt(double v, int precision = 1) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
+}
+
+// Writes the process metrics registry as a `"metrics": {...},` JSON field,
+// so every BENCH_*.json carries the counter/histogram state that produced
+// its numbers (append demands, cache hit ratios, RPC latencies, ...).
+inline void WriteMetricsField(FILE* f, const char* indent = "  ") {
+  std::fprintf(f, "%s\"metrics\": %s,\n", indent,
+               tango::obs::MetricsRegistry::Default().RenderJson().c_str());
+}
+
+// The periodic stats-dump hook: with --stats-dump-ms=N a background thread
+// appends a registry dump every N ms to --stats-dump-file=PATH (stderr when
+// unset) for as long as the returned handle lives.  Returns null (no thread)
+// when the flag is absent.
+inline std::unique_ptr<tango::obs::PeriodicStatsDumper> MaybeStartStatsDumper(
+    const Flags& flags) {
+  int64_t interval_ms = flags.GetInt("stats-dump-ms", 0);
+  if (interval_ms <= 0) {
+    return nullptr;
+  }
+  return std::make_unique<tango::obs::PeriodicStatsDumper>(
+      static_cast<uint32_t>(interval_ms),
+      flags.GetString("stats-dump-file", ""));
 }
 
 // Scoped wall-clock timer in microseconds.

@@ -1,5 +1,7 @@
 #include "src/corfu/log_client.h"
 
+#include "src/obs/trace.h"
+
 #include <algorithm>
 #include <chrono>
 #include <thread>
@@ -52,6 +54,13 @@ CorfuClient::CorfuClient(tango::Transport* transport, NodeId projection_store,
     : transport_(transport),
       projection_store_(projection_store),
       options_(options) {
+  auto& reg = tango::obs::MetricsRegistry::Default();
+  appends_ = reg.GetCounter("log.appends");
+  append_retries_ = reg.GetCounter("log.append_retries");
+  fills_ = reg.GetCounter("log.fills");
+  epoch_refreshes_ = reg.GetCounter("log.epoch_refreshes");
+  hole_timeouts_ = reg.GetCounter("log.hole_timeouts");
+  append_latency_ = reg.GetHistogram("log.append.latency_us");
   Status st = RefreshProjection();
   TANGO_CHECK(st.ok()) << "initial projection fetch failed: " << st.ToString();
 }
@@ -86,6 +95,7 @@ Status CorfuClient::WithEpochRetry(
   Status st = op(Snapshot());
   for (int attempt = 0;
        retryable(st) && attempt < options_.max_epoch_retries; ++attempt) {
+    epoch_refreshes_->Add();
     TANGO_RETURN_IF_ERROR(RefreshProjection());
     st = op(Snapshot());
     if (retryable(st)) {
@@ -144,7 +154,12 @@ Result<LogOffset> CorfuClient::Append(std::span<const uint8_t> payload) {
 
 Result<LogOffset> CorfuClient::AppendToStreams(
     std::span<const uint8_t> payload, const std::vector<StreamId>& streams) {
+  tango::obs::TraceScope span("log.append");
+  uint64_t start_us = tango::obs::MetricsEnabled() ? tango::NowMicros() : 0;
   for (int attempt = 0; attempt < options_.max_epoch_retries; ++attempt) {
+    if (attempt > 0) {
+      append_retries_->Add();
+    }
     Projection p = Snapshot();
     Result<SequencerGrant> grant = SequencerNext(
         transport_, p.sequencer, p.epoch, /*count=*/1, streams);
@@ -185,6 +200,10 @@ Result<LogOffset> CorfuClient::AppendToStreams(
 
     Status st = ChainWrite(p, grant->start, *encoded);
     if (st.ok()) {
+      appends_->Add();
+      if (start_us != 0) {
+        append_latency_->Record(tango::NowMicros() - start_us);
+      }
       return grant->start;
     }
     if (st == StatusCode::kWritten || st == StatusCode::kTrimmed) {
@@ -202,6 +221,7 @@ Result<LogOffset> CorfuClient::AppendToStreams(
 }
 
 Result<LogEntry> CorfuClient::Read(LogOffset offset) {
+  tango::obs::TraceScope span("log.read");
   std::vector<uint8_t> page;
   Status st = WithEpochRetry([&](const Projection& p) {
     Result<std::vector<uint8_t>> r = ChainRead(p, offset);
@@ -218,6 +238,7 @@ Result<LogEntry> CorfuClient::Read(LogOffset offset) {
 
 Result<std::vector<CorfuClient::BatchedRead>> CorfuClient::ReadBatch(
     std::span<const LogOffset> offsets) {
+  tango::obs::TraceScope span("log.read_batch");
   std::vector<BatchedRead> out(offsets.size());
   if (offsets.empty()) {
     return out;
@@ -326,6 +347,7 @@ Result<LogEntry> CorfuClient::ReadRepair(LogOffset offset) {
       return entry;
     }
   }
+  hole_timeouts_->Add();
   TANGO_RETURN_IF_ERROR(Fill(offset));
   return Read(offset);
 }
@@ -404,6 +426,7 @@ Status CorfuClient::TrimPrefix(LogOffset limit) {
 }
 
 Status CorfuClient::Fill(LogOffset offset) {
+  fills_->Add();
   return WithEpochRetry([&](const Projection& p) -> Status {
     std::vector<uint8_t> junk = EncodeJunkEntry(p.epoch);
     Status st = ChainWrite(p, offset, junk);

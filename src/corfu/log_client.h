@@ -28,6 +28,7 @@
 #include "src/corfu/sequencer.h"
 #include "src/corfu/types.h"
 #include "src/net/transport.h"
+#include "src/obs/metrics.h"
 #include "src/util/status.h"
 
 namespace corfu {
@@ -146,6 +147,14 @@ class CorfuClient {
   tango::Transport* transport_;
   tango::NodeId projection_store_;
   Options options_;
+
+  // Registry instruments (see DESIGN.md "Observability").
+  tango::obs::Counter* appends_;
+  tango::obs::Counter* append_retries_;
+  tango::obs::Counter* fills_;
+  tango::obs::Counter* epoch_refreshes_;
+  tango::obs::Counter* hole_timeouts_;
+  tango::obs::Histogram* append_latency_;
 
   mutable std::shared_mutex projection_mu_;
   Projection projection_;

@@ -47,6 +47,12 @@ Sequencer::Sequencer(tango::Transport* transport, NodeId node, Epoch epoch,
       node_(node),
       backpointer_count_(backpointer_count),
       epoch_(epoch) {
+  auto& reg = tango::obs::MetricsRegistry::Default();
+  tokens_ = reg.GetCounter("sequencer.tokens");
+  tail_checks_ = reg.GetCounter("sequencer.tail_checks");
+  sealed_rejects_ = reg.GetCounter("sequencer.sealed_rejects");
+  tail_gauge_ = reg.GetGauge("sequencer.tail");
+  stream_gauge_ = reg.GetGauge("sequencer.streams");
   dispatcher_.Register(kSequencerNext, [this](ByteReader& q, ByteWriter& p) {
     return HandleNext(q, p);
   });
@@ -73,11 +79,14 @@ Result<SequencerGrant> Sequencer::Next(Epoch epoch, uint32_t count,
   }
   std::lock_guard<std::mutex> lock(mu_);
   if (epoch != epoch_) {
+    sealed_rejects_->Add();
     return Status(StatusCode::kSealedEpoch, "sequencer epoch mismatch");
   }
   SequencerGrant grant;
   grant.start = tail_;
   tail_ += count;
+  tokens_->Add(count);
+  tail_gauge_->Set(static_cast<int64_t>(tail_));
   grant.backpointers.reserve(streams.size());
   for (StreamId s : streams) {
     StreamTail& t = streams_[s];
@@ -88,6 +97,7 @@ Result<SequencerGrant> Sequencer::Next(Epoch epoch, uint32_t count,
       t.resize(backpointer_count_);
     }
   }
+  stream_gauge_->Set(static_cast<int64_t>(streams_.size()));
   return grant;
 }
 
@@ -95,8 +105,10 @@ Result<SequencerTailInfo> Sequencer::Tail(
     Epoch epoch, const std::vector<StreamId>& streams) {
   std::lock_guard<std::mutex> lock(mu_);
   if (epoch != epoch_) {
+    sealed_rejects_->Add();
     return Status(StatusCode::kSealedEpoch, "sequencer epoch mismatch");
   }
+  tail_checks_->Add();
   SequencerTailInfo info;
   info.tail = tail_;
   info.backpointers.reserve(streams.size());

@@ -26,6 +26,7 @@
 
 #include "src/corfu/types.h"
 #include "src/net/transport.h"
+#include "src/obs/metrics.h"
 #include "src/util/status.h"
 
 namespace corfu {
@@ -91,6 +92,13 @@ class Sequencer {
   Epoch epoch_;
   LogOffset tail_ = 0;
   std::unordered_map<StreamId, StreamTail> streams_;
+
+  // Registry instruments (see DESIGN.md "Observability").
+  tango::obs::Counter* tokens_;
+  tango::obs::Counter* tail_checks_;
+  tango::obs::Counter* sealed_rejects_;
+  tango::obs::Gauge* tail_gauge_;
+  tango::obs::Gauge* stream_gauge_;
 
   tango::RpcDispatcher dispatcher_;
 };

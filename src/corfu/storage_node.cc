@@ -15,6 +15,15 @@ using tango::StatusCode;
 StorageNode::StorageNode(tango::Transport* transport, NodeId node,
                          Options options)
     : transport_(transport), node_(node), options_(options) {
+  auto& reg = tango::obs::MetricsRegistry::Default();
+  writes_ok_ = reg.GetCounter("storage.write.ok");
+  writes_lost_ = reg.GetCounter("storage.write.lost_race");
+  reads_ok_ = reg.GetCounter("storage.read.ok");
+  reads_unwritten_ = reg.GetCounter("storage.read.unwritten");
+  reads_trimmed_ = reg.GetCounter("storage.read.trimmed");
+  seals_ = reg.GetCounter("storage.seals");
+  trims_ = reg.GetCounter("storage.trims");
+  batch_size_ = reg.GetHistogram("storage.read_batch.size");
   dispatcher_.Register(kStorageWrite, [this](ByteReader& q, ByteWriter& p) {
     return HandleWrite(q, p);
   });
@@ -151,6 +160,7 @@ Status StorageNode::WriteLocal(Epoch epoch, LogOffset local,
   }
   auto [it, inserted] = pages_.emplace(local, std::move(bytes));
   if (!inserted) {
+    writes_lost_->Add();
     return Status(StatusCode::kWritten);
   }
   if (local + 1 > local_tail_) {
@@ -159,6 +169,7 @@ Status StorageNode::WriteLocal(Epoch epoch, LogOffset local,
   if (!JournalAppend(kJournalWrite, epoch, local, &it->second)) {
     return Status(StatusCode::kUnavailable, "journal write failed");
   }
+  writes_ok_->Add();
   return Status::Ok();
 }
 
@@ -168,12 +179,15 @@ Result<std::vector<uint8_t>> StorageNode::ReadLocal(Epoch epoch,
   std::lock_guard<std::mutex> lock(mu_);
   TANGO_RETURN_IF_ERROR(CheckEpoch(epoch));
   if (local < trim_prefix_ || trimmed_.contains(local)) {
+    reads_trimmed_->Add();
     return Status(StatusCode::kTrimmed);
   }
   auto it = pages_.find(local);
   if (it == pages_.end()) {
+    reads_unwritten_->Add();
     return Status(StatusCode::kUnwritten);
   }
+  reads_ok_->Add();
   return it->second;
 }
 
@@ -186,19 +200,35 @@ Status StorageNode::ReadBatchLocal(
                 static_cast<uint32_t>(locals.size()));
   std::lock_guard<std::mutex> lock(mu_);
   TANGO_RETURN_IF_ERROR(CheckEpoch(epoch));
+  batch_size_->Record(locals.size());
   pages->clear();
   pages->reserve(locals.size());
+  // Tally locally and publish once per batch: per-slot atomic increments
+  // would put ~one RMW per log entry on the batched read hot path.
+  uint64_t ok = 0, unwritten = 0, trimmed = 0;
   for (LogOffset local : locals) {
     if (local < trim_prefix_ || trimmed_.contains(local)) {
+      ++trimmed;
       pages->emplace_back(Status(StatusCode::kTrimmed));
       continue;
     }
     auto it = pages_.find(local);
     if (it == pages_.end()) {
+      ++unwritten;
       pages->emplace_back(Status(StatusCode::kUnwritten));
       continue;
     }
+    ++ok;
     pages->emplace_back(it->second);
+  }
+  if (trimmed > 0) {
+    reads_trimmed_->Add(trimmed);
+  }
+  if (unwritten > 0) {
+    reads_unwritten_->Add(unwritten);
+  }
+  if (ok > 0) {
+    reads_ok_->Add(ok);
   }
   return Status::Ok();
 }
@@ -212,6 +242,7 @@ Result<LogOffset> StorageNode::Seal(Epoch epoch) {
   if (!JournalAppend(kJournalSeal, epoch, 0, nullptr)) {
     return Status(StatusCode::kUnavailable, "journal write failed");
   }
+  seals_->Add();
   return local_tail_;
 }
 
@@ -225,6 +256,7 @@ Status StorageNode::TrimLocal(Epoch epoch, LogOffset local) {
     ++trimmed_count_;
   }
   trimmed_[local] = true;
+  trims_->Add();
   if (!JournalAppend(kJournalTrim, epoch, local, nullptr)) {
     return Status(StatusCode::kUnavailable, "journal write failed");
   }

@@ -23,6 +23,7 @@
 
 #include "src/corfu/types.h"
 #include "src/net/transport.h"
+#include "src/obs/metrics.h"
 #include "src/util/status.h"
 
 namespace corfu {
@@ -117,6 +118,16 @@ class StorageNode {
   LogOffset local_tail_ = 0;  // one past the highest written local offset
   uint64_t trimmed_count_ = 0;
   std::FILE* journal_ = nullptr;
+
+  // Registry instruments (shared across all storage nodes in the process).
+  tango::obs::Counter* writes_ok_;
+  tango::obs::Counter* writes_lost_;   // write-once conflicts (kWritten)
+  tango::obs::Counter* reads_ok_;
+  tango::obs::Counter* reads_unwritten_;
+  tango::obs::Counter* reads_trimmed_;
+  tango::obs::Counter* seals_;
+  tango::obs::Counter* trims_;
+  tango::obs::Histogram* batch_size_;
 
   tango::RpcDispatcher dispatcher_;
 };

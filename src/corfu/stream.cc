@@ -11,7 +11,16 @@ using tango::Status;
 using tango::StatusCode;
 
 StreamStore::StreamStore(CorfuClient* log, Options options)
-    : log_(log), options_(options) {}
+    : log_(log), options_(options) {
+  auto& reg = tango::obs::MetricsRegistry::Default();
+  obs_hits_ = reg.GetCounter("store.cache.hits");
+  obs_misses_ = reg.GetCounter("store.cache.misses");
+  obs_prefetch_batches_ = reg.GetCounter("store.prefetch.batches");
+  obs_backfill_reads_ = reg.GetCounter("store.backfill.reads");
+  fetch_miss_ok_ = reg.GetCounter("store.fetch.miss_ok");
+  fetch_trimmed_ = reg.GetCounter("store.fetch.trimmed");
+  fetch_errors_ = reg.GetCounter("store.fetch.errors");
+}
 
 void StreamStore::Open(StreamId stream) { (void)StateFor(stream); }
 
@@ -63,6 +72,7 @@ void StreamStore::PrefetchOffsets(const std::vector<LogOffset>& offsets) {
     return;
   }
   ++prefetch_batches_;
+  obs_prefetch_batches_->Add();
   Result<std::vector<CorfuClient::BatchedRead>> batch =
       log_->ReadBatch(offsets);
   if (!batch.ok()) {
@@ -103,14 +113,20 @@ void StreamStore::Prefetch(LogOffset offset, PrefetchDirection direction) {
 
 Result<std::shared_ptr<const LogEntry>> StreamStore::FetchEntry(
     LogOffset offset, PrefetchDirection direction) {
+  // The cache-hit fast path pays for exactly one counter update; demanded
+  // reads are derived as hits + misses, and the full outcome accounting
+  // (miss_ok/trimmed/errors) happens only on the slow miss path.
   if (std::shared_ptr<const LogEntry> hit = CacheLookup(offset)) {
     ++cache_hits_;
+    obs_hits_->Add();
     return hit;
   }
   ++cache_misses_;
+  obs_misses_->Add();
   if (options_.readahead > 0) {
     Prefetch(offset, direction);
     if (std::shared_ptr<const LogEntry> hit = CacheLookup(offset)) {
+      fetch_miss_ok_->Add();
       return hit;
     }
     // The batch reported a hole, a trim, or an error for this offset; fall
@@ -118,8 +134,14 @@ Result<std::shared_ptr<const LogEntry>> StreamStore::FetchEntry(
   }
   Result<LogEntry> entry = log_->ReadRepair(offset);
   if (!entry.ok()) {
+    if (entry.status() == StatusCode::kTrimmed) {
+      fetch_trimmed_->Add();
+    } else {
+      fetch_errors_->Add();
+    }
     return entry.status();
   }
+  fetch_miss_ok_->Add();
   auto shared = std::make_shared<const LogEntry>(std::move(entry).value());
   CacheInsert(offset, shared);
   return shared;
@@ -169,6 +191,7 @@ Status StreamStore::Backfill(StreamId stream, StreamState& state,
       }
     }
     ++reconstruction_reads_;
+    obs_backfill_reads_->Add();
     Result<std::shared_ptr<const LogEntry>> entry = FetchEntry(oldest);
     if (!entry.ok()) {
       if (entry.status() == StatusCode::kTrimmed) {
@@ -211,6 +234,7 @@ Status StreamStore::Backfill(StreamId stream, StreamState& state,
         batched_floor = lo;
       }
       ++reconstruction_reads_;
+      obs_backfill_reads_->Add();
       Result<std::shared_ptr<const LogEntry>> e = FetchEntry(scan);
       if (!e.ok()) {
         if (e.status() == StatusCode::kTrimmed) {

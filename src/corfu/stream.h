@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/corfu/log_client.h"
+#include "src/obs/metrics.h"
 #include "src/corfu/types.h"
 #include "src/util/status.h"
 
@@ -172,6 +173,21 @@ class StreamStore {
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
   uint64_t prefetch_batches_ = 0;
+
+  // Registry mirrors of the counters above, plus demanded-read accounting.
+  // The cache-hit fast path increments only store.cache.hits (one atomic,
+  // to stay inside the read-path overhead budget); every cache miss lands
+  // in exactly one of miss_ok/trimmed/errors, so at quiescence
+  //   store.cache.misses == store.fetch.miss_ok + store.fetch.trimmed +
+  //                         store.fetch.errors
+  // and demanded reads == hits + misses (chaos_test asserts both).
+  tango::obs::Counter* obs_hits_;
+  tango::obs::Counter* obs_misses_;
+  tango::obs::Counter* obs_prefetch_batches_;
+  tango::obs::Counter* obs_backfill_reads_;
+  tango::obs::Counter* fetch_miss_ok_;
+  tango::obs::Counter* fetch_trimmed_;
+  tango::obs::Counter* fetch_errors_;
 };
 
 }  // namespace corfu

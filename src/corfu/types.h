@@ -62,6 +62,10 @@ enum RpcMethod : uint16_t {
   kLockCommit = 0x0401,
   kLockAbort = 0x0402,
   kTimestampNext = 0x0403,
+
+  // Observability (src/obs): dump the process-wide metrics registry /
+  // trace buffer of the serving process.
+  kStatsDump = 0x0500,
 };
 
 }  // namespace corfu

@@ -4,6 +4,11 @@
 #include <mutex>
 #include <thread>
 
+#include "src/obs/rpc_metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/logging.h"
+#include "src/util/threading.h"
+
 namespace tango {
 
 InProcTransport::InProcTransport(Options options)
@@ -14,6 +19,8 @@ InProcTransport::InProcTransport(Options options)
 Status InProcTransport::Call(NodeId dest, uint16_t method,
                              std::span<const uint8_t> request,
                              std::vector<uint8_t>* response) {
+  obs::RpcMethodStats& rpc = obs::RpcStatsFor(method);
+  rpc.calls->Add();
   double drop_probability = drop_probability_.load(std::memory_order_relaxed);
   if (drop_probability > 0.0) {
     // A cheap per-call hash keeps drops deterministic given the seed without
@@ -21,6 +28,9 @@ Status InProcTransport::Call(NodeId dest, uint16_t method,
     uint64_t seq = drop_seq_.fetch_add(1, std::memory_order_relaxed);
     Rng rng(options_.seed ^ (seq * 0x9e3779b97f4a7c15ULL));
     if (rng.NextBool(drop_probability)) {
+      rpc.drops->Add();
+      TANGO_LOG(kWarning) << "inproc: injected drop of "
+                          << obs::RpcMethodName(method) << " to node " << dest;
       return Status(StatusCode::kUnavailable, "injected drop");
     }
   }
@@ -30,22 +40,47 @@ Status InProcTransport::Call(NodeId dest, uint16_t method,
         std::chrono::microseconds(2 * link_latency_us));
   }
 
-  RpcHandler handler;
+  std::shared_ptr<NodeEntry> entry;
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     if (killed_.contains(dest)) {
+      rpc.drops->Add();
       return Status(StatusCode::kUnavailable, "node killed");
     }
     auto it = handlers_.find(dest);
     if (it == handlers_.end()) {
+      rpc.failures->Add();
       return Status(StatusCode::kUnavailable, "no such node");
     }
-    handler = it->second;  // copy so the handler can outlive the lock
+    entry = it->second;
+    // Incremented under the lock, so UnregisterNode (which erases under the
+    // exclusive lock, then drains) cannot miss this call.
+    entry->in_flight.fetch_add(1, std::memory_order_acquire);
   }
 
+  // The handler runs inline on this thread, so the caller's trace context
+  // flows into it through the thread-local; this scope is both the client's
+  // round trip and the server-side execution span.
+  uint64_t start_us = obs::MetricsEnabled() ? NowMicros() : 0;
   ByteReader reader(request);
   ByteWriter writer;
-  Status st = handler(method, reader, writer);
+  Status st;
+  {
+    obs::TraceScope span(rpc.span_name, dest);
+    st = entry->handler(method, reader, writer);
+  }
+  if (entry->in_flight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Notify under the drain lock so a concurrent UnregisterNode between
+    // its predicate check and its wait cannot miss the wakeup.
+    std::lock_guard<std::mutex> drain_lock(drain_mu_);
+    drain_cv_.notify_all();
+  }
+  if (start_us != 0) {
+    rpc.latency_us->Record(NowMicros() - start_us);
+  }
+  if (!st.ok()) {
+    rpc.failures->Add();
+  }
   if (st.ok() && response != nullptr) {
     *response = writer.Take();
   }
@@ -54,13 +89,30 @@ Status InProcTransport::Call(NodeId dest, uint16_t method,
 }
 
 void InProcTransport::RegisterNode(NodeId node, RpcHandler handler) {
+  auto entry = std::make_shared<NodeEntry>();
+  entry->handler = std::move(handler);
   std::unique_lock<std::shared_mutex> lock(mu_);
-  handlers_[node] = std::move(handler);
+  handlers_[node] = std::move(entry);
 }
 
 void InProcTransport::UnregisterNode(NodeId node) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  handlers_.erase(node);
+  std::shared_ptr<NodeEntry> entry;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = handlers_.find(node);
+    if (it == handlers_.end()) {
+      return;
+    }
+    entry = std::move(it->second);
+    handlers_.erase(it);
+  }
+  // Drain calls that copied the entry before the erase: the caller is about
+  // to destroy the service object the handler closes over (e.g. a crashed
+  // sequencer's dispatcher), which is only safe once they have returned.
+  std::unique_lock<std::mutex> drain_lock(drain_mu_);
+  drain_cv_.wait(drain_lock, [&entry] {
+    return entry->in_flight.load(std::memory_order_acquire) == 0;
+  });
 }
 
 void InProcTransport::KillNode(NodeId node) {

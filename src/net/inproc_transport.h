@@ -9,8 +9,10 @@
 #define SRC_NET_INPROC_TRANSPORT_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
@@ -38,6 +40,10 @@ class InProcTransport : public Transport {
               std::vector<uint8_t>* response) override;
 
   void RegisterNode(NodeId node, RpcHandler handler) override;
+
+  // Blocks until calls already executing the node's handler have returned,
+  // so the service object behind the handler can be destroyed as soon as
+  // this returns.  Must not be called from inside that node's own handler.
   void UnregisterNode(NodeId node) override;
 
   // Fault injection: a killed node rejects all calls with kUnavailable until
@@ -61,12 +67,22 @@ class InProcTransport : public Transport {
   }
 
  private:
+  // A registered handler plus the number of calls currently inside it.
+  // Calls hold a shared_ptr so the handler object survives a concurrent
+  // unregister; the unregistering thread then waits out in_flight.
+  struct NodeEntry {
+    RpcHandler handler;
+    std::atomic<int> in_flight{0};
+  };
+
   Options options_;
   std::atomic<uint32_t> link_latency_us_;
   std::atomic<double> drop_probability_;
   mutable std::shared_mutex mu_;
-  std::unordered_map<NodeId, RpcHandler> handlers_;
+  std::unordered_map<NodeId, std::shared_ptr<NodeEntry>> handlers_;
   std::unordered_set<NodeId> killed_;
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
   std::atomic<uint64_t> call_count_{0};
   std::atomic<uint64_t> drop_seq_{0};
 };

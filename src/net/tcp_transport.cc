@@ -8,7 +8,10 @@
 
 #include <cstring>
 
+#include "src/obs/rpc_metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
+#include "src/util/threading.h"
 
 namespace tango {
 
@@ -48,6 +51,20 @@ void PutU32Le(uint8_t* p, uint32_t v) {
   p[3] = static_cast<uint8_t>(v >> 24);
 }
 
+void PutU64Le(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+uint64_t GetU64Le(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
 uint32_t GetU32Le(const uint8_t* p) {
   return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
          (static_cast<uint32_t>(p[2]) << 16) |
@@ -56,11 +73,15 @@ uint32_t GetU32Le(const uint8_t* p) {
 
 constexpr uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity cap
 
+// u16 method + u64 trace_id + u64 parent_span ahead of the payload.
+constexpr uint32_t kReqHeaderBytes = 2 + 8 + 8;
+
 }  // namespace
 
 struct TcpTransport::Listener {
   int listen_fd = -1;
   uint16_t port = 0;
+  NodeId node = kInvalidNodeId;
   RpcHandler handler;
   std::thread accept_thread;
   std::atomic<bool> stopping{false};
@@ -108,7 +129,9 @@ struct TcpTransport::Listener {
         break;
       }
       uint32_t len = GetU32Le(len_buf);
-      if (len < 2 || len > kMaxFrame) {
+      if (len < kReqHeaderBytes || len > kMaxFrame) {
+        TANGO_LOG(kWarning) << "tcp: dropping malformed frame of " << len
+                            << " bytes";
         break;
       }
       frame.resize(len);
@@ -117,9 +140,19 @@ struct TcpTransport::Listener {
       }
       uint16_t method =
           static_cast<uint16_t>(frame[0] | (static_cast<uint16_t>(frame[1]) << 8));
-      ByteReader reader(frame.data() + 2, len - 2);
+      obs::TraceContext incoming{GetU64Le(frame.data() + 2),
+                                 GetU64Le(frame.data() + 10)};
+      obs::RpcMethodStats& rpc = obs::RpcStatsFor(method);
       ByteWriter writer;
-      Status st = handler(method, reader, writer);
+      Status st;
+      {
+        // Close the span before the response goes out, so a traced caller
+        // sees the server-side span as soon as its Call returns.
+        obs::TraceScope span(rpc.span_name, incoming, node);
+        ByteReader reader(frame.data() + kReqHeaderBytes,
+                          len - kReqHeaderBytes);
+        st = handler(method, reader, writer);
+      }
 
       const std::vector<uint8_t>& payload = writer.bytes();
       uint32_t resp_len = 1 + static_cast<uint32_t>(payload.size());
@@ -188,6 +221,7 @@ void TcpTransport::RegisterNode(NodeId node, RpcHandler handler) {
   }
 
   auto listener = std::make_unique<Listener>();
+  listener->node = node;
   listener->handler = std::move(handler);
 
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -310,38 +344,67 @@ void TcpTransport::DropConnection(NodeId dest) {
 Status TcpTransport::Call(NodeId dest, uint16_t method,
                           std::span<const uint8_t> request,
                           std::vector<uint8_t>* response) {
+  obs::RpcMethodStats& rpc = obs::RpcStatsFor(method);
+  rpc.calls->Add();
+  // Opened before the context is serialized so the server's span parents
+  // under this round-trip span.
+  obs::TraceScope span(rpc.span_name, dest);
+  obs::TraceContext ctx = obs::CurrentTrace();
+
   TANGO_ASSIGN_OR_RETURN(std::shared_ptr<Connection> conn,
                          GetConnection(dest));
 
   std::lock_guard<std::mutex> lock(conn->mu);
-  uint32_t req_len = 2 + static_cast<uint32_t>(request.size());
+  uint64_t start_us = obs::MetricsEnabled() ? NowMicros() : 0;
+  uint32_t req_len = kReqHeaderBytes + static_cast<uint32_t>(request.size());
   std::vector<uint8_t> frame(4 + req_len);
   PutU32Le(frame.data(), req_len);
   frame[4] = static_cast<uint8_t>(method);
   frame[5] = static_cast<uint8_t>(method >> 8);
-  std::memcpy(frame.data() + 6, request.data(), request.size());
+  PutU64Le(frame.data() + 6, ctx.trace_id);
+  PutU64Le(frame.data() + 14, ctx.span_id);
+  std::memcpy(frame.data() + 4 + kReqHeaderBytes, request.data(),
+              request.size());
   if (!WriteFull(conn->fd, frame.data(), frame.size())) {
     DropConnection(dest);
+    rpc.drops->Add();
+    TANGO_LOG(kWarning) << "tcp: send to node " << dest << " ("
+                        << obs::RpcMethodName(method)
+                        << ") failed; dropping connection";
     return Status(StatusCode::kUnavailable, "send failed");
   }
 
   uint8_t len_buf[4];
   if (!ReadFull(conn->fd, len_buf, sizeof(len_buf))) {
     DropConnection(dest);
+    rpc.drops->Add();
+    TANGO_LOG(kWarning) << "tcp: recv from node " << dest << " ("
+                        << obs::RpcMethodName(method)
+                        << ") failed; dropping connection";
     return Status(StatusCode::kUnavailable, "recv failed");
   }
   uint32_t resp_len = GetU32Le(len_buf);
   if (resp_len < 1 || resp_len > kMaxFrame) {
     DropConnection(dest);
+    rpc.failures->Add();
+    TANGO_LOG(kWarning) << "tcp: malformed response frame from node " << dest;
     return Status(StatusCode::kInternal, "bad response frame");
   }
   std::vector<uint8_t> resp(resp_len);
   if (!ReadFull(conn->fd, resp.data(), resp_len)) {
     DropConnection(dest);
+    rpc.drops->Add();
+    TANGO_LOG(kWarning) << "tcp: recv from node " << dest << " ("
+                        << obs::RpcMethodName(method)
+                        << ") failed; dropping connection";
     return Status(StatusCode::kUnavailable, "recv failed");
+  }
+  if (start_us != 0) {
+    rpc.latency_us->Record(NowMicros() - start_us);
   }
   StatusCode code = static_cast<StatusCode>(resp[0]);
   if (code != StatusCode::kOk) {
+    rpc.failures->Add();
     return Status(code);
   }
   if (response != nullptr) {

@@ -2,9 +2,13 @@
 // sockets on localhost or a LAN.
 //
 // Wire format (all little-endian):
-//   request frame:  u32 length | u16 method | payload...
+//   request frame:  u32 length | u16 method | u64 trace_id | u64 parent_span
+//                   | payload...
 //   response frame: u32 length | u8 status  | payload...
-// `length` counts the bytes after the length field itself.
+// `length` counts the bytes after the length field itself.  The 16-byte
+// trace envelope propagates the caller's trace context (src/obs/trace.h)
+// across the wire; trace_id 0 means the call is untraced and the server
+// records no spans for it.
 //
 // Each registered node owns a listening socket and an accept thread; each
 // accepted connection is served by a dedicated thread running a simple

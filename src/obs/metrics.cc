@@ -1,0 +1,219 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace tango::obs {
+
+Histogram::Histogram() : buckets_(tango::Histogram::kNumBuckets) {}
+
+void Histogram::Record(uint64_t value) {
+  if (!MetricsEnabled()) {
+    return;
+  }
+  buckets_[tango::Histogram::BucketFor(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+tango::Histogram Histogram::Snapshot() const {
+  std::vector<uint64_t> buckets(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return tango::Histogram::FromParts(buckets,
+                                     sum_.load(std::memory_order_relaxed),
+                                     min_.load(std::memory_order_relaxed),
+                                     max_.load(std::memory_order_relaxed));
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ULL, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return slot.get();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters[name] = c->Value();
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges[name] = g->Value();
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->Snapshot();
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  Snapshot snap = Snap();
+  std::ostringstream out;
+  for (const auto& [name, v] : snap.counters) {
+    out << name << " " << v << "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    out << name << " " << v << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    out << name << " " << h.Summary() << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+void AppendJsonString(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\';
+    }
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string RenderSnapshotJson(const MetricsRegistry::Snapshot& snap) {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!first) out << ",";
+    first = false;
+    AppendJsonString(out, name);
+    out << ":" << v;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    if (!first) out << ",";
+    first = false;
+    AppendJsonString(out, name);
+    out << ":" << v;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out << ",";
+    first = false;
+    AppendJsonString(out, name);
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  ":{\"count\":%llu,\"mean\":%.1f,\"p50\":%llu,\"p90\":%llu,"
+                  "\"p99\":%llu,\"max\":%llu}",
+                  static_cast<unsigned long long>(h.count()), h.Mean(),
+                  static_cast<unsigned long long>(h.Percentile(0.50)),
+                  static_cast<unsigned long long>(h.Percentile(0.90)),
+                  static_cast<unsigned long long>(h.Percentile(0.99)),
+                  static_cast<unsigned long long>(h.max()));
+    out << buf;
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string MetricsRegistry::RenderJson() const { return RenderSnapshotJson(Snap()); }
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    c->Reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    g->Reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    h->Reset();
+  }
+}
+
+PeriodicStatsDumper::PeriodicStatsDumper(uint32_t interval_ms, std::string path)
+    : path_(std::move(path)),
+      thread_([this, interval_ms] { Loop(interval_ms); }) {}
+
+PeriodicStatsDumper::~PeriodicStatsDumper() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_.store(true);
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void PeriodicStatsDumper::Loop(uint32_t interval_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_.load()) {
+    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                 [this] { return stop_.load(); });
+    if (stop_.load()) {
+      return;
+    }
+    std::string text = MetricsRegistry::Default().RenderText();
+    if (path_.empty()) {
+      std::fprintf(stderr, "--- tango stats ---\n%s", text.c_str());
+    } else {
+      FILE* f = std::fopen(path_.c_str(), "a");
+      if (f == nullptr) {
+        TANGO_LOG(kWarning) << "stats dump: cannot open " << path_;
+        continue;
+      }
+      std::fprintf(f, "--- tango stats ---\n%s", text.c_str());
+      std::fclose(f);
+    }
+    dumps_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace tango::obs

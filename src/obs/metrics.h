@@ -1,0 +1,168 @@
+// Process-wide metrics registry: named counters, gauges and histograms with a
+// lock-free hot path.
+//
+// Every subsystem resolves its instruments once (a mutex-guarded name lookup)
+// and then updates them with single relaxed atomic operations.  Returned
+// pointers are stable for the life of the process — the registry never
+// deletes an instrument, so instrumented code may cache them freely.
+//
+// Naming scheme: dot-separated "<component>.<event>[.<detail>]", e.g.
+// "sequencer.tokens", "storage.read.unwritten", "rpc.storage.write.latency_us".
+// Histograms record microseconds unless the name says otherwise.
+//
+// Metrics are enabled by default.  SetMetricsEnabled(false) turns every
+// update into a single relaxed atomic load + branch, which is the overhead
+// budget the benches hold the registry to (<3% on the read path — see
+// DESIGN.md "Observability").
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/util/histogram.h"
+
+namespace tango::obs {
+
+namespace internal {
+inline std::atomic<bool> g_metrics_enabled{true};
+}  // namespace internal
+
+inline bool MetricsEnabled() {
+  return internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+inline void SetMetricsEnabled(bool enabled) {
+  internal::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// A monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    if (MetricsEnabled()) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// A point-in-time signed level (queue depth, lag, stream count).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (MetricsEnabled()) {
+      value_.store(v, std::memory_order_relaxed);
+    }
+  }
+  void Add(int64_t n) {
+    if (MetricsEnabled()) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// A concurrent histogram sharing tango::Histogram's bucket layout.  Record()
+// is safe from any number of threads (per-bucket relaxed atomics plus CAS
+// loops for min/max); Snapshot() materializes a plain tango::Histogram whose
+// totals are internally consistent (count is derived from the bucket sweep;
+// sum/min/max may lag by in-flight records).
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value);
+  tango::Histogram Snapshot() const;
+  void Reset();
+
+ private:
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{~0ULL};
+  std::atomic<uint64_t> max_{0};
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry every subsystem reports into.
+  static MetricsRegistry& Default();
+
+  // Resolve-or-create by name.  The same name always yields the same
+  // instrument; the pointer stays valid forever.  Counters, gauges and
+  // histograms live in separate namespaces.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  struct Snapshot {
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, int64_t> gauges;
+    std::map<std::string, tango::Histogram> histograms;
+  };
+  Snapshot Snap() const;
+
+  // Human-readable dump: one "name value" line per counter/gauge, one
+  // "name n=... p50=..." line per histogram, sorted by name.
+  std::string RenderText() const;
+  // {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,p50,p90,
+  // p99,max}}} — the payload tango_stat and the bench snapshot helper emit.
+  std::string RenderJson() const;
+
+  // Zeroes every instrument (pointers stay valid).  For benches and tests
+  // that want per-phase deltas without process restarts.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Renders a registry snapshot as the JSON object RenderJson() produces.
+std::string RenderSnapshotJson(const MetricsRegistry::Snapshot& snap);
+
+// Background thread that appends a RenderText() dump to `path` (or stderr
+// when empty) every `interval_ms`.  The stats-dump hook for long benches and
+// daemons; stops and joins in the destructor.
+class PeriodicStatsDumper {
+ public:
+  explicit PeriodicStatsDumper(uint32_t interval_ms, std::string path = "");
+  ~PeriodicStatsDumper();
+
+  PeriodicStatsDumper(const PeriodicStatsDumper&) = delete;
+  PeriodicStatsDumper& operator=(const PeriodicStatsDumper&) = delete;
+
+  // Number of dumps written so far.
+  uint64_t dumps() const { return dumps_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop(uint32_t interval_ms);
+
+  std::string path_;
+  std::atomic<uint64_t> dumps_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+};
+
+}  // namespace tango::obs
+
+#endif  // SRC_OBS_METRICS_H_

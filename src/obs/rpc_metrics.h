@@ -1,0 +1,35 @@
+// Per-RPC-method instrumentation: every transport resolves one RpcMethodStats
+// bundle per method id and records calls, latency, failures and injected
+// drops on it.  The bundles live in a static table indexed by a dense slot
+// per known method, so the hot path is one switch plus relaxed atomics — no
+// name lookups per call.
+
+#ifndef SRC_OBS_RPC_METRICS_H_
+#define SRC_OBS_RPC_METRICS_H_
+
+#include <cstdint>
+
+#include "src/obs/metrics.h"
+
+namespace tango::obs {
+
+// Short dotted name for a method id, e.g. "storage.write"; "other" for ids
+// outside the table in src/corfu/types.h.
+const char* RpcMethodName(uint16_t method);
+
+struct RpcMethodStats {
+  // "rpc:<name>" with static storage, for span labels.
+  const char* span_name;
+  Counter* calls;        // rpc.<name>.calls
+  Counter* failures;     // rpc.<name>.failures (non-OK status returned)
+  Counter* drops;        // rpc.<name>.drops (injected / transport loss)
+  Histogram* latency_us; // rpc.<name>.latency_us (successful dispatch+reply)
+};
+
+// The bundle for `method` (unknown ids share the "other" bundle).  The
+// returned reference is valid forever.
+RpcMethodStats& RpcStatsFor(uint16_t method);
+
+}  // namespace tango::obs
+
+#endif  // SRC_OBS_RPC_METRICS_H_

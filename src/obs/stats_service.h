@@ -1,0 +1,50 @@
+// StatsService: exposes the serving process's metrics registry and trace
+// buffer over the Transport RPC contract (method kStatsDump), so an external
+// inspector — tools/tango_stat --connect — can attach to a live deployment
+// such as tango_logd.
+//
+// Wire contract (kStatsDump):
+//   request:  u8 kind (StatsKind)
+//   response: string payload (text, metrics JSON, or Chrome trace JSON)
+//
+// Only depends on the header-only Transport interface, so tango_obs stays
+// below tango_net in the link order.
+
+#ifndef SRC_OBS_STATS_SERVICE_H_
+#define SRC_OBS_STATS_SERVICE_H_
+
+#include <string>
+
+#include "src/net/transport.h"
+
+namespace tango::obs {
+
+enum class StatsKind : uint8_t {
+  kMetricsText = 1,
+  kMetricsJson = 2,
+  kChromeTrace = 3,
+};
+
+class StatsService {
+ public:
+  // Registers the service on `transport` as `node`; unregisters on
+  // destruction.
+  StatsService(Transport* transport, NodeId node);
+  ~StatsService();
+
+  StatsService(const StatsService&) = delete;
+  StatsService& operator=(const StatsService&) = delete;
+
+ private:
+  Transport* transport_;
+  NodeId node_;
+  RpcDispatcher dispatcher_;
+};
+
+// Client side: fetches a stats payload from a StatsService at `node`.
+Result<std::string> FetchStats(Transport* transport, NodeId node,
+                               StatsKind kind);
+
+}  // namespace tango::obs
+
+#endif  // SRC_OBS_STATS_SERVICE_H_

@@ -1,0 +1,157 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/threading.h"
+
+namespace tango::obs {
+
+namespace {
+
+thread_local TraceContext t_current;
+
+uint32_t ThreadIndex() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+void AppendJsonString(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\';
+    }
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+TraceContext CurrentTrace() { return t_current; }
+
+void SetCurrentTrace(TraceContext ctx) { t_current = ctx; }
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+uint64_t Tracer::NewTraceId() {
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Tracer::NewSpanId() {
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::RecordSpan(Span span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= capacity_) {
+    spans_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  spans_.push_back(std::move(span));
+}
+
+std::vector<Span> Tracer::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {spans_.begin(), spans_.end()};
+}
+
+std::vector<Span> Tracer::SlowSpans(uint64_t min_duration_us,
+                                    size_t limit) const {
+  std::vector<Span> slow;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Span& s : spans_) {
+      if (s.duration_us >= min_duration_us) {
+        slow.push_back(s);
+      }
+    }
+  }
+  std::sort(slow.begin(), slow.end(), [](const Span& a, const Span& b) {
+    return a.duration_us > b.duration_us;
+  });
+  if (slow.size() > limit) {
+    slow.resize(limit);
+  }
+  return slow;
+}
+
+std::string Tracer::ExportChromeJson() const {
+  std::vector<Span> spans = Spans();
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const Span& s : spans) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"ph\":\"X\",\"name\":";
+    AppendJsonString(out, s.name);
+    out << ",\"cat\":\"tango\",\"pid\":" << s.node << ",\"tid\":" << s.thread
+        << ",\"ts\":" << s.start_us << ",\"dur\":" << s.duration_us
+        << ",\"args\":{\"trace_id\":" << s.trace_id
+        << ",\"span_id\":" << s.span_id << ",\"parent_id\":" << s.parent_id
+        << "}}";
+  }
+  out << "]\n";
+  return out.str();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<size_t>(capacity, 1);
+  while (spans_.size() > capacity_) {
+    spans_.pop_front();
+  }
+}
+
+TraceScope::TraceScope(const char* name, uint32_t node) {
+  if (!Tracer::Default().enabled()) {
+    return;
+  }
+  Begin(name, t_current, node, /*require_parent=*/false);
+}
+
+TraceScope::TraceScope(const char* name, TraceContext incoming, uint32_t node) {
+  if (!Tracer::Default().enabled() || !incoming.active()) {
+    return;
+  }
+  Begin(name, incoming, node, /*require_parent=*/true);
+}
+
+void TraceScope::Begin(const char* name, TraceContext parent, uint32_t node,
+                       bool require_parent) {
+  Tracer& tracer = Tracer::Default();
+  active_ = true;
+  saved_ = t_current;
+  span_.trace_id = parent.active() ? parent.trace_id : tracer.NewTraceId();
+  span_.parent_id = parent.active() ? parent.span_id : 0;
+  (void)require_parent;
+  span_.span_id = tracer.NewSpanId();
+  span_.name = name;
+  span_.node = node;
+  span_.thread = ThreadIndex();
+  span_.start_us = NowMicros();
+  t_current = TraceContext{span_.trace_id, span_.span_id};
+}
+
+TraceScope::~TraceScope() {
+  if (!active_) {
+    return;
+  }
+  span_.duration_us = NowMicros() - span_.start_us;
+  t_current = saved_;
+  Tracer::Default().RecordSpan(std::move(span_));
+}
+
+}  // namespace tango::obs

@@ -1,0 +1,118 @@
+// Trace-context propagation and span collection.
+//
+// A trace is a tree of timed spans sharing one 64-bit trace id.  The current
+// context (trace id + active span id) lives in a thread-local; TraceScope
+// pushes a child span on construction and records it (with its measured
+// duration) on destruction.  RPC boundaries propagate the context:
+//   * InProcTransport dispatches handlers on the caller's thread, so the
+//     thread-local flows through untouched and server-side spans parent
+//     correctly for free.
+//   * TcpTransport carries {trace_id, parent_span_id} in the request frame
+//     (16 bytes after the method id — see tcp_transport.h) and the server
+//     adopts it around the handler via the adopting TraceScope constructor.
+//
+// Tracing is off by default (zero spans recorded, scopes are inert); the
+// registry of finished spans is a bounded ring so a long traced run degrades
+// to keeping the most recent spans rather than growing without bound.
+//
+// Export: Chrome trace_event JSON ("X" complete events, chrome://tracing or
+// https://ui.perfetto.dev), with pid = NodeId the span executed on and tid =
+// a dense per-thread index.
+
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tango::obs {
+
+struct TraceContext {
+  uint64_t trace_id = 0;  // 0 = not tracing
+  uint64_t span_id = 0;
+  bool active() const { return trace_id != 0; }
+};
+
+// The calling thread's current context (all-zero when not tracing).
+TraceContext CurrentTrace();
+void SetCurrentTrace(TraceContext ctx);
+
+struct Span {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  // 0 = root
+  std::string name;
+  uint64_t start_us = 0;     // NowMicros at construction
+  uint64_t duration_us = 0;
+  uint32_t node = 0;    // NodeId the span executed on (0 = client/runtime)
+  uint32_t thread = 0;  // dense thread index, for trace-viewer lanes
+};
+
+class Tracer {
+ public:
+  static Tracer& Default();
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void RecordSpan(Span span);
+
+  // Finished spans, oldest first (bounded by capacity; see dropped()).
+  std::vector<Span> Spans() const;
+  // Spans with duration >= min_duration_us, slowest first, at most `limit`.
+  std::vector<Span> SlowSpans(uint64_t min_duration_us, size_t limit) const;
+
+  // Chrome trace_event JSON array of complete ("X") events.
+  std::string ExportChromeJson() const;
+
+  void Clear();
+  void set_capacity(size_t capacity);
+  // Spans discarded because the ring was full.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  uint64_t NewTraceId();
+  uint64_t NewSpanId();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  size_t capacity_ = 1 << 16;
+  std::deque<Span> spans_;
+};
+
+// RAII span.  Inert (no allocation, no clock reads) unless the default
+// tracer is enabled.  The first constructor starts a new root trace when the
+// calling thread has no active context, otherwise parents under it.  The
+// adopting constructor joins an incoming RPC context instead — inert when the
+// incoming context is empty (untraced caller).
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name, uint32_t node = 0);
+  TraceScope(const char* name, TraceContext incoming, uint32_t node);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  bool active() const { return active_; }
+
+ private:
+  void Begin(const char* name, TraceContext parent, uint32_t node,
+             bool require_parent);
+
+  bool active_ = false;
+  TraceContext saved_;
+  Span span_;
+};
+
+}  // namespace tango::obs
+
+#endif  // SRC_OBS_TRACE_H_

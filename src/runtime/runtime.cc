@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 #include "src/util/threading.h"
 
@@ -43,6 +44,16 @@ TangoRuntime::TangoRuntime(corfu::CorfuClient* log, Options options)
   if (options_.enable_batching) {
     batcher_ = std::make_unique<Batcher>(log_, options_.batch);
   }
+  auto& reg = obs::MetricsRegistry::Default();
+  txn_attempts_ = reg.GetCounter("runtime.txn.attempts");
+  txn_commits_ = reg.GetCounter("runtime.txn.commits");
+  txn_aborts_ = reg.GetCounter("runtime.txn.aborts");
+  txn_timeouts_ = reg.GetCounter("runtime.txn.timeouts");
+  txn_errors_ = reg.GetCounter("runtime.txn.errors");
+  obs_entries_played_ = reg.GetCounter("runtime.entries_played");
+  obs_updates_applied_ = reg.GetCounter("runtime.updates_applied");
+  playback_position_ = reg.GetGauge("runtime.playback.position");
+  play_lag_ = reg.GetHistogram("runtime.play.lag_entries");
 }
 
 TangoRuntime::~TangoRuntime() = default;
@@ -140,6 +151,7 @@ corfu::LogOffset TangoRuntime::VersionOf(ObjectId oid,
 // --- playback ----------------------------------------------------------------
 
 Status TangoRuntime::PlayUntil(LogOffset limit) {
+  obs::TraceScope span("runtime.play");
   std::vector<StreamId> streams;
   streams.reserve(objects_.size());
   for (const auto& [oid, state] : objects_) {
@@ -148,6 +160,9 @@ Status TangoRuntime::PlayUntil(LogOffset limit) {
   if (streams.empty()) {
     return Status::Ok();
   }
+  // Entries this call replays to reach the barrier = how far behind the
+  // local views were (the playback-lag distribution).
+  uint64_t played_here = 0;
   Result<LogOffset> synced = store_.SyncAll(streams);
   if (!synced.ok()) {
     return synced.status();
@@ -188,6 +203,8 @@ Status TangoRuntime::PlayUntil(LogOffset limit) {
       }
     }
     ++stats_.entries_played;
+    obs_entries_played_->Add();
+    ++played_here;
 
     if (!entry.ok()) {
       continue;  // forgotten (trimmed) history
@@ -203,6 +220,8 @@ Status TangoRuntime::PlayUntil(LogOffset limit) {
       TANGO_RETURN_IF_ERROR(ProcessRecord(best, record, fresh));
     }
   }
+  play_lag_->Record(played_here);
+  playback_position_->Set(static_cast<int64_t>(limit));
   CheckDecisionDeadlines();
   return Status::Ok();
 }
@@ -225,9 +244,11 @@ Status TangoRuntime::ProcessRecord(LogOffset offset, const Record& record,
       const WriteOp& w = record.update.write;
       auto it = objects_.find(w.oid);
       if (it != objects_.end() && is_fresh(w.oid)) {
+        obs::TraceScope apply_span("runtime.apply");
         BumpVersion(it->second, offset, w.has_key, w.key);
         it->second.object->Apply(w.data, offset);
         ++stats_.updates_applied;
+        obs_updates_applied_->Add();
       }
       return Status::Ok();
     }
@@ -289,6 +310,7 @@ bool TangoRuntime::ValidateReads(const std::vector<ReadDep>& reads) const {
 void TangoRuntime::ApplyWrites(LogOffset offset,
                                const std::vector<WriteOp>& writes,
                                const std::vector<ObjectId>& fresh) {
+  obs::TraceScope span("runtime.apply");
   for (const WriteOp& w : writes) {
     auto it = objects_.find(w.oid);
     if (it == objects_.end() ||
@@ -298,6 +320,7 @@ void TangoRuntime::ApplyWrites(LogOffset offset,
     BumpVersion(it->second, offset, w.has_key, w.key);
     it->second.object->Apply(w.data, offset);
     ++stats_.updates_applied;
+    obs_updates_applied_->Add();
   }
 }
 
@@ -444,6 +467,7 @@ Status TangoRuntime::QueryHelper(ObjectId oid, std::optional<uint64_t> key) {
 
   // Linearizable accessor: place a marker at the current tail and play all
   // hosted streams up to it (§3.1, Consistency).
+  obs::TraceScope span("runtime.query");
   Result<LogOffset> tail = log_->CheckTail();
   if (!tail.ok()) {
     return tail.status();
@@ -481,6 +505,30 @@ void TangoRuntime::AbortTx() {
 bool TangoRuntime::InTx() const { return Tls().active; }
 
 Status TangoRuntime::EndTx() {
+  TxContext& ctx = Tls();
+  // A non-empty commit lands in exactly one outcome counter, so
+  // runtime.txn.attempts == commits + aborts + timeouts + errors.
+  bool counted = ctx.active && (!ctx.writes.empty() || !ctx.reads.empty());
+  obs::TraceScope span("txn.commit");
+  if (counted) {
+    txn_attempts_->Add();
+  }
+  Status st = EndTxImpl();
+  if (counted) {
+    if (st.ok()) {
+      txn_commits_->Add();
+    } else if (st == StatusCode::kAborted) {
+      txn_aborts_->Add();
+    } else if (st == StatusCode::kTimeout) {
+      txn_timeouts_->Add();
+    } else {
+      txn_errors_->Add();
+    }
+  }
+  return st;
+}
+
+Status TangoRuntime::EndTxImpl() {
   TxContext& ctx = Tls();
   if (!ctx.active) {
     return Status(StatusCode::kFailedPrecondition, "no active transaction");

@@ -37,6 +37,7 @@
 #include "src/corfu/stream.h"
 #include "src/runtime/batcher.h"
 #include "src/runtime/object.h"
+#include "src/obs/metrics.h"
 #include "src/runtime/record.h"
 #include "src/util/status.h"
 
@@ -121,6 +122,8 @@ class TangoRuntime {
   // Commits: returns OK on commit, kAborted on a read-set conflict.
   // Read-only transactions skip the commit record (tail check + local
   // validation); write-only transactions commit immediately after append.
+  // Every non-empty EndTx lands in exactly one registry outcome counter:
+  // runtime.txn.attempts == commits + aborts + timeouts + errors.
   Status EndTx();
 
   // Read-only commit against the local (possibly stale) snapshot: validates
@@ -208,6 +211,8 @@ class TangoRuntime {
   corfu::LogOffset SnapshotVersionLocked(ObjectId oid,
                                          std::optional<uint64_t> key) const;
 
+  Status EndTxImpl();
+
   TxId NextTxId();
   Status AppendDecision(TxId txid, bool commit,
                         const std::vector<corfu::StreamId>& streams);
@@ -244,6 +249,17 @@ class TangoRuntime {
   std::unordered_map<ObjectId, corfu::LogOffset> forget_offsets_;
 
   Stats stats_;
+
+  // Registry instruments (see DESIGN.md "Observability").
+  obs::Counter* txn_attempts_;
+  obs::Counter* txn_commits_;
+  obs::Counter* txn_aborts_;
+  obs::Counter* txn_timeouts_;
+  obs::Counter* txn_errors_;
+  obs::Counter* obs_entries_played_;
+  obs::Counter* obs_updates_applied_;
+  obs::Gauge* playback_position_;
+  obs::Histogram* play_lag_;
 };
 
 }  // namespace tango

@@ -3,10 +3,44 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <thread>
+
+#include "src/util/logging.h"
 
 namespace tango {
 
+namespace {
+
+#ifndef NDEBUG
+uint64_t ThisThreadId() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1;
+}
+#endif
+
+}  // namespace
+
 Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+Histogram::Histogram(const Histogram& other)
+    : buckets_(other.buckets_),
+      count_(other.count_),
+      sum_(other.sum_),
+      min_(other.min_),
+      max_(other.max_) {
+  // The copy starts unpinned: it belongs to whoever copies it.
+}
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  if (this != &other) {
+    buckets_ = other.buckets_;
+    count_ = other.count_;
+    sum_ = other.sum_;
+    min_ = other.min_;
+    max_ = other.max_;
+    writer_tid_.store(0, std::memory_order_relaxed);
+  }
+  return *this;
+}
 
 int Histogram::BucketFor(uint64_t value) {
   if (value < (1ULL << kSubBucketBits)) {
@@ -27,11 +61,47 @@ uint64_t Histogram::BucketUpperBound(int bucket) {
   int octave_index = bucket >> kSubBucketBits;  // >= 1
   int sub = bucket & ((1 << kSubBucketBits) - 1);
   int shift = octave_index - 1;
+  if (kSubBucketBits + shift >= 64) {
+    return ~0ULL;  // past the top of the 64-bit range: saturate
+  }
   uint64_t base = 1ULL << (kSubBucketBits + shift);
   return base + ((static_cast<uint64_t>(sub) + 1) << shift) - 1;
 }
 
+Histogram Histogram::FromParts(const std::vector<uint64_t>& buckets,
+                               uint64_t sum, uint64_t min, uint64_t max) {
+  TANGO_CHECK(buckets.size() == static_cast<size_t>(kNumBuckets))
+      << "FromParts needs exactly " << kNumBuckets << " buckets, got "
+      << buckets.size();
+  Histogram h;
+  h.buckets_ = buckets;
+  for (uint64_t c : buckets) {
+    h.count_ += c;
+  }
+  if (h.count_ == 0) {
+    h.sum_ = 0;
+    h.min_ = ~0ULL;
+    h.max_ = 0;
+  } else {
+    h.sum_ = sum;
+    h.min_ = min;
+    h.max_ = max;
+  }
+  return h;
+}
+
 void Histogram::Record(uint64_t value) {
+#ifndef NDEBUG
+  uint64_t me = ThisThreadId();
+  uint64_t owner = 0;
+  if (!writer_tid_.compare_exchange_strong(owner, me,
+                                           std::memory_order_relaxed)) {
+    TANGO_CHECK(owner == me)
+        << "Histogram::Record from a second thread; use one histogram per "
+           "thread and Merge() on the collector (or tango::obs::Histogram "
+           "for concurrent recording)";
+  }
+#endif
   buckets_[BucketFor(value)]++;
   count_++;
   sum_ += value;
@@ -76,6 +146,7 @@ void Histogram::Reset() {
   sum_ = 0;
   min_ = ~0ULL;
   max_ = 0;
+  writer_tid_.store(0, std::memory_order_relaxed);
 }
 
 std::string Histogram::Summary() const {

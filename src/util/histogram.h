@@ -4,6 +4,15 @@
 // much simpler): values are bucketed by their base-2 magnitude plus a linear
 // sub-bucket, giving ~1.6% relative error, enough to report the percentile
 // curves the paper's figures show.
+//
+// Thread-safety contract: Record() is single-writer.  The supported
+// concurrent pattern is one Histogram per worker thread, merged on the
+// collector thread with Merge() after the workers quiesce (bench/bench_common.h
+// does exactly this).  Debug builds enforce the contract: the first Record()
+// pins the histogram to the calling thread and any Record() from another
+// thread aborts; Reset() releases the pin, so sequential ownership handoff is
+// allowed.  For truly concurrent recording use tango::obs::Histogram
+// (src/obs/metrics.h), which shares this class's bucket layout.
 
 #ifndef SRC_UTIL_HISTOGRAM_H_
 #define SRC_UTIL_HISTOGRAM_H_
@@ -17,16 +26,36 @@ namespace tango {
 
 class Histogram {
  public:
+  // Bucket layout, shared with the lock-free registry histogram so its
+  // snapshots can be materialized as plain Histograms via FromParts().
+  static constexpr int kSubBucketBits = 5;  // 32 linear sub-buckets per octave
+  static constexpr int kNumBuckets = 64 << kSubBucketBits;
+
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketUpperBound(int bucket);
+
   Histogram();
+
+  Histogram(const Histogram& other);
+  Histogram& operator=(const Histogram& other);
+
+  // Rebuilds a histogram from externally accumulated state: `buckets` must
+  // hold kNumBuckets per-bucket counts laid out by BucketFor().  `count` is
+  // derived from the buckets; `sum`/`min`/`max` are taken as given (clamped to
+  // the empty-histogram sentinels when the buckets are all zero).
+  static Histogram FromParts(const std::vector<uint64_t>& buckets,
+                             uint64_t sum, uint64_t min, uint64_t max);
 
   void Record(uint64_t value);
   void Merge(const Histogram& other);
 
   uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
   uint64_t min() const { return count_ == 0 ? 0 : min_; }
   uint64_t max() const { return max_; }
   double Mean() const;
-  // q in [0, 1]; returns an upper bound for the q-quantile.
+  // q in [0, 1]; returns an upper bound for the q-quantile.  Percentile(1.0)
+  // returns exactly max(); an empty histogram returns 0 for any q.
   uint64_t Percentile(double q) const;
 
   void Reset();
@@ -35,17 +64,14 @@ class Histogram {
   std::string Summary() const;
 
  private:
-  static constexpr int kSubBucketBits = 5;  // 32 linear sub-buckets per octave
-  static constexpr int kNumBuckets = 64 << kSubBucketBits;
-
-  static int BucketFor(uint64_t value);
-  static uint64_t BucketUpperBound(int bucket);
-
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;
   uint64_t sum_ = 0;
   uint64_t min_ = ~0ULL;
   uint64_t max_ = 0;
+  // Debug-only single-writer enforcement (see the contract above).  0 means
+  // unpinned; otherwise the id of the only thread allowed to Record().
+  std::atomic<uint64_t> writer_tid_{0};
 };
 
 // A thread-safe event counter used to meter throughput from many workers.

@@ -7,7 +7,13 @@ namespace tango {
 
 namespace {
 
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+int InitialLevel() {
+  LogLevel level = LogLevel::kWarning;
+  LogLevelFromString(std::getenv("TANGO_LOG_LEVEL"), &level);
+  return static_cast<int>(level);
+}
+
+std::atomic<int> g_level{InitialLevel()};
 std::mutex g_log_mu;
 
 const char* LevelName(LogLevel level) {
@@ -27,6 +33,41 @@ const char* LevelName(LogLevel level) {
 }
 
 }  // namespace
+
+bool LogLevelFromString(const char* s, LogLevel* level) {
+  if (s == nullptr || *s == '\0') {
+    return false;
+  }
+  switch (s[0]) {
+    case 'd':
+    case 'D':
+    case '0':
+      *level = LogLevel::kDebug;
+      return true;
+    case 'i':
+    case 'I':
+    case '1':
+      *level = LogLevel::kInfo;
+      return true;
+    case 'w':
+    case 'W':
+    case '2':
+      *level = LogLevel::kWarning;
+      return true;
+    case 'e':
+    case 'E':
+    case '3':
+      *level = LogLevel::kError;
+      return true;
+    case 'n':
+    case 'N':
+    case '4':
+      *level = LogLevel::kNone;
+      return true;
+    default:
+      return false;
+  }
+}
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 

@@ -19,9 +19,16 @@ enum class LogLevel : int {
   kNone = 4,
 };
 
-// Global log threshold; messages below it are dropped.
+// Global log threshold; messages below it are dropped.  The initial value is
+// taken from the TANGO_LOG_LEVEL environment variable when set (accepted
+// forms: debug/info/warning/error/none, first letters d/i/w/e/n, or the
+// numeric level), defaulting to warning.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+// Parses a TANGO_LOG_LEVEL-style spelling; returns false (leaving *level
+// untouched) when `s` is null or unrecognized.
+bool LogLevelFromString(const char* s, LogLevel* level);
 
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& message);

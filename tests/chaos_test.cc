@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "src/objects/tango_map.h"
+#include "src/obs/metrics.h"
 #include "src/runtime/runtime.h"
 #include "src/util/random.h"
 #include "tests/test_env.h"
@@ -20,6 +21,12 @@ using tango_test::ClusterFixture;
 
 class ChaosTest : public ClusterFixture,
                   public ::testing::WithParamInterface<uint64_t> {};
+
+uint64_t CounterAt(const obs::MetricsRegistry::Snapshot& snap,
+                   const std::string& name) {
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
 
 std::map<std::string, std::string> Snapshot(TangoMap& map) {
   std::map<std::string, std::string> out;
@@ -39,6 +46,10 @@ std::map<std::string, std::string> Snapshot(TangoMap& map) {
 TEST_P(ChaosTest, ConvergesUnderFaults) {
   constexpr int kWorkers = 3;
   constexpr int kOpsPerWorker = 60;
+
+  // The registry is process-global and the seeds run in one binary, so the
+  // accounting invariants below are checked on before/after deltas.
+  obs::MetricsRegistry::Snapshot before = obs::MetricsRegistry::Default().Snap();
 
   struct Client {
     std::unique_ptr<corfu::CorfuClient> log;
@@ -132,6 +143,34 @@ TEST_P(ChaosTest, ConvergesUnderFaults) {
   TangoMap trimmed_map(&trimmed_rt, 1);
   ASSERT_TRUE(trimmed_rt.LoadObject(1).ok());
   EXPECT_EQ(Snapshot(trimmed_map), snapshots[0]);
+
+  // Registry accounting must balance at quiescence, faults and all.
+  obs::MetricsRegistry::Snapshot after = obs::MetricsRegistry::Default().Snap();
+  auto delta = [&](const char* name) {
+    return CounterAt(after, name) - CounterAt(before, name);
+  };
+
+  // Every counted transaction attempt resolved to exactly one outcome.
+  uint64_t attempts = delta("runtime.txn.attempts");
+  EXPECT_GT(attempts, 0u);
+  EXPECT_EQ(attempts, delta("runtime.txn.commits") +
+                          delta("runtime.txn.aborts") +
+                          delta("runtime.txn.timeouts") +
+                          delta("runtime.txn.errors"));
+
+  // Every playback read that missed the entry cache resolved: served,
+  // trimmed, or failed — even with injected holes, sequencer replacement
+  // and trims in the mix.  (Cache hits are the served fast path; demanded
+  // reads == hits + misses by construction.)
+  uint64_t misses = delta("store.cache.misses");
+  EXPECT_GT(misses + delta("store.cache.hits"), 0u);
+  EXPECT_EQ(misses, delta("store.fetch.miss_ok") +
+                        delta("store.fetch.trimmed") +
+                        delta("store.fetch.errors"));
+
+  // Appends cannot outnumber granted tokens (every append consumed one;
+  // abandoned offsets and retries may consume more).
+  EXPECT_GE(delta("sequencer.tokens"), delta("log.appends"));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest, ::testing::Values(1, 7, 1234));

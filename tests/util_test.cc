@@ -268,6 +268,132 @@ TEST(HistogramTest, LargeValuesClamped) {
   EXPECT_EQ(h.Percentile(1.0), ~0ULL);
 }
 
+TEST(HistogramTest, PercentileOnEmptyIsZeroForAllQuantiles) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.0), 0u);
+  EXPECT_EQ(h.Percentile(0.99), 0u);
+  EXPECT_EQ(h.Percentile(1.0), 0u);
+  EXPECT_EQ(h.Percentile(2.0), 0u);  // out-of-range quantile, still empty
+}
+
+TEST(HistogramTest, PercentileOneIsExactMax) {
+  // p100 must return the exact recorded max, not the (coarser) upper bound
+  // of the bucket the max landed in.
+  Histogram h;
+  h.Record(3);
+  h.Record(1'000'003);  // not a bucket boundary
+  EXPECT_EQ(h.Percentile(1.0), h.max());
+  EXPECT_EQ(h.Percentile(1.0), 1'000'003u);
+  EXPECT_EQ(h.Percentile(5.0), 1'000'003u);  // quantiles clamp to [0, 1]
+  EXPECT_LE(h.Percentile(0.0), h.Percentile(1.0));
+}
+
+TEST(HistogramTest, MergePreservesPercentilesAndSentinels) {
+  Histogram a, b, both;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    (v % 2 == 0 ? a : b).Record(v);
+    both.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(a.Percentile(q), both.Percentile(q)) << "q=" << q;
+  }
+
+  // Merging an empty histogram must not disturb min/max (empty min is the
+  // ~0 sentinel), and merging into an empty one must adopt the source's.
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 1000u);
+  Histogram fresh;
+  fresh.Merge(both);
+  EXPECT_EQ(fresh.min(), 1u);
+  EXPECT_EQ(fresh.max(), 1000u);
+  EXPECT_EQ(fresh.count(), 1000u);
+}
+
+TEST(HistogramTest, FromPartsRoundTrips) {
+  Histogram h;
+  for (uint64_t v : {7u, 80u, 900u, 12345u}) {
+    h.Record(v);
+  }
+  std::vector<uint64_t> buckets(Histogram::kNumBuckets, 0);
+  for (uint64_t v : {7u, 80u, 900u, 12345u}) {
+    buckets[Histogram::BucketFor(v)]++;
+  }
+  Histogram rebuilt = Histogram::FromParts(buckets, h.sum(), h.min(), h.max());
+  EXPECT_EQ(rebuilt.count(), h.count());
+  EXPECT_EQ(rebuilt.min(), h.min());
+  EXPECT_EQ(rebuilt.max(), h.max());
+  EXPECT_EQ(rebuilt.Percentile(0.5), h.Percentile(0.5));
+  EXPECT_EQ(rebuilt.Percentile(1.0), h.Percentile(1.0));
+
+  // Empty parts normalise to the empty-histogram sentinels regardless of the
+  // sum/min/max passed in.
+  Histogram empty = Histogram::FromParts(
+      std::vector<uint64_t>(Histogram::kNumBuckets, 0), 999, 5, 17);
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.Percentile(0.5), 0u);
+  EXPECT_EQ(empty.Mean(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundsAreMonotoneAndContainValues) {
+  // Bounds are strictly increasing over the buckets 64-bit values can land
+  // in; past the top of the range they saturate.
+  const int top = Histogram::BucketFor(~0ULL);
+  uint64_t prev_bound = 0;
+  for (int b = 1; b <= top; ++b) {
+    uint64_t bound = Histogram::BucketUpperBound(b);
+    EXPECT_GT(bound, prev_bound) << "bucket " << b;
+    prev_bound = bound;
+  }
+  EXPECT_EQ(Histogram::BucketUpperBound(top), ~0ULL);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kNumBuckets - 1), ~0ULL);
+  for (uint64_t v : {0ull, 1ull, 31ull, 32ull, 33ull, 1000ull, 65535ull,
+                     1ull << 40, ~0ull >> 1}) {
+    int b = Histogram::BucketFor(v);
+    EXPECT_LE(v, Histogram::BucketUpperBound(b)) << "value " << v;
+    if (b > 0) {
+      EXPECT_GT(v, Histogram::BucketUpperBound(b - 1)) << "value " << v;
+    }
+  }
+}
+
+// Histogram::Record is deliberately single-writer (the hot paths keep one
+// histogram per thread and Merge on the collector).  In debug builds a
+// second recording thread trips a TANGO_CHECK; Reset() and copies release
+// the pin so pooled histograms can move between threads between runs.
+#ifndef NDEBUG
+TEST(HistogramDeathTest, RecordFromSecondThreadAsserts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Histogram h;
+  h.Record(1);
+  EXPECT_DEATH(
+      {
+        std::thread t([&] { h.Record(2); });
+        t.join();
+      },
+      "second thread");
+}
+#endif
+
+TEST(HistogramTest, ResetAndCopyReleaseWriterPin) {
+  Histogram h;
+  h.Record(1);
+  h.Reset();
+  std::thread t([&] { h.Record(2); });  // fine: Reset released the pin
+  t.join();
+  EXPECT_EQ(h.count(), 1u);
+
+  Histogram copy = h;  // copies start unpinned
+  std::thread t2([&] { copy.Record(3); });
+  t2.join();
+  EXPECT_EQ(copy.count(), 2u);
+}
+
 TEST(MeterTest, ConcurrentAdds) {
   Meter meter;
   RunParallel(4, [&](int) {

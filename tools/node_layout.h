@@ -7,6 +7,7 @@
 //   projection store : node 11,  base_port
 //   sequencer        : node 10,  base_port + 1
 //   storage node i   : node 100+i, base_port + 2 + i
+//   stats service    : node 12,  base_port + 2 + num_storage_nodes
 
 #ifndef TOOLS_NODE_LAYOUT_H_
 #define TOOLS_NODE_LAYOUT_H_
@@ -21,6 +22,10 @@
 namespace tangotools {
 
 struct NodeLayout {
+  // The daemon's StatsService (tools/tango_stat --connect) listens as this
+  // node id, one past the storage ports.
+  static constexpr tango::NodeId kStatsNode = 12;
+
   int num_storage_nodes;
   uint16_t base_port;
 
@@ -28,6 +33,9 @@ struct NodeLayout {
   uint16_t SequencerPort() const { return static_cast<uint16_t>(base_port + 1); }
   uint16_t StoragePort(int i) const {
     return static_cast<uint16_t>(base_port + 2 + i);
+  }
+  uint16_t StatsPort() const {
+    return static_cast<uint16_t>(base_port + 2 + num_storage_nodes);
   }
 
   corfu::CorfuCluster::Options ClusterOptions(int replication) const {
@@ -46,6 +54,7 @@ struct NodeLayout {
     for (int i = 0; i < num_storage_nodes; ++i) {
       transport.SetListenPort(defaults.storage_base + i, StoragePort(i));
     }
+    transport.SetListenPort(kStatsNode, StatsPort());
   }
 
   // Client side: route every service id to host's well-known port.
@@ -58,6 +67,7 @@ struct NodeLayout {
     for (int i = 0; i < num_storage_nodes; ++i) {
       transport.AddRoute(defaults.storage_base + i, host, StoragePort(i));
     }
+    transport.AddRoute(kStatsNode, host, StatsPort());
   }
 
   tango::NodeId projection_store_node() const {

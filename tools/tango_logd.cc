@@ -20,6 +20,7 @@
 
 #include "src/corfu/cluster.h"
 #include "src/net/tcp_transport.h"
+#include "src/obs/stats_service.h"
 #include "src/util/threading.h"
 #include "tools/node_layout.h"
 
@@ -52,6 +53,10 @@ int main(int argc, char** argv) {
   options.journal_dir = journal_dir;
   corfu::CorfuCluster cluster(&transport, options);
 
+  // Metrics/trace inspector endpoint: `tango_stat --connect=HOST` attaches
+  // here (same flags as the daemon) and dumps this process's registry.
+  tango::obs::StatsService stats(&transport, tangotools::NodeLayout::kStatsNode);
+
   std::printf(
       "tango_logd: serving %d storage nodes (x%d replication) on %s ports "
       "%u-%u%s\n",
@@ -59,6 +64,8 @@ int main(int argc, char** argv) {
       layout.ProjectionStorePort(),
       layout.StoragePort(layout.num_storage_nodes - 1),
       journal_dir.empty() ? "" : (", journaling to " + journal_dir).c_str());
+  std::printf("tango_logd: stats endpoint (tango_stat --connect) on port %u\n",
+              layout.StatsPort());
   std::printf("tango_logd: ready\n");
   std::fflush(stdout);
 
