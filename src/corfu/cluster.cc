@@ -42,12 +42,18 @@ CorfuCluster::CorfuCluster(tango::Transport* transport, Options options)
                                            /*epoch=*/0,
                                            options_.backpointer_count);
   next_sequencer_node_ = options_.sequencer_node + 1000;
+  next_spare_node_ =
+      options_.storage_base + static_cast<NodeId>(options_.num_storage_nodes) +
+      10000;
 
   projection_store_ = std::make_unique<ProjectionStore>(
       transport_, options_.projection_store_node, std::move(initial));
 }
 
-CorfuCluster::~CorfuCluster() = default;
+CorfuCluster::~CorfuCluster() {
+  // Stop the monitor before any service it probes is torn down.
+  monitor_.reset();
+}
 
 std::unique_ptr<CorfuClient> CorfuCluster::MakeClient(
     CorfuClient::Options options) const {
@@ -62,8 +68,41 @@ void CorfuCluster::SpawnStorageNode(tango::NodeId node) {
     storage_options.journal_path =
         options_.journal_dir + "/node-" + std::to_string(node) + ".journal";
   }
+  std::lock_guard<std::mutex> lock(spawn_mu_);
   storage_nodes_.push_back(
       std::make_unique<StorageNode>(transport_, node, storage_options));
+}
+
+tango::NodeId CorfuCluster::SpawnSpareStorageNode() {
+  StorageNode::Options storage_options = options_.storage;
+  storage_options.page_size = options_.page_size;
+  std::lock_guard<std::mutex> lock(spawn_mu_);
+  NodeId node = next_spare_node_++;
+  if (!options_.journal_dir.empty()) {
+    storage_options.journal_path =
+        options_.journal_dir + "/node-" + std::to_string(node) + ".journal";
+  }
+  storage_nodes_.push_back(
+      std::make_unique<StorageNode>(transport_, node, storage_options));
+  return node;
+}
+
+tango::NodeId CorfuCluster::SpawnReplacementSequencer() {
+  std::lock_guard<std::mutex> lock(spawn_mu_);
+  NodeId node = next_sequencer_node_++;
+  replacement_sequencers_.push_back(std::make_unique<Sequencer>(
+      transport_, node, /*epoch=*/0, options_.backpointer_count));
+  return node;
+}
+
+HealthMonitor* CorfuCluster::StartHealthMonitor(HealthMonitor::Options options) {
+  monitor_ = std::make_unique<HealthMonitor>(
+      transport_, options_.projection_store_node, options);
+  monitor_->set_spare_provider([this] { return SpawnSpareStorageNode(); });
+  monitor_->set_sequencer_provider(
+      [this] { return SpawnReplacementSequencer(); });
+  monitor_->Start();
+  return monitor_.get();
 }
 
 Status CorfuCluster::ReplaceSequencer(CorfuClient* client) {

@@ -10,8 +10,10 @@
 #define SRC_CORFU_CLUSTER_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "src/corfu/health.h"
 #include "src/corfu/log_client.h"
 #include "src/corfu/projection.h"
 #include "src/corfu/sequencer.h"
@@ -59,6 +61,23 @@ class CorfuCluster {
   // reconfiguration copies a chain onto it.
   void SpawnStorageNode(tango::NodeId node);
 
+  // Spawns an empty storage node at a fresh id (storage_base + 10000 up) and
+  // returns it — the cluster-side SpareProvider for HealthMonitor.
+  tango::NodeId SpawnSpareStorageNode();
+
+  // Spawns a fresh epoch-0 sequencer at a new id and returns it.  The old
+  // Sequencer object stays alive (its registration may already be killed on
+  // the transport); the replacement takes over once a reconfiguration
+  // bootstraps it.
+  tango::NodeId SpawnReplacementSequencer();
+
+  // Creates, wires (spare + sequencer providers) and starts a HealthMonitor
+  // for this cluster.  The monitor is owned by the cluster and stopped in
+  // its destructor.  Returns the monitor for test introspection.
+  HealthMonitor* StartHealthMonitor(
+      HealthMonitor::Options options = HealthMonitor::Options{});
+  HealthMonitor* health_monitor() const { return monitor_.get(); }
+
   tango::Transport* transport() const { return transport_; }
   tango::NodeId projection_store_node() const {
     return options_.projection_store_node;
@@ -72,10 +91,20 @@ class CorfuCluster {
  private:
   tango::Transport* transport_;
   Options options_;
+  // Guards node spawns: the HealthMonitor's thread spawns spares and
+  // replacement sequencers concurrently with test-driven spawns.
+  std::mutex spawn_mu_;
   std::vector<std::unique_ptr<StorageNode>> storage_nodes_;
   std::unique_ptr<Sequencer> sequencer_;
+  // Replacement sequencers spawned for failover; the superseded objects stay
+  // alive so stale registrations never dangle.
+  std::vector<std::unique_ptr<Sequencer>> replacement_sequencers_;
   std::unique_ptr<ProjectionStore> projection_store_;
   tango::NodeId next_sequencer_node_;
+  tango::NodeId next_spare_node_;
+  // Declared last so it is destroyed first: the monitor's thread probes the
+  // services owned above.
+  std::unique_ptr<HealthMonitor> monitor_;
 };
 
 }  // namespace corfu

@@ -49,11 +49,22 @@ Result<std::vector<uint8_t>> StorageRead(tango::Transport* t, NodeId node,
 
 }  // namespace
 
+namespace {
+
+tango::RetryPolicy MakeRetryPolicy(const CorfuClient::Options& options) {
+  tango::RetryPolicy::Options retry = options.retry;
+  retry.max_attempts = options.max_epoch_retries;
+  return tango::RetryPolicy(retry);
+}
+
+}  // namespace
+
 CorfuClient::CorfuClient(tango::Transport* transport, NodeId projection_store,
                          Options options)
     : transport_(transport),
       projection_store_(projection_store),
-      options_(options) {
+      options_(options),
+      retry_(MakeRetryPolicy(options)) {
   auto& reg = tango::obs::MetricsRegistry::Default();
   appends_ = reg.GetCounter("log.appends");
   append_retries_ = reg.GetCounter("log.append_retries");
@@ -90,18 +101,20 @@ Status CorfuClient::WithEpochRetry(
   // node we are calling was replaced by a reconfiguration we have not seen
   // yet.  Both refresh and retry with backoff.
   auto retryable = [](const Status& st) {
-    return st == StatusCode::kSealedEpoch || st == StatusCode::kUnavailable;
+    return st == StatusCode::kSealedEpoch || st == StatusCode::kUnavailable ||
+           st == StatusCode::kTimeout;
   };
+  tango::RetryPolicy::Attempt attempt = retry_.Begin();
   Status st = op(Snapshot());
-  for (int attempt = 0;
-       retryable(st) && attempt < options_.max_epoch_retries; ++attempt) {
+  while (retryable(st) && attempt.ShouldRetry()) {
     epoch_refreshes_->Add();
     TANGO_RETURN_IF_ERROR(RefreshProjection());
     st = op(Snapshot());
     if (retryable(st)) {
-      // A reconfiguration is mid-flight (sealed but not yet proposed); give
-      // the reconfiguring client a moment to install the new projection.
-      std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+      // A reconfiguration is mid-flight (sealed but not yet proposed); back
+      // off — with jitter, so the retrying herd does not stampede the
+      // projection store in lockstep — and let it land.
+      attempt.BackoffSleep();
     }
   }
   return st;
@@ -156,8 +169,12 @@ Result<LogOffset> CorfuClient::AppendToStreams(
     std::span<const uint8_t> payload, const std::vector<StreamId>& streams) {
   tango::obs::TraceScope span("log.append");
   uint64_t start_us = tango::obs::MetricsEnabled() ? tango::NowMicros() : 0;
-  for (int attempt = 0; attempt < options_.max_epoch_retries; ++attempt) {
-    if (attempt > 0) {
+  tango::RetryPolicy::Attempt attempt = retry_.Begin();
+  for (bool first = true;; first = false) {
+    if (!first) {
+      if (!attempt.ShouldRetry()) {
+        break;
+      }
       append_retries_->Add();
     }
     Projection p = Snapshot();
@@ -165,11 +182,12 @@ Result<LogOffset> CorfuClient::AppendToStreams(
         transport_, p.sequencer, p.epoch, /*count=*/1, streams);
     if (!grant.ok()) {
       if (grant.status() == StatusCode::kSealedEpoch ||
-          grant.status() == StatusCode::kUnavailable) {
+          grant.status() == StatusCode::kUnavailable ||
+          grant.status() == StatusCode::kTimeout) {
         // Sealed, or the sequencer died: refresh and retry on the (possibly
-        // reconfigured) projection.
+        // reconfigured) projection after a jittered backoff.
         TANGO_RETURN_IF_ERROR(RefreshProjection());
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        attempt.BackoffSleep();
         continue;
       }
       return grant.status();
@@ -208,11 +226,21 @@ Result<LogOffset> CorfuClient::AppendToStreams(
     }
     if (st == StatusCode::kWritten || st == StatusCode::kTrimmed) {
       // Lost the offset (a filler beat us after a stall, or GC passed us by).
-      // Grab a fresh offset and try again.
+      // Grab a fresh offset and try again immediately — no cool-down needed,
+      // just a fresh token.
+      attempt.CountAttempt();
       continue;
     }
     if (st == StatusCode::kSealedEpoch) {
       TANGO_RETURN_IF_ERROR(RefreshProjection());
+      continue;
+    }
+    if (st == StatusCode::kUnavailable || st == StatusCode::kTimeout) {
+      // A chain node died (or a partition swallowed the write): refresh —
+      // a HealthMonitor may already have reconfigured around it — back off
+      // and retry on the surviving chain.
+      TANGO_RETURN_IF_ERROR(RefreshProjection());
+      attempt.BackoffSleep();
       continue;
     }
     return st;
@@ -250,11 +278,14 @@ Result<std::vector<CorfuClient::BatchedRead>> CorfuClient::ReadBatch(
     pending[i] = i;
   }
   Status last_retryable = Status::Ok();
-  for (int attempt = 0; attempt <= options_.max_epoch_retries; ++attempt) {
-    if (attempt > 0) {
+  tango::RetryPolicy::Attempt attempt = retry_.Begin();
+  for (bool first = true;; first = false) {
+    if (!first) {
+      if (!attempt.ShouldRetry()) {
+        break;
+      }
       TANGO_RETURN_IF_ERROR(RefreshProjection());
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(1 << std::min(attempt, 4)));
+      attempt.BackoffSleep();
     }
     Projection p = Snapshot();
 
@@ -290,7 +321,8 @@ Result<std::vector<CorfuClient::BatchedRead>> CorfuClient::ReadBatch(
     for (size_t g = 0; g < live.size(); ++g) {
       const std::vector<size_t>& group = *live[g];
       const Status& st = rpc_status[g];
-      if (st == StatusCode::kSealedEpoch || st == StatusCode::kUnavailable) {
+      if (st == StatusCode::kSealedEpoch || st == StatusCode::kUnavailable ||
+          st == StatusCode::kTimeout) {
         last_retryable = st;
         pending.insert(pending.end(), group.begin(), group.end());
         continue;

@@ -29,6 +29,7 @@
 #include "src/corfu/types.h"
 #include "src/net/transport.h"
 #include "src/obs/metrics.h"
+#include "src/util/retry.h"
 #include "src/util/status.h"
 
 namespace corfu {
@@ -39,8 +40,13 @@ class CorfuClient {
     // How long a reader waits on an unwritten offset before filling the
     // presumed hole (paper default: 100 ms).
     uint32_t hole_timeout_ms = 100;
-    // Retry budget for sealed-epoch refresh loops.
+    // Retry budget for sealed-epoch refresh loops (becomes the retry
+    // policy's max_attempts).
     int max_epoch_retries = 8;
+    // Backoff shape for those retries: exponential with jitter plus an
+    // optional per-operation deadline (deadline_ms).  max_attempts here is
+    // ignored — max_epoch_retries is the single attempts knob.
+    tango::RetryPolicy::Options retry;
   };
 
   CorfuClient(tango::Transport* transport, tango::NodeId projection_store)
@@ -147,6 +153,7 @@ class CorfuClient {
   tango::Transport* transport_;
   tango::NodeId projection_store_;
   Options options_;
+  tango::RetryPolicy retry_;
 
   // Registry instruments (see DESIGN.md "Observability").
   tango::obs::Counter* appends_;

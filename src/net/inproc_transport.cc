@@ -35,14 +35,26 @@ Status InProcTransport::Call(NodeId dest, uint16_t method,
     }
   }
   uint32_t link_latency_us = link_latency_us_.load(std::memory_order_relaxed);
-  if (link_latency_us > 0) {
+  uint32_t link_jitter_us = link_jitter_us_.load(std::memory_order_relaxed);
+  if (link_latency_us > 0 || link_jitter_us > 0) {
+    uint64_t extra = 0;
+    if (link_jitter_us > 0) {
+      uint64_t seq = drop_seq_.fetch_add(1, std::memory_order_relaxed);
+      Rng rng(options_.seed ^ (seq * 0xda942042e4dd58b5ULL));
+      extra = rng.NextBelow(static_cast<uint64_t>(link_jitter_us) + 1);
+    }
     std::this_thread::sleep_for(
-        std::chrono::microseconds(2 * link_latency_us));
+        std::chrono::microseconds(2 * link_latency_us + extra));
   }
 
+  NodeId src = CurrentNetworkIdentity();
   std::shared_ptr<NodeEntry> entry;
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
+    if (partitioned_links_.contains(LinkKey(src, dest))) {
+      rpc.drops->Add();
+      return Status(StatusCode::kUnavailable, "partitioned link");
+    }
     if (killed_.contains(dest)) {
       rpc.drops->Add();
       return Status(StatusCode::kUnavailable, "node killed");
@@ -67,6 +79,9 @@ Status InProcTransport::Call(NodeId dest, uint16_t method,
   Status st;
   {
     obs::TraceScope span(rpc.span_name, dest);
+    // While the handler runs, this thread *is* the serving node, so calls it
+    // issues in turn are attributed to `dest` for partition purposes.
+    ScopedNetworkIdentity serving_as(dest);
     st = entry->handler(method, reader, writer);
   }
   if (entry->in_flight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -128,6 +143,26 @@ void InProcTransport::ReviveNode(NodeId node) {
 bool InProcTransport::IsKilled(NodeId node) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return killed_.contains(node);
+}
+
+void InProcTransport::PartitionLink(NodeId from, NodeId to) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  partitioned_links_.insert(LinkKey(from, to));
+}
+
+void InProcTransport::HealLink(NodeId from, NodeId to) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  partitioned_links_.erase(LinkKey(from, to));
+}
+
+void InProcTransport::HealAllLinks() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  partitioned_links_.clear();
+}
+
+bool InProcTransport::IsPartitioned(NodeId from, NodeId to) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return partitioned_links_.contains(LinkKey(from, to));
 }
 
 }  // namespace tango

@@ -22,6 +22,37 @@
 
 namespace tango {
 
+namespace internal {
+// Thread-local caller identity for partition attribution (see
+// ScopedNetworkIdentity below).  kInvalidNodeId = anonymous client.
+inline thread_local NodeId tl_network_identity = kInvalidNodeId;
+}  // namespace internal
+
+// Declares the network identity of the calling thread for the duration of
+// the scope.  InProcTransport uses it to attribute calls to a source node so
+// asymmetric partitions (A can't reach B, B can reach A) are expressible;
+// while a handler runs, the identity is the serving node, so chained
+// node-to-node calls attribute correctly.  Threads with no scope in effect
+// are anonymous clients (kInvalidNodeId).
+class ScopedNetworkIdentity {
+ public:
+  explicit ScopedNetworkIdentity(NodeId id)
+      : prev_(internal::tl_network_identity) {
+    internal::tl_network_identity = id;
+  }
+  ~ScopedNetworkIdentity() { internal::tl_network_identity = prev_; }
+
+  ScopedNetworkIdentity(const ScopedNetworkIdentity&) = delete;
+  ScopedNetworkIdentity& operator=(const ScopedNetworkIdentity&) = delete;
+
+ private:
+  NodeId prev_;
+};
+
+inline NodeId CurrentNetworkIdentity() {
+  return internal::tl_network_identity;
+}
+
 class InProcTransport : public Transport {
  public:
   struct Options {
@@ -52,6 +83,15 @@ class InProcTransport : public Transport {
   void ReviveNode(NodeId node);
   bool IsKilled(NodeId node) const;
 
+  // Asymmetric partition injection: calls whose thread-local identity (see
+  // ScopedNetworkIdentity) is `from` and whose destination is `to` fail with
+  // kUnavailable; the reverse direction is untouched.  A partition is a
+  // *network* fault: both endpoints stay registered and healthy.
+  void PartitionLink(NodeId from, NodeId to);
+  void HealLink(NodeId from, NodeId to);
+  void HealAllLinks();
+  bool IsPartitioned(NodeId from, NodeId to) const;
+
   // Runtime knobs: adjust the injected link latency / drop rate mid-test
   // (e.g. fast setup, then a lossy or slow measurement phase).
   void set_link_latency_us(uint32_t us) {
@@ -59,6 +99,12 @@ class InProcTransport : public Transport {
   }
   void set_drop_probability(double p) {
     drop_probability_.store(p, std::memory_order_relaxed);
+  }
+  // Extra per-call latency, uniform in [0, max_jitter_us] (deterministic
+  // given the seed).  Models variable queueing delay on top of the fixed
+  // link latency.
+  void set_link_jitter_us(uint32_t max_jitter_us) {
+    link_jitter_us_.store(max_jitter_us, std::memory_order_relaxed);
   }
 
   // Total number of successful RPC round trips (for protocol-cost tests).
@@ -75,12 +121,19 @@ class InProcTransport : public Transport {
     std::atomic<int> in_flight{0};
   };
 
+  // (from << 32) | to — a directed link key for the partition set.
+  static uint64_t LinkKey(NodeId from, NodeId to) {
+    return (static_cast<uint64_t>(from) << 32) | to;
+  }
+
   Options options_;
   std::atomic<uint32_t> link_latency_us_;
+  std::atomic<uint32_t> link_jitter_us_{0};
   std::atomic<double> drop_probability_;
   mutable std::shared_mutex mu_;
   std::unordered_map<NodeId, std::shared_ptr<NodeEntry>> handlers_;
   std::unordered_set<NodeId> killed_;
+  std::unordered_set<uint64_t> partitioned_links_;
   std::mutex drain_mu_;
   std::condition_variable drain_cv_;
   std::atomic<uint64_t> call_count_{0};

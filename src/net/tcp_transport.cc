@@ -1,11 +1,14 @@
 #include "src/net/tcp_transport.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 
 #include "src/obs/rpc_metrics.h"
@@ -17,31 +20,84 @@ namespace tango {
 
 namespace {
 
-// Reads exactly `len` bytes; returns false on EOF or error.
-bool ReadFull(int fd, void* buf, size_t len) {
+// Outcome of a full-buffer I/O loop.  Partial transfers are retried inside
+// the loop; what escapes is either success, a peer that went away, or a
+// socket deadline (SO_RCVTIMEO/SO_SNDTIMEO) expiring mid-call.
+enum class IoResult { kOk, kClosed, kTimeout };
+
+// Reads exactly `len` bytes, riding out short reads and EINTR.
+IoResult ReadFull(int fd, void* buf, size_t len) {
   uint8_t* p = static_cast<uint8_t*>(buf);
   while (len > 0) {
     ssize_t n = ::recv(fd, p, len, 0);
-    if (n <= 0) {
-      return false;
+    if (n == 0) {
+      return IoResult::kClosed;
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return IoResult::kTimeout;
+      }
+      return IoResult::kClosed;
     }
     p += n;
     len -= static_cast<size_t>(n);
   }
-  return true;
+  return IoResult::kOk;
 }
 
-bool WriteFull(int fd, const void* buf, size_t len) {
+// Writes exactly `len` bytes, riding out short writes and EINTR.
+IoResult WriteFull(int fd, const void* buf, size_t len) {
   const uint8_t* p = static_cast<const uint8_t*>(buf);
   while (len > 0) {
     ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
     if (n <= 0) {
-      return false;
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return IoResult::kTimeout;
+      }
+      return IoResult::kClosed;
     }
     p += n;
     len -= static_cast<size_t>(n);
   }
-  return true;
+  return IoResult::kOk;
+}
+
+// Applies (or clears, with ms == 0) the per-call send/recv deadlines.
+void SetSocketTimeouts(int fd, uint32_t ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+// connect(2) bounded by `ms` milliseconds (0 = blocking connect).
+bool ConnectWithTimeout(int fd, const sockaddr* addr, socklen_t addr_len,
+                        uint32_t ms) {
+  if (ms == 0) {
+    return ::connect(fd, addr, addr_len) == 0;
+  }
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, addr, addr_len);
+  bool connected = rc == 0;
+  if (!connected && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, static_cast<int>(ms)) == 1) {
+      int err = 0;
+      socklen_t err_len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+      connected = err == 0;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return connected;
 }
 
 void PutU32Le(uint8_t* p, uint32_t v) {
@@ -125,7 +181,7 @@ struct TcpTransport::Listener {
     std::vector<uint8_t> frame;
     while (!stopping.load()) {
       uint8_t len_buf[4];
-      if (!ReadFull(fd, len_buf, sizeof(len_buf))) {
+      if (ReadFull(fd, len_buf, sizeof(len_buf)) != IoResult::kOk) {
         break;
       }
       uint32_t len = GetU32Le(len_buf);
@@ -135,7 +191,7 @@ struct TcpTransport::Listener {
         break;
       }
       frame.resize(len);
-      if (!ReadFull(fd, frame.data(), len)) {
+      if (ReadFull(fd, frame.data(), len) != IoResult::kOk) {
         break;
       }
       uint16_t method =
@@ -160,7 +216,7 @@ struct TcpTransport::Listener {
       PutU32Le(resp.data(), resp_len);
       resp[4] = static_cast<uint8_t>(st.code());
       std::memcpy(resp.data() + 5, payload.data(), payload.size());
-      if (!WriteFull(fd, resp.data(), resp.size())) {
+      if (WriteFull(fd, resp.data(), resp.size()) != IoResult::kOk) {
         break;
       }
     }
@@ -195,7 +251,8 @@ struct TcpTransport::Connection {
   }
 };
 
-TcpTransport::TcpTransport() = default;
+TcpTransport::TcpTransport(Options options)
+    : call_timeout_ms_(options.call_timeout_ms) {}
 
 TcpTransport::~TcpTransport() {
   std::unordered_map<NodeId, std::unique_ptr<Listener>> listeners;
@@ -321,7 +378,8 @@ Result<std::shared_ptr<TcpTransport::Connection>> TcpTransport::GetConnection(
     ::close(fd);
     return Status(StatusCode::kInvalidArgument, "bad host address");
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  if (!ConnectWithTimeout(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr),
+                          call_timeout_ms_.load(std::memory_order_relaxed))) {
     ::close(fd);
     return Status(StatusCode::kUnavailable, "connect() failed");
   }
@@ -355,6 +413,24 @@ Status TcpTransport::Call(NodeId dest, uint16_t method,
                          GetConnection(dest));
 
   std::lock_guard<std::mutex> lock(conn->mu);
+  uint32_t timeout_ms = call_timeout_ms_.load(std::memory_order_relaxed);
+  SetSocketTimeouts(conn->fd, timeout_ms);
+  // Maps an I/O failure to the caller-visible status: a deadline expiring is
+  // kTimeout (the peer may be hung, not gone); a closed socket is
+  // kUnavailable.  Either way the cached connection is poisoned mid-frame
+  // and must be dropped.
+  auto io_error = [&](IoResult r, const char* what) {
+    DropConnection(dest);
+    rpc.drops->Add();
+    TANGO_LOG(kWarning) << "tcp: " << what << " node " << dest << " ("
+                        << obs::RpcMethodName(method) << ") "
+                        << (r == IoResult::kTimeout ? "timed out"
+                                                    : "failed")
+                        << "; dropping connection";
+    return r == IoResult::kTimeout
+               ? Status(StatusCode::kTimeout, "call timed out")
+               : Status(StatusCode::kUnavailable, "peer closed connection");
+  };
   uint64_t start_us = obs::MetricsEnabled() ? NowMicros() : 0;
   uint32_t req_len = kReqHeaderBytes + static_cast<uint32_t>(request.size());
   std::vector<uint8_t> frame(4 + req_len);
@@ -365,23 +441,15 @@ Status TcpTransport::Call(NodeId dest, uint16_t method,
   PutU64Le(frame.data() + 14, ctx.span_id);
   std::memcpy(frame.data() + 4 + kReqHeaderBytes, request.data(),
               request.size());
-  if (!WriteFull(conn->fd, frame.data(), frame.size())) {
-    DropConnection(dest);
-    rpc.drops->Add();
-    TANGO_LOG(kWarning) << "tcp: send to node " << dest << " ("
-                        << obs::RpcMethodName(method)
-                        << ") failed; dropping connection";
-    return Status(StatusCode::kUnavailable, "send failed");
+  if (IoResult w = WriteFull(conn->fd, frame.data(), frame.size());
+      w != IoResult::kOk) {
+    return io_error(w, "send to");
   }
 
   uint8_t len_buf[4];
-  if (!ReadFull(conn->fd, len_buf, sizeof(len_buf))) {
-    DropConnection(dest);
-    rpc.drops->Add();
-    TANGO_LOG(kWarning) << "tcp: recv from node " << dest << " ("
-                        << obs::RpcMethodName(method)
-                        << ") failed; dropping connection";
-    return Status(StatusCode::kUnavailable, "recv failed");
+  if (IoResult r = ReadFull(conn->fd, len_buf, sizeof(len_buf));
+      r != IoResult::kOk) {
+    return io_error(r, "recv from");
   }
   uint32_t resp_len = GetU32Le(len_buf);
   if (resp_len < 1 || resp_len > kMaxFrame) {
@@ -391,13 +459,9 @@ Status TcpTransport::Call(NodeId dest, uint16_t method,
     return Status(StatusCode::kInternal, "bad response frame");
   }
   std::vector<uint8_t> resp(resp_len);
-  if (!ReadFull(conn->fd, resp.data(), resp_len)) {
-    DropConnection(dest);
-    rpc.drops->Add();
-    TANGO_LOG(kWarning) << "tcp: recv from node " << dest << " ("
-                        << obs::RpcMethodName(method)
-                        << ") failed; dropping connection";
-    return Status(StatusCode::kUnavailable, "recv failed");
+  if (IoResult r = ReadFull(conn->fd, resp.data(), resp_len);
+      r != IoResult::kOk) {
+    return io_error(r, "recv from");
   }
   if (start_us != 0) {
     rpc.latency_us->Record(NowMicros() - start_us);

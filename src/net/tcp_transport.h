@@ -35,7 +35,15 @@ namespace tango {
 
 class TcpTransport : public Transport {
  public:
-  TcpTransport();
+  struct Options {
+    // Per-call I/O deadline in milliseconds: connect, send and recv are each
+    // bounded by this, so a hung or unreachable peer surfaces as kTimeout
+    // instead of blocking the caller forever.  0 = block indefinitely.
+    uint32_t call_timeout_ms = 0;
+  };
+
+  TcpTransport() : TcpTransport(Options{}) {}
+  explicit TcpTransport(Options options);
   ~TcpTransport() override;
 
   TcpTransport(const TcpTransport&) = delete;
@@ -64,6 +72,11 @@ class TcpTransport : public Transport {
   // Port the given locally served node is listening on (0 if not local).
   uint16_t LocalPort(NodeId node) const;
 
+  // Adjusts the per-call deadline at runtime (applies to subsequent calls).
+  void set_call_timeout_ms(uint32_t ms) {
+    call_timeout_ms_.store(ms, std::memory_order_relaxed);
+  }
+
  private:
   struct Listener;
   struct Connection;
@@ -71,6 +84,7 @@ class TcpTransport : public Transport {
   Result<std::shared_ptr<Connection>> GetConnection(NodeId dest);
   void DropConnection(NodeId dest);
 
+  std::atomic<uint32_t> call_timeout_ms_{0};
   mutable std::mutex mu_;
   std::unordered_map<NodeId, std::unique_ptr<Listener>> listeners_;
   std::unordered_map<NodeId, std::pair<std::string, uint16_t>> routes_;

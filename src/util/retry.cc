@@ -1,0 +1,75 @@
+#include "src/util/retry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/util/threading.h"
+
+namespace tango {
+
+namespace {
+
+// Each Attempt gets an independent jitter stream seeded from a process-wide
+// counter, so concurrent clients that start retrying at the same moment still
+// draw uncorrelated delays (the whole point of jitter).
+std::atomic<uint64_t> g_attempt_seq{1};
+
+uint64_t SplitMix(uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+RetryPolicy::Attempt::Attempt(const RetryPolicy* policy)
+    : policy_(policy),
+      start_us_(NowMicros()),
+      rng_state_(g_attempt_seq.fetch_add(1, std::memory_order_relaxed) *
+                 0x9e3779b97f4a7c15ULL) {}
+
+bool RetryPolicy::Attempt::DeadlineExceeded() const {
+  const Options& o = policy_->options();
+  return o.deadline_ms != 0 &&
+         NowMicros() - start_us_ >= static_cast<uint64_t>(o.deadline_ms) * 1000;
+}
+
+bool RetryPolicy::Attempt::ShouldRetry() const {
+  return attempt_ < policy_->options().max_attempts && !DeadlineExceeded();
+}
+
+uint64_t RetryPolicy::Attempt::NextDelayMicros() {
+  const Options& o = policy_->options();
+  double nominal = static_cast<double>(o.initial_backoff_us);
+  for (int i = 0; i < attempt_ && nominal < o.max_backoff_us; ++i) {
+    nominal *= o.multiplier;
+  }
+  nominal = std::min(nominal, static_cast<double>(o.max_backoff_us));
+  ++attempt_;
+
+  double spread = std::clamp(o.jitter, 0.0, 1.0);
+  double u = static_cast<double>(SplitMix(rng_state_) >> 11) *
+             (1.0 / 9007199254740992.0);  // uniform in [0, 1)
+  double jittered = nominal * (1.0 - spread + 2.0 * spread * u);
+  uint64_t delay = jittered < 1.0 ? 1 : static_cast<uint64_t>(jittered);
+
+  if (o.deadline_ms != 0) {
+    uint64_t deadline = start_us_ + static_cast<uint64_t>(o.deadline_ms) * 1000;
+    uint64_t now = NowMicros();
+    delay = now >= deadline ? 0 : std::min(delay, deadline - now);
+  }
+  return delay;
+}
+
+void RetryPolicy::Attempt::BackoffSleep() {
+  uint64_t delay = NextDelayMicros();
+  if (delay > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay));
+  }
+}
+
+}  // namespace tango

@@ -1,0 +1,83 @@
+// Unified client-side retry policy: exponential backoff with jitter, an
+// attempt budget, and an optional per-operation deadline.
+//
+// Fixed `1 << attempt` sleeps synchronize every client that hit the same
+// sealed epoch: they all wake at the same instant and stampede the projection
+// store (and the freshly bootstrapped sequencer) together.  Jitter
+// decorrelates the herd; the deadline turns "retry forever against a dead
+// node" into a bounded kTimeout the caller can act on.  One policy object is
+// shared by all of a client's operations; per-operation state lives in the
+// stack-allocated Attempt.
+
+#ifndef SRC_UTIL_RETRY_H_
+#define SRC_UTIL_RETRY_H_
+
+#include <cstdint>
+
+namespace tango {
+
+class RetryPolicy {
+ public:
+  struct Options {
+    // First backoff, before any growth.
+    uint32_t initial_backoff_us = 1000;
+    // Backoff ceiling; growth saturates here.
+    uint32_t max_backoff_us = 64000;
+    // Exponential growth factor between consecutive backoffs.
+    double multiplier = 2.0;
+    // Fraction of the nominal delay randomized away: each sleep is uniform
+    // in [d*(1-jitter), d*(1+jitter)].  0 disables jitter.
+    double jitter = 0.5;
+    // Retry budget (number of *retries*, not counting the initial try).
+    int max_attempts = 8;
+    // Total wall-clock budget for the operation, measured from Begin().
+    // Sleeps are capped so they never overshoot it.  0 = attempts only.
+    uint32_t deadline_ms = 0;
+  };
+
+  RetryPolicy() : RetryPolicy(Options{}) {}
+  explicit RetryPolicy(Options options) : options_(options) {}
+
+  const Options& options() const { return options_; }
+
+  // Per-operation retry state; cheap to construct on the stack.
+  class Attempt {
+   public:
+    explicit Attempt(const RetryPolicy* policy);
+
+    // Whether the budget (attempts and deadline) allows another try.
+    bool ShouldRetry() const;
+
+    // True once the deadline (if any) has passed.
+    bool DeadlineExceeded() const;
+
+    // The next jittered delay in microseconds; advances the attempt count.
+    // Returns 0 when the deadline has already passed.
+    uint64_t NextDelayMicros();
+
+    // Consumes one attempt from the budget without sleeping (for retries
+    // that need a fresh resource, not a cooled-down one — e.g. an append
+    // that lost its offset to a hole-filler and just wants a new token).
+    void CountAttempt() { ++attempt_; }
+
+    // NextDelayMicros() followed by a sleep of that long.
+    void BackoffSleep();
+
+    int attempts() const { return attempt_; }
+
+   private:
+    const RetryPolicy* policy_;
+    int attempt_ = 0;
+    uint64_t start_us_ = 0;
+    uint64_t rng_state_ = 0;
+  };
+
+  Attempt Begin() const { return Attempt(this); }
+
+ private:
+  Options options_;
+};
+
+}  // namespace tango
+
+#endif  // SRC_UTIL_RETRY_H_

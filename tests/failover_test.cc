@@ -8,6 +8,7 @@
 
 #include "src/corfu/cluster.h"
 #include "src/net/tcp_transport.h"
+#include "src/util/random.h"
 #include "src/objects/tango_map.h"
 #include "src/objects/tango_register.h"
 #include "src/runtime/runtime.h"
@@ -110,20 +111,17 @@ TEST_F(FailoverTest, CrashedWriterHoleDoesNotBlockReaders) {
   EXPECT_EQ(*b, "2");
 }
 
-TEST_F(FailoverTest, StorageNodeCrashSurfacesUnavailable) {
+TEST_F(FailoverTest, StorageNodeCrashRoutedAroundByAppends) {
   auto client = MakeClient();
   ASSERT_TRUE(client->Append(Bytes("x")).ok());
-  // Kill one storage node; appends landing on its chain fail cleanly.
+  // Kill one storage node.  An append whose granted offset lands on the dead
+  // chain abandons the token (leaving a hole for fillers), backs off, and
+  // retries with a fresh offset — which lands on a healthy chain — so the
+  // append itself still succeeds.
   transport_.KillNode(cluster_->options().storage_base);
-  bool saw_unavailable = false;
   for (int i = 0; i < 6; ++i) {
-    auto offset = client->Append(Bytes("y"));
-    if (!offset.ok()) {
-      EXPECT_EQ(offset.status().code(), StatusCode::kUnavailable);
-      saw_unavailable = true;
-    }
+    EXPECT_TRUE(client->Append(Bytes("y")).ok());
   }
-  EXPECT_TRUE(saw_unavailable);
   transport_.ReviveNode(cluster_->options().storage_base);
   EXPECT_TRUE(client->Append(Bytes("recovered")).ok());
 }
@@ -165,6 +163,75 @@ TEST_F(FailoverTest, StorageNodeReplacement) {
   auto read = other->Read(*offset);
   ASSERT_TRUE(read.ok());
   EXPECT_EQ(Str(read->payload), "post-replacement");
+}
+
+TEST_F(FailoverTest, AutoHealReplacesKilledNodeWithoutOperator) {
+  // The self-healing path end to end: a randomly chosen storage node dies
+  // mid-workload and the background HealthMonitor detects it, degrades the
+  // chain, and repairs onto a spare — no manual ReplaceStorageNode call.
+  auto client = MakeClient();
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(client->Append(Bytes("pre-" + std::to_string(i))).ok());
+  }
+  corfu::Projection before = client->projection();
+
+  corfu::HealthMonitor::Options options;
+  options.heartbeat_interval_ms = 2;
+  options.miss_threshold = 2;
+  corfu::HealthMonitor* monitor = cluster_->StartHealthMonitor(options);
+
+  // Foreground traffic keeps flowing while the monitor works.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> appended{0};
+  std::thread writer([&] {
+    corfu::CorfuClient::Options wo;
+    wo.max_epoch_retries = 64;
+    auto w = cluster_->MakeClient(wo);
+    while (!stop.load()) {
+      if (w->Append(Bytes("fg")).ok()) {
+        appended.fetch_add(1);
+      }
+    }
+  });
+
+  Rng rng(42);
+  NodeId victim =
+      cluster_->options().storage_base +
+      static_cast<NodeId>(rng.NextBelow(
+          static_cast<uint64_t>(cluster_->options().num_storage_nodes)));
+  transport_.KillNode(victim);
+
+  // Wait for detect -> degrade -> repair (epoch +2, full chains, no victim).
+  bool healed = false;
+  for (int i = 0; i < 1000 && !healed; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(client->RefreshProjection().ok());
+    corfu::Projection now = client->projection();
+    healed = now.epoch >= before.epoch + 2 && !monitor->InRecovery();
+    for (const auto& chain : now.replica_sets) {
+      healed = healed && chain.size() == 2;
+      for (NodeId node : chain) {
+        healed = healed && node != victim;
+      }
+    }
+  }
+  stop.store(true);
+  writer.join();
+  ASSERT_TRUE(healed) << "monitor never repaired the cluster";
+  EXPECT_GT(appended.load(), 0u);
+
+  // Cold replay audit: a fresh client walks the entire log across both
+  // reconfigurations.  Holes (offsets granted to the dead chain pre-degrade)
+  // are fillable; everything else must decode.
+  auto cold = MakeClient();
+  auto tail = cold->CheckTail();
+  ASSERT_TRUE(tail.ok());
+  ASSERT_GE(*tail, 30u);
+  for (corfu::LogOffset o = 0; o < *tail; ++o) {
+    auto entry = cold->ReadRepair(o);
+    ASSERT_TRUE(entry.ok()) << "offset " << o;
+  }
+  ASSERT_TRUE(cold->Append(Bytes("post-heal")).ok());
 }
 
 TEST_F(FailoverTest, StorageReplacementRequiresSurvivor) {

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
+#include <vector>
 
 #include "src/corfu/cluster.h"
 #include "src/net/inproc_transport.h"
@@ -38,6 +40,17 @@ inline std::vector<uint8_t> Bytes(const std::string& s) {
 
 inline std::string Str(const std::vector<uint8_t>& b) {
   return std::string(b.begin(), b.end());
+}
+
+// Seeds for randomized (chaos) tests.  TANGO_CHAOS_SEED overrides the
+// default set with a single seed, so CI can sweep many seeds across separate
+// invocations without rebuilding.
+inline std::vector<uint64_t> ChaosSeeds() {
+  const char* env = std::getenv("TANGO_CHAOS_SEED");
+  if (env != nullptr && *env != '\0') {
+    return {std::strtoull(env, nullptr, 10)};
+  }
+  return {1, 7, 1234};
 }
 
 }  // namespace tango_test

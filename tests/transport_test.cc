@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <string>
 
 #include "src/net/inproc_transport.h"
@@ -111,6 +117,68 @@ TEST(InProcTransportTest, CountsCalls) {
   EXPECT_EQ(t.call_count(), before + 2);
 }
 
+TEST(InProcTransportTest, PartitionLinkIsAsymmetric) {
+  InProcTransport t;
+  t.RegisterNode(7, EchoHandler());
+  t.RegisterNode(8, EchoHandler());
+  t.PartitionLink(1, 7);  // 1 -> 7 severed; every other direction intact
+  EXPECT_TRUE(t.IsPartitioned(1, 7));
+  EXPECT_FALSE(t.IsPartitioned(7, 1));
+  {
+    ScopedNetworkIdentity as_one(1);
+    EXPECT_EQ(t.Call(7, 1, EchoRequest("x"), nullptr).code(),
+              StatusCode::kUnavailable);
+    EXPECT_TRUE(t.Call(8, 1, EchoRequest("x"), nullptr).ok());
+  }
+  {
+    // The reverse direction and anonymous callers are unaffected.
+    ScopedNetworkIdentity as_seven(7);
+    EXPECT_TRUE(t.Call(7, 1, EchoRequest("x"), nullptr).ok());
+  }
+  EXPECT_TRUE(t.Call(7, 1, EchoRequest("x"), nullptr).ok());
+  t.HealLink(1, 7);
+  ScopedNetworkIdentity as_one(1);
+  EXPECT_TRUE(t.Call(7, 1, EchoRequest("x"), nullptr).ok());
+}
+
+TEST(InProcTransportTest, HealAllLinksClearsEveryPartition) {
+  InProcTransport t;
+  t.RegisterNode(7, EchoHandler());
+  t.PartitionLink(1, 7);
+  t.PartitionLink(2, 7);
+  t.HealAllLinks();
+  EXPECT_FALSE(t.IsPartitioned(1, 7));
+  EXPECT_FALSE(t.IsPartitioned(2, 7));
+  ScopedNetworkIdentity as_two(2);
+  EXPECT_TRUE(t.Call(7, 1, EchoRequest("x"), nullptr).ok());
+}
+
+TEST(InProcTransportTest, IdentityRestoredOnScopeExit) {
+  EXPECT_EQ(CurrentNetworkIdentity(), kInvalidNodeId);
+  {
+    ScopedNetworkIdentity outer(5);
+    EXPECT_EQ(CurrentNetworkIdentity(), 5u);
+    {
+      ScopedNetworkIdentity inner(6);
+      EXPECT_EQ(CurrentNetworkIdentity(), 6u);
+    }
+    EXPECT_EQ(CurrentNetworkIdentity(), 5u);
+  }
+  EXPECT_EQ(CurrentNetworkIdentity(), kInvalidNodeId);
+}
+
+TEST(InProcTransportTest, LinkJitterStillDelivers) {
+  InProcTransport t;
+  t.RegisterNode(7, EchoHandler());
+  t.set_link_jitter_us(200);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<uint8_t> resp;
+    ASSERT_TRUE(t.Call(7, 1, EchoRequest("jittered"), &resp).ok());
+    ByteReader r(resp);
+    EXPECT_EQ(r.GetString(), "jittered");
+  }
+}
+
 TEST(InProcTransportTest, ConcurrentCallers) {
   InProcTransport t;
   std::atomic<uint64_t> handled{0};
@@ -198,6 +266,48 @@ TEST(TcpTransportTest, UnregisterClosesServer) {
   ASSERT_TRUE(t.Call(7, 1, EchoRequest("x"), nullptr).ok());
   t.UnregisterNode(7);
   EXPECT_FALSE(t.Call(7, 1, EchoRequest("x"), nullptr).ok());
+}
+
+TEST(TcpTransportTest, CallTimesOutOnStalledPeer) {
+  // A listener that accepts the TCP handshake (kernel backlog) but never
+  // reads or replies: without a deadline this call would block forever.
+  int listener = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(listen(listener, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(
+      getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+
+  TcpTransport::Options options;
+  options.call_timeout_ms = 100;
+  TcpTransport t(options);
+  t.AddRoute(42, "127.0.0.1", ntohs(addr.sin_port));
+
+  auto start = std::chrono::steady_clock::now();
+  Status st = t.Call(42, 1, EchoRequest("stalled"), nullptr);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_EQ(st.code(), StatusCode::kTimeout) << st.ToString();
+  EXPECT_GE(elapsed.count(), 50);
+  EXPECT_LT(elapsed.count(), 5000);
+  close(listener);
+}
+
+TEST(TcpTransportTest, TimeoutDoesNotBreakHealthyPeers) {
+  TcpTransport::Options options;
+  options.call_timeout_ms = 1000;
+  TcpTransport t(options);
+  t.RegisterNode(7, EchoHandler());
+  std::vector<uint8_t> resp;
+  ASSERT_TRUE(t.Call(7, 1, EchoRequest("quick"), &resp).ok());
+  ByteReader r(resp);
+  EXPECT_EQ(r.GetString(), "quick");
 }
 
 }  // namespace

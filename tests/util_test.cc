@@ -6,6 +6,7 @@
 
 #include "src/util/histogram.h"
 #include "src/util/random.h"
+#include "src/util/retry.h"
 #include "src/util/serialize.h"
 #include "src/util/status.h"
 #include "src/util/threading.h"
@@ -439,6 +440,74 @@ TEST(RunParallelForTest, StopsWorkers) {
                    }
                  });
   EXPECT_GT(iterations.load(), 0u);
+}
+
+// --- retry policy ----------------------------------------------------------------------
+
+TEST(RetryPolicyTest, ExponentialGrowthAndCap) {
+  RetryPolicy::Options options;
+  options.initial_backoff_us = 1000;
+  options.max_backoff_us = 8000;
+  options.multiplier = 2.0;
+  options.jitter = 0.0;  // deterministic delays
+  options.max_attempts = 16;
+  RetryPolicy policy(options);
+  RetryPolicy::Attempt attempt = policy.Begin();
+  EXPECT_EQ(attempt.NextDelayMicros(), 1000u);
+  EXPECT_EQ(attempt.NextDelayMicros(), 2000u);
+  EXPECT_EQ(attempt.NextDelayMicros(), 4000u);
+  EXPECT_EQ(attempt.NextDelayMicros(), 8000u);
+  EXPECT_EQ(attempt.NextDelayMicros(), 8000u);  // saturated at the ceiling
+}
+
+TEST(RetryPolicyTest, JitterStaysInBoundsAndVaries) {
+  RetryPolicy::Options options;
+  options.initial_backoff_us = 1000;
+  options.max_backoff_us = 1000;
+  options.jitter = 0.5;
+  RetryPolicy policy(options);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 64; ++i) {
+    RetryPolicy::Attempt attempt = policy.Begin();
+    uint64_t delay = attempt.NextDelayMicros();
+    EXPECT_GE(delay, 500u);
+    EXPECT_LE(delay, 1500u);
+    seen.insert(delay);
+  }
+  // Decorrelated streams: the draws are not all identical.
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(RetryPolicyTest, AttemptBudgetExhausts) {
+  RetryPolicy::Options options;
+  options.max_attempts = 3;
+  options.initial_backoff_us = 1;
+  options.max_backoff_us = 1;
+  RetryPolicy policy(options);
+  RetryPolicy::Attempt attempt = policy.Begin();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(attempt.ShouldRetry()) << "retry " << i;
+    attempt.CountAttempt();
+  }
+  EXPECT_FALSE(attempt.ShouldRetry());
+  EXPECT_EQ(attempt.attempts(), 3);
+}
+
+TEST(RetryPolicyTest, DeadlineBoundsDelayAndRetry) {
+  RetryPolicy::Options options;
+  options.initial_backoff_us = 60'000'000;  // would sleep a minute...
+  options.max_backoff_us = 60'000'000;
+  options.jitter = 0.0;
+  options.max_attempts = 1000;
+  options.deadline_ms = 20;  // ...but the deadline caps it
+  RetryPolicy policy(options);
+  RetryPolicy::Attempt attempt = policy.Begin();
+  EXPECT_FALSE(attempt.DeadlineExceeded());
+  EXPECT_LE(attempt.NextDelayMicros(), 20'000u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EXPECT_TRUE(attempt.DeadlineExceeded());
+  EXPECT_FALSE(attempt.ShouldRetry());
+  EXPECT_EQ(attempt.NextDelayMicros(), 0u);
 }
 
 }  // namespace
