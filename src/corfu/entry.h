@@ -59,6 +59,26 @@ struct LogEntry {
   const StreamHeader* FindHeader(StreamId stream) const;
 };
 
+// Worst-case wire size of one stream header carrying `backpointer_count`
+// pointers: 5 fixed bytes (id_and_format + pointer_count) plus the larger of
+// the relative (2 bytes each) and absolute (8 bytes per kept ceil(K/4))
+// pointer encodings.  For the default K=4 both forms cost 8 bytes, so the
+// bound is exact and stable across re-encoding at a different offset.
+constexpr size_t StreamHeaderBound(size_t backpointer_count) {
+  size_t relative = 2 * backpointer_count;
+  size_t absolute = 8 * ((backpointer_count + 3) / 4);
+  return 5 + (relative > absolute ? relative : absolute);
+}
+
+// Worst-case wire size of a data entry with `num_streams` headers of
+// `backpointer_count` pointers each, excluding the payload: 10 fixed bytes
+// (epoch, type, header count, payload length) plus the header bounds.
+// Appenders use this to fail oversized records before burning a token.
+constexpr size_t EntryOverheadBound(size_t num_streams,
+                                    size_t backpointer_count) {
+  return 10 + num_streams * StreamHeaderBound(backpointer_count);
+}
+
 // Encodes `entry` as it would be written at `self_offset` (needed to compute
 // relative backpointers).  Fails if a header has more than 255 pointers or
 // the stream id exceeds 31 bits.

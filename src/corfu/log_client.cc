@@ -76,6 +76,21 @@ CorfuClient::CorfuClient(tango::Transport* transport, NodeId projection_store,
   TANGO_CHECK(st.ok()) << "initial projection fetch failed: " << st.ToString();
 }
 
+CorfuClient::~CorfuClient() { pipeline_.reset(); }
+
+AppendPipeline& CorfuClient::pipeline() {
+  std::call_once(pipeline_once_, [&] {
+    pipeline_ = std::make_unique<AppendPipeline>(this, options_.pipeline);
+  });
+  return *pipeline_;
+}
+
+AppendPipeline::Handle CorfuClient::AppendAsync(
+    std::span<const uint8_t> payload, std::vector<StreamId> streams,
+    AppendPipeline::Completion completion) {
+  return pipeline().Submit(payload, std::move(streams), std::move(completion));
+}
+
 Projection CorfuClient::Snapshot() const {
   std::shared_lock<std::shared_mutex> lock(projection_mu_);
   return projection_;
@@ -200,7 +215,7 @@ Result<LogOffset> CorfuClient::AppendToStreams(
     for (size_t i = 0; i < streams.size(); ++i) {
       StreamHeader h;
       h.stream = streams[i];
-      h.backpointers = grant->backpointers[i];
+      h.backpointers = grant->backpointers()[i];
       while (h.backpointers.size() < p.backpointer_count) {
         h.backpointers.push_back(kInvalidOffset);
       }

@@ -18,11 +18,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "src/corfu/append_pipeline.h"
 #include "src/corfu/entry.h"
 #include "src/corfu/projection.h"
 #include "src/corfu/sequencer.h"
@@ -47,12 +50,18 @@ class CorfuClient {
     // optional per-operation deadline (deadline_ms).  max_attempts here is
     // ignored — max_epoch_retries is the single attempts knob.
     tango::RetryPolicy::Options retry;
+    // Window and grant-batch sizes for the asynchronous append pipeline
+    // (AppendAsync); the pipeline is only created on first use.
+    AppendPipeline::Options pipeline;
   };
 
   CorfuClient(tango::Transport* transport, tango::NodeId projection_store)
       : CorfuClient(transport, projection_store, Options{}) {}
   CorfuClient(tango::Transport* transport, tango::NodeId projection_store,
               Options options);
+  // Shuts down the append pipeline (if created), junk-filling its unused
+  // tokens, before the rest of the client is torn down.
+  ~CorfuClient();
 
   // --- Core CORFU interface -------------------------------------------------
 
@@ -63,6 +72,18 @@ class CorfuClient {
   // `streams`.  The sequencer supplies the backpointer headers.
   tango::Result<LogOffset> AppendToStreams(std::span<const uint8_t> payload,
                                            const std::vector<StreamId>& streams);
+
+  // Asynchronous append through the windowed pipeline (see AppendPipeline):
+  // returns a Handle that resolves out of order when this entry's chain
+  // write lands; `completion`, if given, fires first from a worker thread.
+  // Blocks only when the pipeline window is full.
+  AppendPipeline::Handle AppendAsync(
+      std::span<const uint8_t> payload, std::vector<StreamId> streams,
+      AppendPipeline::Completion completion = nullptr);
+
+  // The client's pipeline, created on first use with options().pipeline.
+  // Exposed for Drain() and stats().
+  AppendPipeline& pipeline();
 
   // Reads and decodes the entry at `offset`.
   tango::Result<LogEntry> Read(LogOffset offset);
@@ -134,6 +155,10 @@ class CorfuClient {
   const Options& options() const { return options_; }
 
  private:
+  // The pipeline reuses the client's chain-write, retry, and projection
+  // machinery without widening the public surface.
+  friend class AppendPipeline;
+
   Projection Snapshot() const;
 
   // Writes `bytes` at `offset` through the chain.  If another writer already
@@ -165,6 +190,9 @@ class CorfuClient {
 
   mutable std::shared_mutex projection_mu_;
   Projection projection_;
+
+  std::once_flag pipeline_once_;
+  std::unique_ptr<AppendPipeline> pipeline_;
 };
 
 // Reconfiguration (§5, Failure Handling): seals the cluster at epoch+1,

@@ -73,9 +73,8 @@ Sequencer::~Sequencer() { transport_->UnregisterNode(node_); }
 
 Result<SequencerGrant> Sequencer::Next(Epoch epoch, uint32_t count,
                                        const std::vector<StreamId>& streams) {
-  if (count == 0 || (count > 1 && !streams.empty())) {
-    return Status(StatusCode::kInvalidArgument,
-                  "batched grants cannot carry streams");
+  if (count == 0 || count > kMaxGrantBatch) {
+    return Status(StatusCode::kInvalidArgument, "grant count out of range");
   }
   std::lock_guard<std::mutex> lock(mu_);
   if (epoch != epoch_) {
@@ -84,17 +83,25 @@ Result<SequencerGrant> Sequencer::Next(Epoch epoch, uint32_t count,
   }
   SequencerGrant grant;
   grant.start = tail_;
+  grant.count = count;
   tail_ += count;
   tokens_->Add(count);
   tail_gauge_->Set(static_cast<int64_t>(tail_));
-  grant.backpointers.reserve(streams.size());
-  for (StreamId s : streams) {
-    StreamTail& t = streams_[s];
-    grant.backpointers.push_back(t);
-    // Record the new offset as this stream's most recent entry.
-    t.insert(t.begin(), grant.start);
-    if (t.size() > backpointer_count_) {
-      t.resize(backpointer_count_);
+  if (!streams.empty()) {
+    grant.token_backpointers.resize(count);
+    for (uint32_t token = 0; token < count; ++token) {
+      std::vector<StreamTail>& bps = grant.token_backpointers[token];
+      bps.reserve(streams.size());
+      for (StreamId s : streams) {
+        StreamTail& t = streams_[s];
+        bps.push_back(t);
+        // Record the token as this stream's most recent entry, so the next
+        // token of the same grant chains to it.
+        t.insert(t.begin(), grant.start + token);
+        if (t.size() > backpointer_count_) {
+          t.resize(backpointer_count_);
+        }
+      }
     }
   }
   stream_gauge_->Set(static_cast<int64_t>(streams_.size()));
@@ -170,7 +177,12 @@ Status Sequencer::HandleNext(ByteReader& req, ByteWriter& resp) {
     return grant.status();
   }
   resp.PutU64(grant->start);
-  EncodeStreamTails(grant->backpointers, resp);
+  // Number of per-token backpointer groups: 0 for streamless (raw offset
+  // batching) grants, `count` otherwise.
+  resp.PutU16(static_cast<uint16_t>(grant->token_backpointers.size()));
+  for (const std::vector<StreamTail>& bps : grant->token_backpointers) {
+    EncodeStreamTails(bps, resp);
+  }
   return Status::Ok();
 }
 
@@ -293,7 +305,12 @@ Result<SequencerGrant> SequencerNext(tango::Transport* transport,
   ByteReader r(resp);
   SequencerGrant grant;
   grant.start = r.GetU64();
-  grant.backpointers = DecodeStreamTails(r);
+  grant.count = count;
+  uint16_t groups = r.GetU16();
+  grant.token_backpointers.reserve(groups);
+  for (uint16_t i = 0; i < groups && r.ok(); ++i) {
+    grant.token_backpointers.push_back(DecodeStreamTails(r));
+  }
   if (!r.ok()) {
     return Status(StatusCode::kInternal, "malformed grant response");
   }

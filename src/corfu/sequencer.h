@@ -9,9 +9,13 @@
 // of durability.
 //
 // RPC surface:
-//   Next(epoch, count, streams[]) -> start offset + per-stream backpointers
-//     (count > 1 is only legal with no streams; it models client batching of
-//      raw offset grants, as in the Figure 2 experiment)
+//   Next(epoch, count, streams[]) -> start offset + per-token per-stream
+//     backpointers.  count > 1 grants the contiguous token range
+//     [start, start+count): with no streams it models raw offset batching
+//     (the Figure 2 experiment); with streams it is the append pipeline's
+//     grant amortization — every token carries the backpointer headers a
+//     sequence of count single grants would have produced, so independent
+//     entries can replicate concurrently in sequencer order.
 //   Tail(epoch, streams[])        -> current tail + per-stream backpointers,
 //     without incrementing (the "fast check" and stream-sync primitive)
 //   Bootstrap(epoch, tail, state) -> installs recovered state
@@ -37,9 +41,20 @@ using StreamTail = std::vector<LogOffset>;
 
 struct SequencerGrant {
   LogOffset start = kInvalidOffset;
-  // Parallel to the requested stream ids: the offsets of the previous K
-  // entries of each stream (before this grant).
-  std::vector<StreamTail> backpointers;
+  // Number of consecutive tokens granted: the range [start, start + count).
+  uint32_t count = 1;
+  // token_backpointers[t][s]: the offsets of the previous K entries of
+  // streams[s] before token start+t, most recent first.  Earlier tokens of
+  // the same grant appear in later tokens' lists, so a range grant yields
+  // exactly the headers count consecutive single grants would have.  Empty
+  // when the grant carried no streams (raw offset batching).
+  std::vector<std::vector<StreamTail>> token_backpointers;
+
+  // The common single-token view: token t's backpointers, parallel to the
+  // requested stream ids.
+  const std::vector<StreamTail>& backpointers(uint32_t token = 0) const {
+    return token_backpointers[token];
+  }
 };
 
 struct SequencerTailInfo {

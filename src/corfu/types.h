@@ -33,6 +33,10 @@ inline constexpr int kDefaultBackpointerCount = 4;
 // malformed frames, far above any readahead depth clients actually use.
 inline constexpr uint32_t kMaxReadBatch = 65536;
 
+// Upper bound on tokens per kSequencerNext range grant; bounds the per-token
+// backpointer payload of a single response.
+inline constexpr uint32_t kMaxGrantBatch = 4096;
+
 // RPC method ids, grouped by service.
 enum RpcMethod : uint16_t {
   // StorageNode

@@ -19,6 +19,7 @@
 #define SRC_OBS_METRICS_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -96,6 +97,32 @@ class Histogram {
   std::atomic<uint64_t> sum_{0};
   std::atomic<uint64_t> min_{~0ULL};
   std::atomic<uint64_t> max_{0};
+};
+
+// RAII stage timer: records the scope's elapsed microseconds into `hist` at
+// destruction.  When metrics are disabled at construction the clock is never
+// read, so a dormant timer costs one relaxed load.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist)
+      : hist_(MetricsEnabled() ? hist : nullptr),
+        start_(hist_ != nullptr ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{}) {}
+  ~ScopedTimer() {
+    if (hist_ != nullptr) {
+      hist_->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start_)
+              .count()));
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 class MetricsRegistry {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
+
+#include "src/corfu/entry.h"
 
 namespace tango {
 
@@ -10,45 +13,63 @@ using corfu::StreamId;
 
 Result<LogOffset> Batcher::Append(Record record,
                                   std::vector<StreamId> streams) {
+  // Size the record against an entry that would carry it alone.  Rejecting
+  // here — before the slot is enqueued — is what keeps an impossible record
+  // from burning a sequencer token and leaving a junk hole behind.
+  corfu::Projection p = log_->projection();
+  std::vector<uint8_t> body = EncodeRecordBody(record);
+  if (corfu::EntryOverheadBound(streams.size(), p.backpointer_count) + 2 +
+          body.size() >
+      p.page_size) {
+    return Status(StatusCode::kOutOfRange, "record exceeds page size");
+  }
+
   auto result = std::make_shared<SlotResult>();
-  std::unique_lock<std::mutex> lock(mu_);
-  pending_.push_back(Slot{std::move(record), std::move(streams), result});
-  ++records_batched_;
-  if (pending_.size() >= options_.max_records) {
-    cv_.notify_all();  // a waiting leader can flush immediately
+  Shared& s = *shared_;
+  std::unique_lock<std::mutex> lock(s.mu);
+  s.pending.push_back(Slot{std::move(body), std::move(streams), result});
+  ++s.records_batched;
+  if (s.pending.size() >= options_.max_records) {
+    s.cv.notify_all();  // a waiting leader can flush immediately
   }
 
   // Until our slot resolves, either follow an active leader or — when the
-  // leadership is free and our slot is still pending (e.g. we arrived while
-  // the previous leader was already flushing its snapshot) — lead the next
-  // batch ourselves.
+  // leadership is free and records are pending — lead the next batch
+  // ourselves.  Because flushes are asynchronous, our own slot may already
+  // be in flight while pending is empty; then we just wait for completion.
   while (!result->done) {
-    if (leader_active_) {
-      cv_.wait(lock,
-               [&] { return result->done || !leader_active_; });
+    if (s.leader_active) {
+      s.cv.wait(lock, [&] { return result->done || !s.leader_active; });
       continue;
     }
-    leader_active_ = true;
+    if (s.pending.empty()) {
+      s.cv.wait(lock, [&] {
+        return result->done || (!s.pending.empty() && !s.leader_active);
+      });
+      continue;
+    }
+    s.leader_active = true;
     // Give followers a short window to pile on, unless the batch fills.
-    cv_.wait_for(lock, std::chrono::microseconds(options_.window_us),
-                 [this] { return pending_.size() >= options_.max_records; });
+    s.cv.wait_for(lock, std::chrono::microseconds(options_.window_us),
+                  [&] { return s.pending.size() >= options_.max_records; });
     // Take at most max_records (the paper's fixed batch size); any overflow
     // stays queued for the next leader, which a remaining owner becomes as
     // soon as we release leadership.
     std::vector<Slot> slots;
-    if (pending_.size() <= options_.max_records) {
-      slots.swap(pending_);
+    if (s.pending.size() <= options_.max_records) {
+      slots.swap(s.pending);
     } else {
-      slots.assign(std::make_move_iterator(pending_.begin()),
-                   std::make_move_iterator(pending_.begin() +
+      slots.assign(std::make_move_iterator(s.pending.begin()),
+                   std::make_move_iterator(s.pending.begin() +
                                            options_.max_records));
-      pending_.erase(pending_.begin(), pending_.begin() + options_.max_records);
+      s.pending.erase(s.pending.begin(),
+                      s.pending.begin() + options_.max_records);
     }
     lock.unlock();
     Flush(std::move(slots));
     lock.lock();
-    leader_active_ = false;
-    cv_.notify_all();
+    s.leader_active = false;
+    s.cv.notify_all();
   }
 
   lock.unlock();
@@ -59,46 +80,72 @@ Result<LogOffset> Batcher::Append(Record record,
 }
 
 void Batcher::Flush(std::vector<Slot> slots) {
-  // Pack greedily under the page budget, leaving margin for the entry
-  // header and per-stream backpointer headers.
-  const size_t page_budget =
-      log_->projection().page_size > 512 ? log_->projection().page_size - 512
-                                         : log_->projection().page_size;
+  const corfu::Projection p = log_->projection();
+  const size_t header_cost = corfu::StreamHeaderBound(p.backpointer_count);
 
   size_t begin = 0;
   while (begin < slots.size()) {
-    std::vector<Record> records;
+    // Pack greedily but exactly: an entry costs its fixed framing, one
+    // header per distinct stream, the 2-byte record-count prefix, and the
+    // record bodies.  Every term is known up front, so a packed batch can
+    // fill the page to the last byte and never exceeds it at the append.
+    std::vector<std::vector<uint8_t>> bodies;
     std::vector<StreamId> streams;
     size_t end = begin;
-    size_t encoded_size = 2;  // record-count prefix
+    size_t size = corfu::EntryOverheadBound(0, p.backpointer_count) + 2;
     while (end < slots.size()) {
-      std::vector<uint8_t> one = EncodeRecord(slots[end].record);
-      size_t record_size = one.size() - 2;
-      if (end > begin && encoded_size + record_size > page_budget) {
+      size_t new_streams = 0;
+      for (size_t i = 0; i < slots[end].streams.size(); ++i) {
+        StreamId s = slots[end].streams[i];
+        bool seen =
+            std::find(streams.begin(), streams.end(), s) != streams.end() ||
+            std::find(slots[end].streams.begin(), slots[end].streams.begin() + i,
+                      s) != slots[end].streams.begin() + i;
+        if (!seen) {
+          ++new_streams;
+        }
+      }
+      size_t projected =
+          size + slots[end].body.size() + new_streams * header_cost;
+      if (end > begin && projected > p.page_size) {
         break;
       }
-      encoded_size += record_size;
-      records.push_back(slots[end].record);
+      size = projected;
       for (StreamId s : slots[end].streams) {
         if (std::find(streams.begin(), streams.end(), s) == streams.end()) {
           streams.push_back(s);
         }
       }
+      bodies.push_back(std::move(slots[end].body));
       ++end;
     }
 
-    std::vector<uint8_t> payload = EncodeRecords(records);
-    Result<LogOffset> offset = log_->AppendToStreams(payload, streams);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      for (size_t i = begin; i < end; ++i) {
-        slots[i].result->status = offset.status();
-        slots[i].result->offset = offset.ok() ? *offset : corfu::kInvalidOffset;
-        slots[i].result->done = true;
-      }
-      ++batches_flushed_;
+    std::vector<uint8_t> payload = AssembleRecordsPayload(bodies);
+    // One completion resolves every record of the entry — success or
+    // failure — so no follower can be left waiting on a dropped Status.
+    // The callback captures the shared state (not the Batcher), keeping the
+    // mutex and cv alive even if the Batcher is destroyed the instant its
+    // last waiter wakes.
+    auto results = std::make_shared<std::vector<std::shared_ptr<SlotResult>>>();
+    results->reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      results->push_back(slots[i].result);
     }
-    cv_.notify_all();
+    std::shared_ptr<Shared> shared = shared_;
+    log_->pipeline().Submit(
+        payload, std::move(streams),
+        [shared, results](const Status& st, LogOffset offset) {
+          {
+            std::lock_guard<std::mutex> lock(shared->mu);
+            for (const std::shared_ptr<SlotResult>& r : *results) {
+              r->status = st;
+              r->offset = st.ok() ? offset : corfu::kInvalidOffset;
+              r->done = true;
+            }
+            ++shared->batches_flushed;
+          }
+          shared->cv.notify_all();
+        });
     begin = end;
   }
 }

@@ -10,8 +10,19 @@
 // share the entry's offset, which is exactly the semantics the playback path
 // implements for multi-record entries (records apply in order).
 //
-// Oversized batches split: the leader packs records greedily under the log's
-// page size, so a batch never fails just because its neighbors were large.
+// Oversized batches split: the leader packs records greedily but exactly
+// under the log's page size (counting the entry framing and one backpointer
+// header per distinct stream), so a batch never fails just because its
+// neighbors were large — and never exceeds the page at the append either.
+// Records too large for any entry are rejected in Append, before they burn a
+// sequencer token and leave a junk hole.
+//
+// Entries flush through the client's asynchronous append pipeline: the
+// leader submits every packed entry and releases leadership immediately, so
+// one Batcher keeps several batches in flight instead of serializing on each
+// chain write.  Completion callbacks resolve the slots — on success and on
+// failure alike, so a follower whose leader's flush failed mid-batch still
+// observes its status instead of waiting forever.
 //
 // Trade-off (also the paper's): batching multiplies append bandwidth per
 // sequencer grant and per storage IOP, at the cost of added append latency.
@@ -44,12 +55,20 @@ class Batcher {
       : log_(log), options_(options) {}
 
   // Appends `record` to `streams` as part of a batch; blocks until the batch
-  // containing it is durable and returns the record's log offset.
+  // containing it is durable and returns the record's log offset.  A record
+  // that cannot fit in any entry (even alone) fails immediately with
+  // kOutOfRange, without consuming a batch slot or a sequencer token.
   Result<corfu::LogOffset> Append(Record record,
                                   std::vector<corfu::StreamId> streams);
 
-  uint64_t batches_flushed() const { return batches_flushed_; }
-  uint64_t records_batched() const { return records_batched_; }
+  uint64_t batches_flushed() const {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    return shared_->batches_flushed;
+  }
+  uint64_t records_batched() const {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    return shared_->records_batched;
+  }
 
  private:
   struct SlotResult {
@@ -58,23 +77,33 @@ class Batcher {
     corfu::LogOffset offset = corfu::kInvalidOffset;
   };
   struct Slot {
-    Record record;
+    // Wire body of the record (no count prefix), encoded once in Append —
+    // both the oversize check and the packer size with the same bytes.
+    std::vector<uint8_t> body;
     std::vector<corfu::StreamId> streams;
     std::shared_ptr<SlotResult> result;
   };
+  // The batching state lives behind a shared_ptr so that pipeline completion
+  // callbacks (which resolve slots and signal waiters from a pipeline worker
+  // thread) never touch a Batcher that was destroyed right after its last
+  // waiter woke up.
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Slot> pending;
+    bool leader_active = false;
+    uint64_t batches_flushed = 0;
+    uint64_t records_batched = 0;
+  };
 
-  // Leader-only: flushes `slots` as one or more entries (mu_ released).
+  // Leader-only: packs `slots` into one or more entries and submits them to
+  // the append pipeline (shared_->mu released); slots resolve via
+  // completions.
   void Flush(std::vector<Slot> slots);
 
   corfu::CorfuClient* log_;
   Options options_;
-
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<Slot> pending_;
-  bool leader_active_ = false;
-  uint64_t batches_flushed_ = 0;
-  uint64_t records_batched_ = 0;
+  std::shared_ptr<Shared> shared_ = std::make_shared<Shared>();
 };
 
 }  // namespace tango

@@ -119,6 +119,26 @@ std::vector<uint8_t> EncodeRecord(const Record& record) {
   return EncodeRecords(std::span<const Record>(&record, 1));
 }
 
+std::vector<uint8_t> EncodeRecordBody(const Record& record) {
+  ByteWriter w;
+  EncodeOne(record, w);
+  return w.Take();
+}
+
+std::vector<uint8_t> AssembleRecordsPayload(
+    std::span<const std::vector<uint8_t>> bodies) {
+  size_t total = 2;
+  for (const std::vector<uint8_t>& b : bodies) {
+    total += b.size();
+  }
+  ByteWriter w(total);
+  w.PutU16(static_cast<uint16_t>(bodies.size()));
+  for (const std::vector<uint8_t>& b : bodies) {
+    w.PutBytes(b.data(), b.size());
+  }
+  return w.Take();
+}
+
 Result<std::vector<Record>> DecodeRecords(std::span<const uint8_t> payload) {
   ByteReader r(payload);
   uint16_t count = r.GetU16();

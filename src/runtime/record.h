@@ -99,6 +99,14 @@ Result<std::vector<Record>> DecodeRecords(std::span<const uint8_t> payload);
 // Convenience single-record wrappers.
 std::vector<uint8_t> EncodeRecord(const Record& record);
 
+// One record's wire body without the batch count prefix.  The group-commit
+// packer sizes batches with these: AssembleRecordsPayload(bodies) is
+// byte-identical to EncodeRecords of the same records, so the packed size is
+// exactly 2 + sum(body sizes).
+std::vector<uint8_t> EncodeRecordBody(const Record& record);
+std::vector<uint8_t> AssembleRecordsPayload(
+    std::span<const std::vector<uint8_t>> bodies);
+
 Record MakeUpdateRecord(ObjectId oid, std::span<const uint8_t> data,
                         std::optional<uint64_t> key);
 Record MakeCommitRecord(TxId txid, std::vector<WriteOp> writes,

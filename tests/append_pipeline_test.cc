@@ -1,0 +1,254 @@
+// AppendPipeline: windowed asynchronous appends — completion semantics,
+// grant amortization, failure isolation, and the junk-fill teardown
+// invariant (no token leaves the pipeline as a lasting hole).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/corfu/append_pipeline.h"
+#include "src/corfu/log_client.h"
+#include "src/util/threading.h"
+#include "tests/test_env.h"
+
+namespace corfu {
+namespace {
+
+using tango::Status;
+using tango::StatusCode;
+using tango_test::Bytes;
+using tango_test::ClusterFixture;
+using tango_test::Str;
+
+class AppendPipelineTest : public ClusterFixture {
+ protected:
+  std::unique_ptr<CorfuClient> MakePipelinedClient(uint32_t window,
+                                                   uint32_t grant_batch) {
+    CorfuClient::Options options;
+    options.hole_timeout_ms = 5;
+    options.pipeline.window = window;
+    options.pipeline.grant_batch = grant_batch;
+    return cluster_->MakeClient(options);
+  }
+};
+
+TEST_F(AppendPipelineTest, AsyncAppendsAreReadable) {
+  auto client = MakePipelinedClient(4, 4);
+  constexpr int kAppends = 20;
+  std::vector<AppendPipeline::Handle> handles;
+  for (int i = 0; i < kAppends; ++i) {
+    handles.push_back(
+        client->AppendAsync(Bytes("entry" + std::to_string(i)), {7}));
+  }
+  std::vector<LogOffset> offsets;
+  for (int i = 0; i < kAppends; ++i) {
+    ASSERT_TRUE(handles[i].Wait().ok()) << i;
+    offsets.push_back(handles[i].offset());
+  }
+  // Every completed append is readable at its reported offset with the
+  // submitted payload and the stream header.
+  for (int i = 0; i < kAppends; ++i) {
+    auto entry = client->Read(offsets[i]);
+    ASSERT_TRUE(entry.ok()) << i;
+    EXPECT_EQ(Str(entry->payload), "entry" + std::to_string(i));
+    EXPECT_NE(entry->FindHeader(7), nullptr);
+  }
+}
+
+TEST_F(AppendPipelineTest, CompletionCallbackFires) {
+  auto client = MakePipelinedClient(4, 4);
+  std::atomic<int> callbacks{0};
+  std::atomic<bool> saw_offset{false};
+  auto handle = client->AppendAsync(
+      Bytes("cb"), {3}, [&](const Status& st, LogOffset offset) {
+        callbacks.fetch_add(1);
+        saw_offset.store(st.ok() && offset != kInvalidOffset);
+      });
+  ASSERT_TRUE(handle.Wait().ok());
+  EXPECT_EQ(callbacks.load(), 1);
+  EXPECT_TRUE(saw_offset.load());
+}
+
+TEST_F(AppendPipelineTest, GrantsAreAmortized) {
+  auto client = MakePipelinedClient(8, 8);
+  constexpr int kAppends = 64;
+  std::vector<AppendPipeline::Handle> handles;
+  for (int i = 0; i < kAppends; ++i) {
+    handles.push_back(client->AppendAsync(Bytes("x"), {5}));
+  }
+  for (auto& h : handles) {
+    ASSERT_TRUE(h.Wait().ok());
+  }
+  AppendPipeline::Stats stats = client->pipeline().stats();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kAppends));
+  EXPECT_EQ(stats.completed_ok, static_cast<uint64_t>(kAppends));
+  // The whole point: far fewer sequencer round trips than appends.
+  EXPECT_LT(stats.grant_rpcs, static_cast<uint64_t>(kAppends));
+  EXPECT_GE(stats.tokens_granted, static_cast<uint64_t>(kAppends));
+}
+
+TEST_F(AppendPipelineTest, RangeGrantBackpointersChain) {
+  // Entries appended through a batched grant must carry the same headers
+  // consecutive single grants would have: each token points at its
+  // predecessors, so stream playback can walk the chain.
+  auto client = MakePipelinedClient(8, 8);
+  constexpr int kAppends = 16;
+  std::vector<AppendPipeline::Handle> handles;
+  for (int i = 0; i < kAppends; ++i) {
+    handles.push_back(client->AppendAsync(Bytes("c"), {9}));
+  }
+  std::vector<LogOffset> offsets;
+  for (auto& h : handles) {
+    ASSERT_TRUE(h.Wait().ok());
+    offsets.push_back(h.offset());
+  }
+  std::sort(offsets.begin(), offsets.end());
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    auto entry = client->Read(offsets[i]);
+    ASSERT_TRUE(entry.ok());
+    const StreamHeader* h = entry->FindHeader(9);
+    ASSERT_NE(h, nullptr);
+    ASSERT_FALSE(h->backpointers.empty());
+    EXPECT_EQ(h->backpointers[0], offsets[i - 1])
+        << "entry at " << offsets[i] << " does not chain to its predecessor";
+  }
+}
+
+TEST_F(AppendPipelineTest, OversizedPayloadFailsFast) {
+  auto client = MakePipelinedClient(4, 4);
+  std::vector<uint8_t> huge(client->projection().page_size + 1, 0xee);
+  auto handle = client->AppendAsync(huge, {1});
+  EXPECT_EQ(handle.Wait().code(), StatusCode::kOutOfRange);
+  // No token was granted (the tail counter never moved) and nothing hangs.
+  auto tail = client->CheckTail();
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(*tail, 0u);
+  AppendPipeline::Stats stats = client->pipeline().stats();
+  EXPECT_EQ(stats.tokens_granted, 0u);
+  EXPECT_EQ(stats.completed_error, 1u);
+}
+
+TEST_F(AppendPipelineTest, DrainWaitsForEverything) {
+  auto client = MakePipelinedClient(8, 4);
+  constexpr int kAppends = 32;
+  std::atomic<int> completed{0};
+  for (int i = 0; i < kAppends; ++i) {
+    client->AppendAsync(Bytes("d"), {2},
+                        [&](const Status&, LogOffset) { completed++; });
+  }
+  client->pipeline().Drain();
+  EXPECT_EQ(completed.load(), kAppends);
+}
+
+TEST_F(AppendPipelineTest, ConcurrentSubmittersAreSafe) {
+  auto client = MakePipelinedClient(8, 8);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  std::atomic<int> failures{0};
+  std::mutex mu;
+  std::set<LogOffset> offsets;
+  tango::RunParallel(kThreads, [&](int t) {
+    std::vector<AppendPipeline::Handle> handles;
+    for (int i = 0; i < kPerThread; ++i) {
+      handles.push_back(client->AppendAsync(
+          Bytes("t" + std::to_string(t) + "." + std::to_string(i)),
+          {static_cast<StreamId>(t + 1)}));
+    }
+    for (auto& h : handles) {
+      if (!h.Wait().ok()) {
+        failures.fetch_add(1);
+      } else {
+        std::lock_guard<std::mutex> lock(mu);
+        offsets.insert(h.offset());
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+  // Every append got its own distinct offset (pooled surplus tokens may
+  // push the tail further, but never aliased an append).
+  EXPECT_EQ(offsets.size(), static_cast<size_t>(kThreads * kPerThread));
+  auto tail = client->CheckTail();
+  ASSERT_TRUE(tail.ok());
+  EXPECT_GE(*tail, static_cast<LogOffset>(kThreads * kPerThread));
+}
+
+TEST_F(AppendPipelineTest, TeardownFillsUnusedTokens) {
+  LogOffset tail = 0;
+  {
+    auto client = MakePipelinedClient(4, 8);
+    // A single append with grant_batch 8 may strand up to 7 pooled tokens;
+    // force it by appending once per stream set.
+    ASSERT_TRUE(client->AppendAsync(Bytes("a"), {1}).Wait().ok());
+    ASSERT_TRUE(client->AppendAsync(Bytes("b"), {2}).Wait().ok());
+    client->pipeline().Shutdown();
+    AppendPipeline::Stats stats = client->pipeline().stats();
+    // Every abandoned token (pooled surplus included) was junk-filled.
+    EXPECT_EQ(stats.tokens_abandoned,
+              stats.tokens_filled + stats.fill_failures);
+    EXPECT_EQ(stats.fill_failures, 0u);
+    EXPECT_EQ(stats.tokens_granted,
+              stats.completed_ok + stats.tokens_lost + stats.tokens_abandoned);
+    auto t = client->CheckTail();
+    ASSERT_TRUE(t.ok());
+    tail = *t;
+  }
+  // No offset below the tail is a lasting hole: every granted token was
+  // either written or filled.
+  auto reader = MakeClient();
+  std::vector<LogOffset> offsets;
+  for (LogOffset o = 0; o < tail; ++o) {
+    offsets.push_back(o);
+  }
+  auto batch = reader->ReadBatch(offsets);
+  ASSERT_TRUE(batch.ok());
+  for (LogOffset o = 0; o < tail; ++o) {
+    EXPECT_NE((*batch)[o].status.code(), StatusCode::kUnwritten)
+        << "offset " << o << " left unwritten";
+  }
+}
+
+TEST_F(AppendPipelineTest, SubmitAfterShutdownFails) {
+  auto client = MakePipelinedClient(2, 2);
+  ASSERT_TRUE(client->AppendAsync(Bytes("x"), {1}).Wait().ok());
+  client->pipeline().Shutdown();
+  auto handle = client->pipeline().Submit(Bytes("y"), {1});
+  EXPECT_EQ(handle.Wait().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(AppendPipelineTest, SurvivesSequencerReplacement) {
+  // A reconfiguration mid-stream: pooled tokens from the old epoch become
+  // unusable; the pipeline must abandon them, re-drive the affected entries
+  // on fresh tokens, and still leave no holes.
+  auto client = MakePipelinedClient(4, 8);
+  ASSERT_TRUE(client->AppendAsync(Bytes("pre"), {1}).Wait().ok());
+
+  auto admin = MakeClient();
+  ASSERT_TRUE(cluster_->ReplaceSequencer(admin.get()).ok());
+
+  std::vector<AppendPipeline::Handle> handles;
+  for (int i = 0; i < 8; ++i) {
+    handles.push_back(
+        client->AppendAsync(Bytes("post" + std::to_string(i)), {1}));
+  }
+  for (auto& h : handles) {
+    ASSERT_TRUE(h.Wait().ok());
+  }
+  client->pipeline().Shutdown();
+  AppendPipeline::Stats stats = client->pipeline().stats();
+  EXPECT_EQ(stats.tokens_abandoned, stats.tokens_filled + stats.fill_failures);
+  EXPECT_EQ(stats.fill_failures, 0u);
+
+  auto tail = client->CheckTail();
+  ASSERT_TRUE(tail.ok());
+  for (LogOffset o = 0; o < *tail; ++o) {
+    auto entry = admin->ReadRepair(o);
+    EXPECT_TRUE(entry.ok()) << "offset " << o;
+  }
+}
+
+}  // namespace
+}  // namespace corfu

@@ -36,29 +36,75 @@ TEST_F(SequencerTest, BatchedGrant) {
   EXPECT_EQ(next->start, 8u);
 }
 
-TEST_F(SequencerTest, BatchWithStreamsRejected) {
-  EXPECT_EQ(sequencer_.Next(0, 4, {7}).status().code(),
-            StatusCode::kInvalidArgument);
+TEST_F(SequencerTest, BadGrantCountsRejected) {
   EXPECT_EQ(sequencer_.Next(0, 0, {}).status().code(),
             StatusCode::kInvalidArgument);
+  EXPECT_EQ(sequencer_.Next(0, kMaxGrantBatch + 1, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SequencerTest, RangeGrantWithStreams) {
+  // A range grant must yield exactly the per-token headers that `count`
+  // consecutive single grants would have produced.
+  auto g = sequencer_.Next(0, 3, {7});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->start, 0u);
+  EXPECT_EQ(g->count, 3u);
+  ASSERT_EQ(g->token_backpointers.size(), 3u);
+  EXPECT_TRUE(g->backpointers(0)[0].empty());
+  EXPECT_EQ(g->backpointers(1)[0], (StreamTail{0}));
+  EXPECT_EQ(g->backpointers(2)[0], (StreamTail{1, 0}));
+
+  // The sequencer's stream state reflects every token of the range.
+  auto after = sequencer_.Next(0, 1, {7});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->start, 3u);
+  EXPECT_EQ(after->backpointers()[0], (StreamTail{2, 1, 0}));
+}
+
+TEST_F(SequencerTest, RangeGrantMultiStream) {
+  ASSERT_TRUE(sequencer_.Next(0, 1, {1}).ok());  // offset 0 on stream 1
+  auto g = sequencer_.Next(0, 2, {1, 2});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->start, 1u);
+  ASSERT_EQ(g->token_backpointers.size(), 2u);
+  EXPECT_EQ(g->backpointers(0)[0], (StreamTail{0}));  // stream 1
+  EXPECT_TRUE(g->backpointers(0)[1].empty());         // stream 2
+  EXPECT_EQ(g->backpointers(1)[0], (StreamTail{1, 0}));
+  EXPECT_EQ(g->backpointers(1)[1], (StreamTail{1}));
+}
+
+TEST_F(SequencerTest, RangeGrantOverRpc) {
+  auto g = SequencerNext(&transport_, 1, 0, 4, {7});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->start, 0u);
+  EXPECT_EQ(g->count, 4u);
+  ASSERT_EQ(g->token_backpointers.size(), 4u);
+  EXPECT_EQ(g->backpointers(3)[0], (StreamTail{2, 1, 0}));
+
+  // Streamless batches carry no backpointer groups at all.
+  auto raw = SequencerNext(&transport_, 1, 0, 4, {});
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->start, 4u);
+  EXPECT_TRUE(raw->token_backpointers.empty());
 }
 
 TEST_F(SequencerTest, StreamBackpointersAccumulate) {
   // First grant for a stream: no previous entries.
   auto g0 = sequencer_.Next(0, 1, {5});
   ASSERT_TRUE(g0.ok());
-  EXPECT_TRUE(g0->backpointers[0].empty());
+  EXPECT_TRUE(g0->backpointers()[0].empty());
 
   auto g1 = sequencer_.Next(0, 1, {5});
   ASSERT_TRUE(g1.ok());
-  EXPECT_EQ(g1->backpointers[0], (StreamTail{0}));
+  EXPECT_EQ(g1->backpointers()[0], (StreamTail{0}));
 
   // Interleave another stream; stream 5's pointers are unaffected.
   ASSERT_TRUE(sequencer_.Next(0, 1, {6}).ok());
 
   auto g2 = sequencer_.Next(0, 1, {5});
   ASSERT_TRUE(g2.ok());
-  EXPECT_EQ(g2->backpointers[0], (StreamTail{1, 0}));
+  EXPECT_EQ(g2->backpointers()[0], (StreamTail{1, 0}));
 }
 
 TEST_F(SequencerTest, BackpointersCappedAtK) {
@@ -127,7 +173,7 @@ TEST_F(SequencerTest, RpcWrappers) {
   auto grant = SequencerNext(&transport_, 1, 0, 1, {4, 5});
   ASSERT_TRUE(grant.ok());
   EXPECT_EQ(grant->start, 0u);
-  EXPECT_EQ(grant->backpointers.size(), 2u);
+  EXPECT_EQ(grant->backpointers().size(), 2u);
 
   auto info = SequencerTail(&transport_, 1, 0, {4});
   ASSERT_TRUE(info.ok());
