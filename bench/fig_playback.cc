@@ -1,0 +1,247 @@
+// Parallel playback: replay throughput vs worker count, dependency window
+// and link latency.
+//
+// A writer fills several object streams with keyed updates (mostly-disjoint
+// access sets, the shape parallel playback exploits), then a cold runtime
+// replays the whole log with the playback engine configured per cell.  The
+// per-update apply cost is simulated with a blocking wait (--apply-us,
+// default 50us) standing in for applies that touch something slower than
+// memory — a durable index, a materialized view, a downstream cache — which
+// is the regime where overlap pays even on one core.  --apply-mode=spin
+// burns CPU instead, measuring compute scaling (needs as many free cores as
+// workers to show a win).
+//
+// Shape to reproduce: throughput scales with workers until the dispatcher
+// (decode + dependency tracking + scheduling) becomes the bottleneck;
+// workers=0 is the sequential reference path, and the 4-vs-1 worker speedup
+// under 50us link latency is the headline number (target >= 3x — the window
+// column shows the fetch/apply overlap contribution).  --json=FILE dumps the
+// grid for EXPERIMENTS.md.
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/runtime/record.h"
+#include "src/runtime/runtime.h"
+#include "src/util/threading.h"
+
+namespace tangobench {
+namespace {
+
+// Burns roughly `us` microseconds of CPU; volatile sink defeats hoisting.
+void SpinFor(uint64_t us) {
+  uint64_t deadline = tango::NowNanos() + us * 1000;
+  volatile uint64_t sink = 0;
+  while (tango::NowNanos() < deadline) {
+    sink = sink + 1;
+  }
+}
+
+class CostObject : public tango::TangoObject {
+ public:
+  CostObject(uint64_t apply_us, bool spin)
+      : apply_us_(apply_us), spin_(spin) {}
+
+  void Apply(std::span<const uint8_t> /*update*/,
+             corfu::LogOffset /*offset*/) override {
+    if (apply_us_ > 0) {
+      if (spin_) {
+        SpinFor(apply_us_);
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(apply_us_));
+      }
+    }
+    applied_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void Clear() override { applied_.store(0, std::memory_order_relaxed); }
+
+  uint64_t applied() const { return applied_.load(std::memory_order_relaxed); }
+
+ private:
+  uint64_t apply_us_;
+  bool spin_;
+  std::atomic<uint64_t> applied_{0};
+};
+
+struct Cell {
+  uint32_t latency_us = 0;
+  int workers = 0;
+  size_t window = 0;
+  double replay_ms = 0;
+  double entries_eps = 0;  // entries applied per second
+};
+
+Cell MeasureCell(int entries, int num_objects, uint64_t apply_us, bool spin,
+                 uint32_t latency_us, int workers, size_t window) {
+  Testbed bed(6, 2, 0);
+
+  // Fill phase at zero link latency: the append path is not under test.
+  // Keyed updates round-robin across objects and 16 slots per object, so
+  // consecutive log entries almost always commute.
+  auto writer = bed.MakeClient();
+  for (int i = 0; i < entries; ++i) {
+    tango::ObjectId oid = 1 + static_cast<tango::ObjectId>(i % num_objects);
+    uint64_t slot = static_cast<uint64_t>(i / num_objects) % 16;
+    std::vector<uint8_t> payload(32, static_cast<uint8_t>(i));
+    tango::Record record =
+        tango::MakeUpdateRecord(oid, payload, slot);
+    auto appended = writer->AppendToStreams(tango::EncodeRecord(record), {oid});
+    if (!appended.ok()) {
+      std::fprintf(stderr, "append failed: %s\n",
+                   appended.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  auto tail = writer->CheckTail();
+  if (!tail.ok()) {
+    std::fprintf(stderr, "CheckTail failed\n");
+    std::exit(1);
+  }
+
+  auto reader = bed.MakeClient();
+  tango::TangoRuntime::Options options;
+  options.playback_workers = workers;
+  options.playback_window = window;
+  tango::TangoRuntime runtime(reader.get(), options);
+  std::vector<std::unique_ptr<CostObject>> objects;
+  for (int i = 0; i < num_objects; ++i) {
+    objects.push_back(std::make_unique<CostObject>(apply_us, spin));
+    tango::ObjectId oid = 1 + static_cast<tango::ObjectId>(i);
+    if (!runtime.RegisterObject(oid, objects.back().get()).ok()) {
+      std::fprintf(stderr, "RegisterObject failed\n");
+      std::exit(1);
+    }
+  }
+
+  // Warm the stream metadata (backpointer walk / offset discovery) at zero
+  // latency: cold sync is fig_readpath's subject, steady-state replay is
+  // ours.  SyncTo(0) backfills every stream's offset list without playing
+  // or fetching any entry.
+  if (!runtime.SyncTo(0).ok()) {
+    std::fprintf(stderr, "metadata warmup failed\n");
+    std::exit(1);
+  }
+
+  bed.transport.set_link_latency_us(latency_us);
+
+  Cell cell;
+  cell.latency_us = latency_us;
+  cell.workers = workers;
+  cell.window = window;
+
+  Stopwatch timer;
+  tango::Status st = runtime.SyncTo(*tail);
+  if (!st.ok()) {
+    std::fprintf(stderr, "SyncTo failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  cell.replay_ms = static_cast<double>(timer.ElapsedUs()) / 1000.0;
+  bed.transport.set_link_latency_us(0);
+
+  uint64_t applied = 0;
+  for (const auto& object : objects) {
+    applied += object->applied();
+  }
+  if (applied != static_cast<uint64_t>(entries)) {
+    std::fprintf(stderr, "applied %llu of %d entries\n",
+                 static_cast<unsigned long long>(applied), entries);
+    std::exit(1);
+  }
+  cell.entries_eps = entries / (cell.replay_ms / 1000.0);
+  return cell;
+}
+
+void Run(const Flags& flags) {
+  const int entries = static_cast<int>(flags.GetInt("entries", 2000));
+  const int num_objects = static_cast<int>(flags.GetInt("objects", 8));
+  const uint64_t apply_us =
+      static_cast<uint64_t>(flags.GetInt("apply-us", 50));
+  const bool spin = flags.GetString("apply-mode", "sleep") == "spin";
+  const std::string json_path = flags.GetString("json", "");
+  auto stats_dumper = MaybeStartStatsDumper(flags);
+
+  std::printf(
+      "Parallel playback: replay throughput vs workers x window x link "
+      "latency\n"
+      "(%d keyed updates over %d objects, %lluus %s apply; workers 0 "
+      "= sequential reference)\n\n",
+      entries, num_objects, static_cast<unsigned long long>(apply_us),
+      spin ? "spinning" : "blocking");
+  PrintHeader({"latency_us", "workers", "window", "replay_ms", "Kentries/s"});
+
+  std::vector<Cell> cells;
+  double eps_1w_50 = 0;   // workers=1 at 50us, window 32
+  double eps_4w_50 = 0;   // workers=4 at 50us, window 32
+  for (uint32_t latency_us : {0u, 50u}) {
+    for (int workers : {0, 1, 2, 4, 8}) {
+      for (size_t window : {size_t{8}, size_t{32}, size_t{128}}) {
+        if (workers == 0 && window != 32) {
+          continue;  // the sequential path has no window knob
+        }
+        Cell cell = MeasureCell(entries, num_objects, apply_us, spin,
+                                latency_us, workers, window);
+        PrintRow({std::to_string(latency_us), std::to_string(workers),
+                  std::to_string(window), Fmt(cell.replay_ms, 1),
+                  Fmt(cell.entries_eps / 1000.0)});
+        cells.push_back(cell);
+        if (latency_us == 50 && window == 32) {
+          if (workers == 1) {
+            eps_1w_50 = cell.entries_eps;
+          } else if (workers == 4) {
+            eps_4w_50 = cell.entries_eps;
+          }
+        }
+      }
+    }
+    std::printf("\n");
+  }
+
+  double speedup = eps_1w_50 > 0 ? eps_4w_50 / eps_1w_50 : 0.0;
+  std::printf(
+      "4-vs-1 worker speedup at 50us link latency (window 32): %.2fx "
+      "(target >= 3x)\n\n",
+      speedup);
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      std::exit(1);
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"fig_playback\",\n  \"entries\": %d,\n"
+                 "  \"objects\": %d,\n  \"apply_us\": %llu,\n"
+                 "  \"apply_mode\": \"%s\",\n"
+                 "  \"speedup_4w_vs_1w_50us\": %.3f,\n",
+                 entries, num_objects,
+                 static_cast<unsigned long long>(apply_us),
+                 spin ? "spin" : "sleep", speedup);
+    WriteMetricsField(f);
+    std::fprintf(f, "  \"cells\": [\n");
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      std::fprintf(f,
+                   "    {\"latency_us\": %u, \"workers\": %d, \"window\": "
+                   "%zu, \"replay_ms\": %.2f, \"entries_per_sec\": %.1f}%s\n",
+                   c.latency_us, c.workers, c.window, c.replay_ms,
+                   c.entries_eps, i + 1 == cells.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace tangobench
+
+int main(int argc, char** argv) {
+  tangobench::Flags flags(argc, argv);
+  tangobench::Run(flags);
+  return 0;
+}

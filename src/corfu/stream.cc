@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/util/logging.h"
+#include "src/util/threading.h"
 
 namespace corfu {
 
@@ -16,11 +17,14 @@ StreamStore::StreamStore(CorfuClient* log, Options options)
   obs_hits_ = reg.GetCounter("store.cache.hits");
   obs_misses_ = reg.GetCounter("store.cache.misses");
   obs_prefetch_batches_ = reg.GetCounter("store.prefetch.batches");
+  obs_async_batches_ = reg.GetCounter("store.prefetch.async_batches");
   obs_backfill_reads_ = reg.GetCounter("store.backfill.reads");
   fetch_miss_ok_ = reg.GetCounter("store.fetch.miss_ok");
   fetch_trimmed_ = reg.GetCounter("store.fetch.trimmed");
   fetch_errors_ = reg.GetCounter("store.fetch.errors");
 }
+
+StreamStore::~StreamStore() { DrainAsyncPrefetch(/*wait=*/true); }
 
 void StreamStore::Open(StreamId stream) { (void)StateFor(stream); }
 
@@ -111,8 +115,81 @@ void StreamStore::Prefetch(LogOffset offset, PrefetchDirection direction) {
   PrefetchOffsets(wanted);
 }
 
+void StreamStore::StartAsyncPrefetch(LogOffset from, LogOffset limit,
+                                     tango::Executor* executor) {
+  if (options_.readahead == 0 || executor == nullptr) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(apf_.mu);
+    if (apf_.inflight) {
+      return;
+    }
+  }
+  DrainAsyncPrefetch(/*wait=*/false);  // fold in a landed batch first
+
+  std::vector<LogOffset> wanted;
+  wanted.reserve(options_.readahead);
+  for (auto it = known_offsets_.lower_bound(from);
+       it != known_offsets_.end() && *it < limit &&
+       wanted.size() < options_.readahead;
+       ++it) {
+    if (!cache_.contains(*it)) {
+      wanted.push_back(*it);
+    }
+  }
+  if (wanted.empty()) {
+    return;
+  }
+  apf_offsets_ = wanted;
+  {
+    std::lock_guard<std::mutex> lock(apf_.mu);
+    apf_.inflight = true;
+    apf_.has_results = false;
+    apf_.results.clear();
+  }
+  ++async_prefetch_batches_;
+  obs_async_batches_->Add();
+  executor->Submit([this, wanted = std::move(wanted)] {
+    Result<std::vector<CorfuClient::BatchedRead>> batch =
+        log_->ReadBatch(wanted);
+    std::lock_guard<std::mutex> lock(apf_.mu);
+    if (batch.ok()) {
+      apf_.results = std::move(*batch);
+      apf_.has_results = true;
+    }
+    apf_.inflight = false;
+    apf_.cv.notify_all();
+  });
+}
+
+void StreamStore::DrainAsyncPrefetch(bool wait) {
+  std::vector<CorfuClient::BatchedRead> results;
+  {
+    std::unique_lock<std::mutex> lock(apf_.mu);
+    if (wait) {
+      apf_.cv.wait(lock, [this] { return !apf_.inflight; });
+    } else if (apf_.inflight) {
+      return;
+    }
+    if (!apf_.has_results) {
+      return;
+    }
+    results = std::move(apf_.results);
+    apf_.has_results = false;
+  }
+  for (size_t i = 0; i < results.size() && i < apf_offsets_.size(); ++i) {
+    if (results[i].status.ok()) {
+      CacheInsert(apf_offsets_[i], std::make_shared<const LogEntry>(
+                                       std::move(results[i].entry)));
+    }
+  }
+  apf_offsets_.clear();
+}
+
 Result<std::shared_ptr<const LogEntry>> StreamStore::FetchEntry(
     LogOffset offset, PrefetchDirection direction) {
+  DrainAsyncPrefetch(/*wait=*/false);
   // The cache-hit fast path pays for exactly one counter update; demanded
   // reads are derived as hits + misses, and the full outcome accounting
   // (miss_ok/trimmed/errors) happens only on the slow miss path.
@@ -123,6 +200,15 @@ Result<std::shared_ptr<const LogEntry>> StreamStore::FetchEntry(
   }
   ++cache_misses_;
   obs_misses_->Add();
+  // A miss on an offset the in-flight background batch already covers: wait
+  // for that batch rather than issuing a duplicate read.
+  if (std::binary_search(apf_offsets_.begin(), apf_offsets_.end(), offset)) {
+    DrainAsyncPrefetch(/*wait=*/true);
+    if (std::shared_ptr<const LogEntry> hit = CacheLookup(offset)) {
+      fetch_miss_ok_->Add();
+      return hit;
+    }
+  }
   if (options_.readahead > 0) {
     Prefetch(offset, direction);
     if (std::shared_ptr<const LogEntry> hit = CacheLookup(offset)) {

@@ -17,9 +17,11 @@
 #ifndef SRC_CORFU_STREAM_H_
 #define SRC_CORFU_STREAM_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -28,6 +30,10 @@
 #include "src/obs/metrics.h"
 #include "src/corfu/types.h"
 #include "src/util/status.h"
+
+namespace tango {
+class Executor;
+}  // namespace tango
 
 namespace corfu {
 
@@ -57,6 +63,7 @@ class StreamStore {
 
   explicit StreamStore(CorfuClient* log) : StreamStore(log, Options{}) {}
   StreamStore(CorfuClient* log, Options options);
+  ~StreamStore();  // waits out any in-flight async prefetch
 
   // Registers interest in a stream (idempotent).  Only opened streams can be
   // synced and read.
@@ -114,6 +121,25 @@ class StreamStore {
       LogOffset offset,
       PrefetchDirection direction = PrefetchDirection::kForward);
 
+  // Launches a background batched read of the next Options::readahead
+  // uncached known offsets in [from, limit) on `executor`, so the fetch of
+  // the next playback window overlaps the apply of the current one.  The
+  // `limit` bound is the caller's playback horizon: offsets beyond it belong
+  // to a future playback round and must still cross the transport then (a
+  // failed fetch has to surface there, not be masked by a stale prefetch).
+  // At most one async batch is in flight; calls while one is pending (or
+  // with readahead 0) are no-ops.  Results are folded into the entry cache
+  // from the owning thread — by the next FetchEntry or DrainAsyncPrefetch
+  // call — so the cache itself stays externally serialized.  A FetchEntry
+  // miss on an offset covered by the in-flight batch waits for that batch
+  // instead of issuing a duplicate read.
+  void StartAsyncPrefetch(LogOffset from, LogOffset limit,
+                          tango::Executor* executor);
+
+  // Folds a completed async batch into the cache; with `wait`, blocks until
+  // the in-flight batch (if any) lands first.
+  void DrainAsyncPrefetch(bool wait);
+
   // Drops every cached entry (bench/test hook; counters are kept).
   void ClearEntryCache();
 
@@ -127,6 +153,8 @@ class StreamStore {
   uint64_t cache_misses() const { return cache_misses_; }
   // Number of ReadBatch calls issued by the prefetcher.
   uint64_t prefetch_batches() const { return prefetch_batches_; }
+  // Number of background (overlapped) prefetch batches launched.
+  uint64_t async_prefetch_batches() const { return async_prefetch_batches_; }
 
  private:
   struct StreamState {
@@ -173,6 +201,20 @@ class StreamStore {
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
   uint64_t prefetch_batches_ = 0;
+  uint64_t async_prefetch_batches_ = 0;
+
+  // In-flight background prefetch.  `offsets` is written by the owning
+  // thread before launch and read only by it; the mutex guards the
+  // worker-to-owner handoff (inflight flag + results).
+  struct AsyncPrefetch {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool inflight = false;
+    bool has_results = false;
+    std::vector<CorfuClient::BatchedRead> results;
+  };
+  std::vector<LogOffset> apf_offsets_;  // request of the in-flight batch
+  AsyncPrefetch apf_;
 
   // Registry mirrors of the counters above, plus demanded-read accounting.
   // The cache-hit fast path increments only store.cache.hits (one atomic,
@@ -184,6 +226,7 @@ class StreamStore {
   tango::obs::Counter* obs_hits_;
   tango::obs::Counter* obs_misses_;
   tango::obs::Counter* obs_prefetch_batches_;
+  tango::obs::Counter* obs_async_batches_;
   tango::obs::Counter* obs_backfill_reads_;
   tango::obs::Counter* fetch_miss_ok_;
   tango::obs::Counter* fetch_trimmed_;

@@ -8,9 +8,14 @@
 // path.
 //
 // Thread safety contract: the runtime may invoke Apply from whichever
-// application thread happens to drive playback, concurrently with accessor
-// methods on other threads.  Objects therefore guard their view with an
-// internal lock (see src/objects/* for the pattern).
+// application thread happens to drive playback — and, under parallel
+// playback (src/runtime/playback.h), from several worker threads at once —
+// concurrently with accessor methods on other threads.  Objects therefore
+// guard their view with an internal lock (see src/objects/* for the
+// pattern).  Concurrent Apply calls only ever carry updates with disjoint
+// access sets: different keys of this object (when updates use the keyed
+// UpdateHelper form), whose applies must commute.  Conflicting updates —
+// same key, or any unkeyed update — are always delivered in log order.
 
 #ifndef SRC_RUNTIME_OBJECT_H_
 #define SRC_RUNTIME_OBJECT_H_

@@ -1,0 +1,134 @@
+#include "src/runtime/playback.h"
+
+#include <algorithm>
+
+namespace tango {
+
+bool PlaybackAccessesConflict(const PlaybackAccess& a,
+                              const PlaybackAccess& b) {
+  if (a.oid != b.oid) {
+    return false;
+  }
+  if (!a.write && !b.write) {
+    return false;  // reads never conflict with reads
+  }
+  if (a.has_key && b.has_key && a.key != b.key) {
+    return false;  // fine-grained accesses to distinct keys commute
+  }
+  return true;
+}
+
+namespace {
+
+bool TasksConflict(const std::vector<PlaybackAccess>& a,
+                   const std::vector<PlaybackAccess>& b) {
+  for (const PlaybackAccess& x : a) {
+    for (const PlaybackAccess& y : b) {
+      if (PlaybackAccessesConflict(x, y)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+PlaybackEngine::PlaybackEngine(Options options)
+    : options_(options),
+      executor_(std::make_unique<Executor>(std::max(1, options.workers))) {
+  auto& reg = obs::MetricsRegistry::Default();
+  tasks_ = reg.GetCounter("runtime.playback.tasks");
+  dep_edges_ = reg.GetCounter("runtime.playback.dep_edges");
+  depth_ = reg.GetGauge("runtime.playback.window.depth");
+  busy_ = reg.GetGauge("runtime.playback.workers.busy");
+  task_us_ = reg.GetHistogram("runtime.playback.task_us");
+}
+
+PlaybackEngine::~PlaybackEngine() {
+  (void)Quiesce();
+  // Join the workers before mu_/cv_ are destroyed (members die in reverse
+  // declaration order, which would tear down the condvar first).
+  executor_.reset();
+}
+
+void PlaybackEngine::Schedule(corfu::LogOffset offset,
+                              std::vector<PlaybackAccess> accesses,
+                              ApplyFn fn) {
+  Task* runnable = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return window_.size() < options_.window; });
+
+    auto task = std::make_unique<Task>();
+    task->offset = offset;
+    task->accesses = std::move(accesses);
+    task->fn = std::move(fn);
+    for (const std::unique_ptr<Task>& earlier : window_) {
+      if (TasksConflict(earlier->accesses, task->accesses)) {
+        earlier->dependents.push_back(task.get());
+        ++task->pending_deps;
+        dep_edges_->Add();
+      }
+    }
+    if (task->pending_deps == 0) {
+      runnable = task.get();
+    }
+    window_.push_back(std::move(task));
+    tasks_->Add();
+    depth_->Set(static_cast<int64_t>(window_.size()));
+  }
+  if (runnable != nullptr) {
+    executor_->Submit([this, runnable] { RunTask(runnable); });
+  }
+}
+
+void PlaybackEngine::RunTask(Task* task) {
+  busy_->Add(1);
+  Status status;
+  {
+    obs::ScopedTimer timer(task_us_);
+    status = task->fn();
+  }
+  busy_->Add(-1);
+
+  std::vector<Task*> released;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!status.ok() && error_.ok()) {
+      error_ = status;
+    }
+    for (Task* dep : task->dependents) {
+      if (--dep->pending_deps == 0) {
+        released.push_back(dep);
+      }
+    }
+    FinishLocked(task);
+    // Broadcast under the lock: once the window drains, Quiesce's caller may
+    // destroy the engine, which must not race the broadcast itself.
+    cv_.notify_all();
+  }
+  for (Task* dep : released) {
+    executor_->Submit([this, dep] { RunTask(dep); });
+  }
+}
+
+void PlaybackEngine::FinishLocked(Task* task) {
+  for (auto it = window_.begin(); it != window_.end(); ++it) {
+    if (it->get() == task) {
+      window_.erase(it);
+      break;
+    }
+  }
+  depth_->Set(static_cast<int64_t>(window_.size()));
+}
+
+Status PlaybackEngine::Quiesce() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return window_.empty(); });
+  Status result = std::move(error_);
+  error_ = Status::Ok();
+  return result;
+}
+
+}  // namespace tango

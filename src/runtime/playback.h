@@ -1,0 +1,123 @@
+// Parallel dependency-tracked playback (see DESIGN.md "Parallel playback").
+//
+// The shared log serializes every update, but most entries touch disjoint
+// objects (or disjoint keys of fine-grained objects) and therefore commute.
+// PlaybackEngine recovers that parallelism: the runtime's dispatcher walks
+// the log in global-offset order, computes each entry's read/write access
+// set from its decoded records, and schedules an apply task whose only
+// ordering constraint is "run after every earlier scheduled task whose
+// access set conflicts with mine".  Independent entries apply concurrently
+// on a worker pool; conflicting entries apply in exact log order — so the
+// final view state, version tables and commit/abort outcomes are identical
+// to the single-threaded reference (the sequential-equivalence property the
+// tests enforce).
+//
+// Conflict rules (per access pair on the same object):
+//   * a whole-object (unkeyed) write conflicts with everything,
+//   * a keyed write conflicts with any access to the same key and with any
+//     unkeyed access,
+//   * reads never conflict with reads.
+// These mirror the runtime's version bookkeeping exactly: a keyed read
+// validates against the key's version and the unkeyed version; an unkeyed
+// read validates against the coarse object version, which every write bumps.
+//
+// Records the engine cannot reorder around — decision records, and commit
+// records whose read set is not hosted locally (they arm the §4.1 stall
+// barrier) — never reach the engine: the dispatcher quiesces it and falls
+// back to the sequential ProcessRecord path, which preserves the
+// barrier_tx_/stalled_ semantics verbatim.
+
+#ifndef SRC_RUNTIME_PLAYBACK_H_
+#define SRC_RUNTIME_PLAYBACK_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/corfu/types.h"
+#include "src/obs/metrics.h"
+#include "src/runtime/record.h"
+#include "src/util/status.h"
+#include "src/util/threading.h"
+
+namespace tango {
+
+// One object- or key-granular access performed by a log entry.
+struct PlaybackAccess {
+  ObjectId oid = 0;
+  bool has_key = false;  // false = whole-object access
+  uint64_t key = 0;
+  bool write = true;
+};
+
+bool PlaybackAccessesConflict(const PlaybackAccess& a, const PlaybackAccess& b);
+
+class PlaybackEngine {
+ public:
+  struct Options {
+    // Worker threads applying entries.
+    int workers = 2;
+    // Max entries in flight (scheduled, not yet completed).  Bounds both
+    // memory and the O(window * accesses) conflict scan per Schedule call.
+    size_t window = 64;
+  };
+
+  using ApplyFn = std::function<Status()>;
+
+  explicit PlaybackEngine(Options options);
+  ~PlaybackEngine();  // quiesces
+
+  PlaybackEngine(const PlaybackEngine&) = delete;
+  PlaybackEngine& operator=(const PlaybackEngine&) = delete;
+
+  // Schedules `fn` to run once every earlier scheduled task with a
+  // conflicting access set has completed.  `offset` must be nondecreasing
+  // across calls (log order).  Blocks while the window is full.  Tasks with
+  // empty access sets depend on nothing and nothing depends on them.
+  void Schedule(corfu::LogOffset offset, std::vector<PlaybackAccess> accesses,
+                ApplyFn fn);
+
+  // Waits for every scheduled task to complete and returns the first error
+  // any task produced (sticky until returned; subsequent calls start clean).
+  Status Quiesce();
+
+  int workers() const { return executor_->size(); }
+  Executor* executor() const { return executor_.get(); }
+
+ private:
+  struct Task {
+    corfu::LogOffset offset = corfu::kInvalidOffset;
+    std::vector<PlaybackAccess> accesses;
+    ApplyFn fn;
+    size_t pending_deps = 0;        // unfinished earlier conflicting tasks
+    std::vector<Task*> dependents;  // later tasks waiting on this one
+  };
+
+  void RunTask(Task* task);
+  // Removes `task` from the window and releases its dependents (mu_ held).
+  void FinishLocked(Task* task);
+
+  Options options_;
+  std::unique_ptr<Executor> executor_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  // Unfinished tasks in log order; new tasks scan it for conflicts.
+  std::deque<std::unique_ptr<Task>> window_;
+  Status error_;
+
+  // Registry instruments (see DESIGN.md "Observability").
+  obs::Counter* tasks_;
+  obs::Counter* dep_edges_;
+  obs::Gauge* depth_;
+  obs::Gauge* busy_;
+  obs::Histogram* task_us_;
+};
+
+}  // namespace tango
+
+#endif  // SRC_RUNTIME_PLAYBACK_H_

@@ -1,6 +1,9 @@
 #include "src/runtime/runtime.h"
 
 #include <algorithm>
+#include <queue>
+#include <thread>
+#include <utility>
 
 #include "src/obs/trace.h"
 #include "src/util/logging.h"
@@ -52,6 +55,10 @@ TangoRuntime::TangoRuntime(corfu::CorfuClient* log, Options options)
   txn_errors_ = reg.GetCounter("runtime.txn.errors");
   obs_entries_played_ = reg.GetCounter("runtime.entries_played");
   obs_updates_applied_ = reg.GetCounter("runtime.updates_applied");
+  obs_parallel_entries_ = reg.GetCounter("runtime.playback.entries.parallel");
+  obs_sequential_entries_ =
+      reg.GetCounter("runtime.playback.entries.sequential");
+  obs_barrier_quiesces_ = reg.GetCounter("runtime.playback.barrier.quiesces");
   playback_position_ = reg.GetGauge("runtime.playback.position");
   play_lag_ = reg.GetHistogram("runtime.play.lag_entries");
 }
@@ -109,7 +116,13 @@ bool TangoRuntime::Hosts(ObjectId oid) const {
 
 void TangoRuntime::BumpVersion(ObjectState& state, LogOffset offset,
                                bool has_key, uint64_t key) {
-  state.version = offset;
+  std::lock_guard<std::mutex> lock(*state.version_mu);
+  // Keyed writes to distinct keys may apply out of log order under parallel
+  // playback, so the coarse version takes the max rather than the latest
+  // assignment (identical to sequential playback, where offsets only grow).
+  if (state.version == kInvalidOffset || offset > state.version) {
+    state.version = offset;
+  }
   if (has_key) {
     state.key_versions[key] = offset;
   } else {
@@ -119,6 +132,7 @@ void TangoRuntime::BumpVersion(ObjectState& state, LogOffset offset,
 
 LogOffset TangoRuntime::CurrentVersion(const ObjectState& state, bool has_key,
                                        uint64_t key) const {
+  std::lock_guard<std::mutex> lock(*state.version_mu);
   if (!has_key) {
     return state.version;
   }
@@ -150,6 +164,21 @@ corfu::LogOffset TangoRuntime::VersionOf(ObjectId oid,
 
 // --- playback ----------------------------------------------------------------
 
+int TangoRuntime::PlaybackWorkers() const {
+  if (options_.playback_workers >= 0) {
+    return options_.playback_workers;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) {
+    hw = 2;  // unknown topology: assume a small machine
+  }
+  unsigned half = hw / 2;
+  if (half < 1) {
+    half = 1;
+  }
+  return static_cast<int>(std::min(4u, half));
+}
+
 Status TangoRuntime::PlayUntil(LogOffset limit) {
   obs::TraceScope span("runtime.play");
   std::vector<StreamId> streams;
@@ -168,17 +197,43 @@ Status TangoRuntime::PlayUntil(LogOffset limit) {
     return synced.status();
   }
 
-  std::vector<ObjectId> fresh;
-  while (true) {
-    LogOffset best = kInvalidOffset;
-    for (StreamId s : streams) {
-      LogOffset next = store_.NextOffset(s);
-      if (next != kInvalidOffset && (best == kInvalidOffset || next < best)) {
-        best = next;
-      }
+  // Bring up the parallel apply engine lazily (playback_workers == 0 keeps
+  // the single-threaded reference path; no threads are ever created then).
+  if (engine_ == nullptr && PlaybackWorkers() > 0) {
+    PlaybackEngine::Options eopts;
+    eopts.workers = PlaybackWorkers();
+    eopts.window = std::max<size_t>(1, options_.playback_window);
+    engine_ = std::make_unique<PlaybackEngine>(eopts);
+  }
+
+  // Min-heap over (next offset, stream) cursors: finding the globally next
+  // entry is O(log S) per entry instead of a linear scan of every hosted
+  // stream.  Co-located streams surface together at the top of the heap and
+  // step through a multiappended entry in lockstep, as before.
+  using Cursor = std::pair<LogOffset, StreamId>;
+  std::priority_queue<Cursor, std::vector<Cursor>, std::greater<Cursor>> heap;
+  for (StreamId s : streams) {
+    LogOffset next = store_.NextOffset(s);
+    if (next != kInvalidOffset) {
+      heap.emplace(next, s);
     }
-    if (best == kInvalidOffset || best >= limit) {
+  }
+
+  Status status;
+  std::vector<ObjectId> fresh;
+  std::vector<PlaybackAccess> accesses;
+  const obs::TraceContext trace_ctx = obs::CurrentTrace();
+  while (!heap.empty()) {
+    const LogOffset best = heap.top().first;
+    if (best >= limit) {
       break;
+    }
+
+    // Overlap the next window's fetch with this window's apply: kick off a
+    // background batched read on the engine's pool before fetching `best`
+    // (which is usually already cached by the previous round's batch).
+    if (engine_ != nullptr) {
+      store_.StartAsyncPrefetch(best, limit, engine_->executor());
     }
 
     Result<std::shared_ptr<const corfu::LogEntry>> entry =
@@ -189,22 +244,30 @@ Status TangoRuntime::PlayUntil(LogOffset limit) {
     // in place so the retry replays this entry instead of skipping it.
     // kTrimmed is a terminal resolution — forgotten history is consumed.
     if (!entry.ok() && entry.status() != StatusCode::kTrimmed) {
-      return entry.status();
+      status = entry.status();
+      break;
     }
 
     // Step every co-located stream through this position in lockstep, so a
     // multiappended record is observed exactly once.
     fresh.clear();
-    for (StreamId s : streams) {
-      if (store_.NextOffset(s) == best) {
-        store_.AdvanceCursor(s);
-        objects_[s].last_consumed = best;
-        fresh.push_back(s);
+    while (!heap.empty() && heap.top().first == best) {
+      StreamId s = heap.top().second;
+      heap.pop();
+      store_.AdvanceCursor(s);
+      objects_[s].last_consumed = best;
+      fresh.push_back(s);
+      LogOffset next = store_.NextOffset(s);
+      if (next != kInvalidOffset) {
+        heap.emplace(next, s);
       }
     }
-    ++stats_.entries_played;
+    stats_.entries_played.fetch_add(1, std::memory_order_relaxed);
     obs_entries_played_->Add();
     ++played_here;
+    // Report the offset actually consumed (not the requested limit, which
+    // playback may never reach when the tail moved or an error hits).
+    playback_position_->Set(static_cast<int64_t>(best));
 
     if (!entry.ok()) {
       continue;  // forgotten (trimmed) history
@@ -214,15 +277,142 @@ Status TangoRuntime::PlayUntil(LogOffset limit) {
     }
     Result<std::vector<Record>> records = DecodeRecords((*entry)->payload);
     if (!records.ok()) {
-      return records.status();
+      status = records.status();
+      break;
     }
-    for (const Record& record : *records) {
-      TANGO_RETURN_IF_ERROR(ProcessRecord(best, record, fresh));
+
+    // Dependency-tracked dispatch: entries whose access sets the tracker can
+    // compute go to the engine, ordered only against conflicting earlier
+    // entries.  Barrier entries (decision records, commits that would arm
+    // the §4.1 stall) — and everything while a stall is armed — quiesce the
+    // engine and take the sequential reference path.
+    accesses.clear();
+    const bool parallel = engine_ != nullptr && !barrier_tx_.has_value() &&
+                          CollectAccesses(*records, fresh, &accesses);
+    if (parallel) {
+      obs_parallel_entries_->Add();
+      auto recs = std::make_shared<const std::vector<Record>>(
+          std::move(*records));
+      engine_->Schedule(
+          best, std::move(accesses),
+          [this, best, recs, fresh_copy = fresh, trace_ctx] {
+            return ApplyEntryParallel(best, *recs, fresh_copy, trace_ctx);
+          });
+    } else {
+      if (engine_ != nullptr) {
+        obs_barrier_quiesces_->Add();
+        status = engine_->Quiesce();
+        if (!status.ok()) {
+          break;
+        }
+      }
+      obs_sequential_entries_->Add();
+      for (const Record& record : *records) {
+        status = ProcessRecord(best, record, fresh);
+        if (!status.ok()) {
+          break;
+        }
+      }
+      if (!status.ok()) {
+        break;
+      }
     }
   }
+
+  // Drain outstanding applies (and surface any worker error) before the
+  // caller observes the views; fold or await the last async fetch batch so
+  // no background read outlives this playback round unobserved.
+  if (engine_ != nullptr) {
+    Status drained = engine_->Quiesce();
+    if (status.ok()) {
+      status = drained;
+    }
+    store_.DrainAsyncPrefetch(true);
+  }
+  if (!status.ok()) {
+    return status;
+  }
   play_lag_->Record(played_here);
-  playback_position_->Set(static_cast<int64_t>(limit));
   CheckDecisionDeadlines();
+  return Status::Ok();
+}
+
+bool TangoRuntime::CollectAccesses(const std::vector<Record>& records,
+                                   const std::vector<ObjectId>& fresh,
+                                   std::vector<PlaybackAccess>* accesses) const {
+  auto is_fresh = [&fresh](ObjectId oid) {
+    return std::find(fresh.begin(), fresh.end(), oid) != fresh.end();
+  };
+  for (const Record& record : records) {
+    switch (record.type) {
+      case RecordType::kUpdate: {
+        const WriteOp& w = record.update.write;
+        if (is_fresh(w.oid)) {
+          accesses->push_back(
+              PlaybackAccess{w.oid, w.has_key, w.key, /*write=*/true});
+        }
+        break;
+      }
+      case RecordType::kCommit: {
+        const CommitRecord& c = record.commit;
+        // An undecided commit with an unhosted read dep would arm the stall
+        // barrier — a hard ordering point the engine must not reorder
+        // around.  (Decided transactions skip validation entirely, so they
+        // stay parallel even when unhosted reads are involved.)
+        bool known;
+        {
+          std::lock_guard<std::mutex> lock(decision_mu_);
+          known = decided_.contains(c.txid);
+        }
+        if (!known && !CanEvaluate(c)) {
+          return false;
+        }
+        if (!known) {
+          // Validation reads the version of every read dep; serialize
+          // against earlier writes to those keys.
+          for (const ReadDep& dep : c.reads) {
+            accesses->push_back(
+                PlaybackAccess{dep.oid, dep.has_key, dep.key, /*write=*/false});
+          }
+        }
+        for (const WriteOp& w : c.writes) {
+          if (is_fresh(w.oid)) {
+            accesses->push_back(
+                PlaybackAccess{w.oid, w.has_key, w.key, /*write=*/true});
+          }
+        }
+        break;
+      }
+      case RecordType::kDecision:
+        // Touches the dispatcher-only barrier machinery.
+        return false;
+      case RecordType::kCheckpoint:
+        break;  // no live-playback effect
+    }
+  }
+  return true;
+}
+
+Status TangoRuntime::ApplyEntryParallel(LogOffset offset,
+                                        const std::vector<Record>& records,
+                                        const std::vector<ObjectId>& fresh,
+                                        obs::TraceContext trace_ctx) {
+  // Parent this worker-side span under the dispatcher's runtime.play span.
+  obs::TraceScope span("runtime.playback.task", trace_ctx, /*node=*/0);
+  for (const Record& record : records) {
+    switch (record.type) {
+      case RecordType::kUpdate:
+        ApplyUpdate(offset, record.update.write, fresh);
+        break;
+      case RecordType::kCommit: {
+        TANGO_RETURN_IF_ERROR(ApplyCommit(offset, record.commit, fresh));
+        break;
+      }
+      case RecordType::kDecision:
+      case RecordType::kCheckpoint:
+        break;  // never scheduled (decision) / no live effect (checkpoint)
+    }
+  }
   return Status::Ok();
 }
 
@@ -235,36 +425,26 @@ Status TangoRuntime::ProcessRecord(LogOffset offset, const Record& record,
     return Status::Ok();
   }
 
-  auto is_fresh = [&fresh](ObjectId oid) {
-    return std::find(fresh.begin(), fresh.end(), oid) != fresh.end();
-  };
-
   switch (record.type) {
-    case RecordType::kUpdate: {
-      const WriteOp& w = record.update.write;
-      auto it = objects_.find(w.oid);
-      if (it != objects_.end() && is_fresh(w.oid)) {
-        obs::TraceScope apply_span("runtime.apply");
-        BumpVersion(it->second, offset, w.has_key, w.key);
-        it->second.object->Apply(w.data, offset);
-        ++stats_.updates_applied;
-        obs_updates_applied_->Add();
-      }
+    case RecordType::kUpdate:
+      ApplyUpdate(offset, record.update.write, fresh);
       return Status::Ok();
-    }
     case RecordType::kCommit:
       return ApplyCommit(offset, record.commit, fresh);
     case RecordType::kDecision: {
       TxId txid = record.decision.txid;
-      decided_.emplace(txid, record.decision.commit);
-      awaited_decisions_.erase(txid);
+      {
+        std::lock_guard<std::mutex> lock(decision_mu_);
+        decided_.emplace(txid, record.decision.commit);
+        awaited_decisions_.erase(txid);
+      }
       if (barrier_tx_.has_value() && *barrier_tx_ == txid) {
         bool commit = record.decision.commit;
         if (commit) {
           ApplyWrites(barrier_offset_, barrier_commit_.writes, barrier_fresh_);
-          ++stats_.commits;
+          stats_.commits.fetch_add(1, std::memory_order_relaxed);
         } else {
-          ++stats_.aborts;
+          stats_.aborts.fetch_add(1, std::memory_order_relaxed);
         }
         barrier_tx_.reset();
         // Drain the stalled pipeline; a queued commit may re-arm the barrier,
@@ -307,43 +487,61 @@ bool TangoRuntime::ValidateReads(const std::vector<ReadDep>& reads) const {
   return true;
 }
 
+void TangoRuntime::ApplyUpdate(LogOffset offset, const WriteOp& w,
+                               const std::vector<ObjectId>& fresh) {
+  auto it = objects_.find(w.oid);
+  if (it == objects_.end() ||
+      std::find(fresh.begin(), fresh.end(), w.oid) == fresh.end()) {
+    return;  // remote object, or this stream already played past here
+  }
+  obs::TraceScope span("runtime.apply");
+  BumpVersion(it->second, offset, w.has_key, w.key);
+  it->second.object->Apply(w.data, offset);
+  stats_.updates_applied.fetch_add(1, std::memory_order_relaxed);
+  obs_updates_applied_->Add();
+}
+
 void TangoRuntime::ApplyWrites(LogOffset offset,
                                const std::vector<WriteOp>& writes,
                                const std::vector<ObjectId>& fresh) {
-  obs::TraceScope span("runtime.apply");
   for (const WriteOp& w : writes) {
-    auto it = objects_.find(w.oid);
-    if (it == objects_.end() ||
-        std::find(fresh.begin(), fresh.end(), w.oid) == fresh.end()) {
-      continue;  // remote object, or this stream already played past here
-    }
-    BumpVersion(it->second, offset, w.has_key, w.key);
-    it->second.object->Apply(w.data, offset);
-    ++stats_.updates_applied;
-    obs_updates_applied_->Add();
+    ApplyUpdate(offset, w, fresh);
   }
 }
 
 Status TangoRuntime::ApplyCommit(LogOffset offset, const CommitRecord& commit,
                                  const std::vector<ObjectId>& fresh) {
-  auto decided = decided_.find(commit.txid);
-  bool known = decided != decided_.end();
-  bool outcome = known && decided->second;
+  bool known;
+  bool outcome;
+  {
+    std::lock_guard<std::mutex> lock(decision_mu_);
+    auto decided = decided_.find(commit.txid);
+    known = decided != decided_.end();
+    outcome = known && decided->second;
+  }
 
   if (!known) {
     if (!CanEvaluate(commit)) {
       // Some read-set object is not hosted here: stall until the decision
-      // record arrives (Figure 6, App2).
+      // record arrives (Figure 6, App2).  Only the dispatcher reaches this
+      // branch — CollectAccesses routes non-evaluable commits to the
+      // sequential path, so a parallel worker never arms the barrier.
       barrier_tx_ = commit.txid;
       barrier_offset_ = offset;
       barrier_commit_ = commit;
       barrier_fresh_ = fresh;
       barrier_since_us_ = NowMicros();
-      ++stats_.decision_stalls;
+      stats_.decision_stalls.fetch_add(1, std::memory_order_relaxed);
       return Status::Ok();
     }
     outcome = ValidateReads(commit.reads);
-    decided_.emplace(commit.txid, outcome);
+    {
+      std::lock_guard<std::mutex> lock(decision_mu_);
+      auto [it, inserted] = decided_.emplace(commit.txid, outcome);
+      if (!inserted) {
+        outcome = it->second;  // raced with EndTx recording its own outcome
+      }
+    }
 
     // If some other client might host a written object without hosting the
     // read set, it is waiting on a decision record.  The generator appends
@@ -370,6 +568,7 @@ Status TangoRuntime::ApplyCommit(LogOffset offset, const CommitRecord& commit,
         awaited.deadline_us =
             NowMicros() +
             static_cast<uint64_t>(options_.decision_timeout_ms) * 1000;
+        std::lock_guard<std::mutex> lock(decision_mu_);
         awaited_decisions_.emplace(commit.txid, std::move(awaited));
       }
     }
@@ -377,31 +576,39 @@ Status TangoRuntime::ApplyCommit(LogOffset offset, const CommitRecord& commit,
 
   if (outcome) {
     ApplyWrites(offset, commit.writes, fresh);
-    ++stats_.commits;
+    stats_.commits.fetch_add(1, std::memory_order_relaxed);
   } else {
-    ++stats_.aborts;
+    stats_.aborts.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::Ok();
 }
 
 void TangoRuntime::CheckDecisionDeadlines() {
-  if (awaited_decisions_.empty()) {
-    return;
-  }
-  uint64_t now = NowMicros();
-  for (auto it = awaited_decisions_.begin(); it != awaited_decisions_.end();) {
-    if (now >= it->second.deadline_us) {
-      // The generator appears to have crashed before publishing its
-      // decision; we host the read set, so we publish it (§4.1, Failure
-      // Handling).
-      Status st = AppendDecision(it->first, it->second.commit,
-                                 it->second.streams);
-      if (st.ok()) {
-        ++stats_.decisions_appended;
+  // Collect due decisions under the lock, append outside it (AppendDecision
+  // does log RPCs).
+  std::vector<std::pair<TxId, AwaitedDecision>> due;
+  {
+    std::lock_guard<std::mutex> lock(decision_mu_);
+    if (awaited_decisions_.empty()) {
+      return;
+    }
+    uint64_t now = NowMicros();
+    for (auto it = awaited_decisions_.begin();
+         it != awaited_decisions_.end();) {
+      if (now >= it->second.deadline_us) {
+        due.emplace_back(it->first, std::move(it->second));
+        it = awaited_decisions_.erase(it);
+      } else {
+        ++it;
       }
-      it = awaited_decisions_.erase(it);
-    } else {
-      ++it;
+    }
+  }
+  for (const auto& [txid, awaited] : due) {
+    // The generator appears to have crashed before publishing its decision;
+    // we host the read set, so we publish it (§4.1, Failure Handling).
+    Status st = AppendDecision(txid, awaited.commit, awaited.streams);
+    if (st.ok()) {
+      stats_.decisions_appended.fetch_add(1, std::memory_order_relaxed);
     }
   }
 }
@@ -619,14 +826,18 @@ Status TangoRuntime::EndTxImpl() {
     while (true) {
       std::unique_lock<std::mutex> lock(playback_mu_);
       TANGO_RETURN_IF_ERROR(PlayUntil(play_limit));
-      auto it = decided_.find(txid);
-      if (it != decided_.end()) {
-        committed = it->second;
-        break;
+      {
+        std::lock_guard<std::mutex> decision_lock(decision_mu_);
+        auto it = decided_.find(txid);
+        if (it != decided_.end()) {
+          committed = it->second;
+          break;
+        }
       }
       if (!in_hosted_stream && !inserted_manually) {
         if (!barrier_tx_.has_value() || barrier_offset_ > *position) {
           committed = ValidateReads(reads);
+          std::lock_guard<std::mutex> decision_lock(decision_mu_);
           decided_.emplace(txid, committed);
           break;
         }
@@ -805,8 +1016,15 @@ Status TangoRuntime::Forget(ObjectId oid, LogOffset offset) {
 }
 
 TangoRuntime::Stats TangoRuntime::stats() const {
-  std::lock_guard<std::mutex> lock(playback_mu_);
-  return stats_;
+  Stats s;
+  s.commits = stats_.commits.load(std::memory_order_relaxed);
+  s.aborts = stats_.aborts.load(std::memory_order_relaxed);
+  s.updates_applied = stats_.updates_applied.load(std::memory_order_relaxed);
+  s.entries_played = stats_.entries_played.load(std::memory_order_relaxed);
+  s.decisions_appended =
+      stats_.decisions_appended.load(std::memory_order_relaxed);
+  s.decision_stalls = stats_.decision_stalls.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace tango

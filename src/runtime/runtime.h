@@ -38,6 +38,8 @@
 #include "src/runtime/batcher.h"
 #include "src/runtime/object.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/runtime/playback.h"
 #include "src/runtime/record.h"
 #include "src/util/status.h"
 
@@ -60,6 +62,15 @@ class TangoRuntime {
     // LoadObject amortize the per-RPC transport cost; set readahead to 0 for
     // the one-round-trip-per-entry path.
     corfu::StreamStore::Options store{.cache_capacity = 8192, .readahead = 32};
+    // Parallel playback (src/runtime/playback.h): entries with disjoint
+    // object/key access sets apply concurrently on a worker pool while the
+    // next window's fetch overlaps the current window's apply.  -1 = auto
+    // (min(4, cores/2) workers), 0 = the single-threaded reference path,
+    // N > 0 = exactly N workers.  The engine (and its threads) is created
+    // lazily on the first playback that can use it.
+    int playback_workers = -1;
+    // Max entries in flight inside the parallel apply window.
+    size_t playback_window = 64;
   };
 
   struct Stats {
@@ -163,12 +174,18 @@ class TangoRuntime {
   struct ObjectState {
     TangoObject* object = nullptr;
     ObjectConfig config;
+    // Guards the version fields below: parallel playback bumps versions of
+    // the same object from several workers (distinct keys commute, but the
+    // bookkeeping itself must be serialized).  Heap-allocated so ObjectState
+    // stays movable.
+    std::unique_ptr<std::mutex> version_mu = std::make_unique<std::mutex>();
     // Version = last log offset whose entry modified the object (§3.2).
     corfu::LogOffset version = corfu::kInvalidOffset;
     // Fine-grained versions; a keyless write also invalidates every key.
     corfu::LogOffset unkeyed_version = corfu::kInvalidOffset;
     std::unordered_map<uint64_t, corfu::LogOffset> key_versions;
     // Last stream position consumed by playback (checkpoint coverage).
+    // Dispatcher-only; not covered by version_mu.
     corfu::LogOffset last_consumed = corfu::kInvalidOffset;
   };
 
@@ -189,15 +206,25 @@ class TangoRuntime {
 
   TxContext& Tls() const;
 
-  // --- playback core (playback_mu_ held) -----------------------------------
+  // --- playback core (playback_mu_ held by the dispatcher) -----------------
   // `fresh` lists the hosted objects whose stream cursor sat exactly at this
   // entry — only those views may apply its effects (an object registered
   // late replays old log positions that other objects already consumed).
   Status PlayUntil(corfu::LogOffset limit);
   Status ProcessRecord(corfu::LogOffset offset, const Record& record,
                        const std::vector<ObjectId>& fresh);
+  // The apply helpers below are worker-safe: they touch version tables only
+  // under the per-object version_mu and the decision maps only under
+  // decision_mu_, so the playback engine may run them concurrently for
+  // entries with disjoint access sets.
   Status ApplyCommit(corfu::LogOffset offset, const CommitRecord& commit,
                      const std::vector<ObjectId>& fresh);
+  void ApplyUpdate(corfu::LogOffset offset, const WriteOp& write,
+                   const std::vector<ObjectId>& fresh);
+  Status ApplyEntryParallel(corfu::LogOffset offset,
+                            const std::vector<Record>& records,
+                            const std::vector<ObjectId>& fresh,
+                            obs::TraceContext trace_ctx);
   bool CanEvaluate(const CommitRecord& commit) const;
   bool ValidateReads(const std::vector<ReadDep>& reads) const;
   void ApplyWrites(corfu::LogOffset offset, const std::vector<WriteOp>& writes,
@@ -207,6 +234,16 @@ class TangoRuntime {
   corfu::LogOffset CurrentVersion(const ObjectState& state, bool has_key,
                                   uint64_t key) const;
   void CheckDecisionDeadlines();
+
+  // Dependency tracker: folds the entry's records into object/key-granular
+  // accesses for the engine.  Returns false when the entry must take the
+  // sequential path instead — it carries a decision record, or a commit
+  // record this runtime cannot evaluate (the §4.1 stall barrier).
+  bool CollectAccesses(const std::vector<Record>& records,
+                       const std::vector<ObjectId>& fresh,
+                       std::vector<PlaybackAccess>* accesses) const;
+  // Resolved worker count (>=0) for this runtime's options.
+  int PlaybackWorkers() const;
 
   corfu::LogOffset SnapshotVersionLocked(ObjectId oid,
                                          std::optional<uint64_t> key) const;
@@ -230,12 +267,18 @@ class TangoRuntime {
   corfu::StreamStore store_;
   std::unordered_map<ObjectId, ObjectState> objects_;
 
-  // Decision machinery.
+  // Decision machinery.  `decided_` and `awaited_decisions_` are read and
+  // written by parallel apply workers (ApplyCommit) as well as the
+  // dispatcher, so they get their own leaf lock: decision_mu_ is only ever
+  // taken with no other runtime lock held, or under playback_mu_ — never the
+  // other way around.  The barrier_*/stalled_ fields remain dispatcher-only
+  // (the engine is quiesced whenever they are touched).
   struct StalledRecord {
     corfu::LogOffset offset;
     Record record;
     std::vector<ObjectId> fresh;
   };
+  mutable std::mutex decision_mu_;
   std::unordered_map<TxId, bool> decided_;
   std::optional<TxId> barrier_tx_;
   corfu::LogOffset barrier_offset_ = corfu::kInvalidOffset;
@@ -248,7 +291,17 @@ class TangoRuntime {
   // GC bookkeeping: per-object forget offsets (§3.2, Naming).
   std::unordered_map<ObjectId, corfu::LogOffset> forget_offsets_;
 
-  Stats stats_;
+  // Atomic mirror of the public Stats struct: updates_applied and
+  // commit/abort tallies are bumped from apply workers.
+  struct AtomicStats {
+    std::atomic<uint64_t> commits{0};
+    std::atomic<uint64_t> aborts{0};
+    std::atomic<uint64_t> updates_applied{0};
+    std::atomic<uint64_t> entries_played{0};
+    std::atomic<uint64_t> decisions_appended{0};
+    std::atomic<uint64_t> decision_stalls{0};
+  };
+  AtomicStats stats_;
 
   // Registry instruments (see DESIGN.md "Observability").
   obs::Counter* txn_attempts_;
@@ -258,8 +311,17 @@ class TangoRuntime {
   obs::Counter* txn_errors_;
   obs::Counter* obs_entries_played_;
   obs::Counter* obs_updates_applied_;
+  obs::Counter* obs_parallel_entries_;
+  obs::Counter* obs_sequential_entries_;
+  obs::Counter* obs_barrier_quiesces_;
   obs::Gauge* playback_position_;
   obs::Histogram* play_lag_;
+
+  // Created lazily by the first PlayUntil when PlaybackWorkers() > 0.
+  // Declared last: its destructor joins the worker pool (and with it any
+  // async prefetch task holding a StreamStore pointer) before store_ and the
+  // version tables above are torn down.
+  std::unique_ptr<PlaybackEngine> engine_;
 };
 
 }  // namespace tango

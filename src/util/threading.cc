@@ -4,14 +4,14 @@
 
 namespace tango {
 
-ThreadPool::ThreadPool(int num_threads) {
+Executor::Executor(int num_threads) {
   threads_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
-ThreadPool::~ThreadPool() {
+Executor::~Executor() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
@@ -22,7 +22,7 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void Executor::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
@@ -30,7 +30,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
-void ThreadPool::WorkerLoop() {
+void Executor::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
@@ -46,12 +46,31 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-ThreadPool& ThreadPool::Shared() {
-  static ThreadPool pool(std::max(4u, std::thread::hardware_concurrency()));
+Executor& Executor::Shared() {
+  static Executor pool(std::max(4u, std::thread::hardware_concurrency()));
   return pool;
 }
 
-void ParallelDispatch(ThreadPool& pool, size_t n,
+void TaskGroup::Launch(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++outstanding_;
+  }
+  executor_->Submit([this, fn = std::move(fn)] {
+    fn();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--outstanding_ == 0) {
+      cv_.notify_all();
+    }
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void ParallelDispatch(Executor& pool, size_t n,
                       const std::function<void(size_t)>& fn) {
   if (n == 0) {
     return;

@@ -19,10 +19,10 @@ namespace tango {
 class Notification {
  public:
   void Notify() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      notified_ = true;
-    }
+    // Broadcast under the lock: a waiter may destroy this object the moment
+    // it observes notified_, which must not race the broadcast itself.
+    std::lock_guard<std::mutex> lock(mu_);
+    notified_ = true;
     cv_.notify_all();
   }
 
@@ -69,22 +69,26 @@ class StartBarrier {
   int remaining_;
 };
 
-// A fixed-size worker pool for fanning out blocking I/O (e.g. vectored chain
-// reads dispatched per replica set).  Tasks are independent: a submitted task
-// must never block on another queued task, or the pool can stall.
-class ThreadPool {
+// A fixed-size worker-pool executor, the concurrency substrate shared by the
+// log client's vectored chain reads, the runtime's parallel playback engine,
+// and (eventually) the event-driven transport.  Tasks are independent: a
+// submitted task must never block on another *queued* task, or the pool can
+// stall — ordering between tasks belongs to a scheduler layered on top (see
+// src/runtime/playback.h).  The destructor drains the queue (every submitted
+// task runs) before joining the workers.
+class Executor {
  public:
-  explicit ThreadPool(int num_threads);
-  ~ThreadPool();
+  explicit Executor(int num_threads);
+  ~Executor();
 
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
 
   void Submit(std::function<void()> task);
   int size() const { return static_cast<int>(threads_.size()); }
 
   // Process-wide pool shared by all log clients; sized to the machine.
-  static ThreadPool& Shared();
+  static Executor& Shared();
 
  private:
   void WorkerLoop();
@@ -96,10 +100,34 @@ class ThreadPool {
   std::vector<std::thread> threads_;
 };
 
+// Legacy name, kept for the call sites that predate the executor refactor.
+using ThreadPool = Executor;
+
+// Tracks completion of tasks fanned out to an executor: Launch() submits the
+// task and Wait() blocks until every launched task has finished.  The group
+// must outlive its tasks — the destructor waits for stragglers.
+class TaskGroup {
+ public:
+  explicit TaskGroup(Executor* executor) : executor_(executor) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void Launch(std::function<void()> fn);
+  void Wait();
+
+ private:
+  Executor* executor_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t outstanding_ = 0;
+};
+
 // Runs `fn(0..n-1)` with tasks 0..n-2 on the pool and task n-1 inline on the
 // caller; returns when all n complete.  Safe to call from many threads at
 // once — tasks from concurrent callers interleave on the shared workers.
-void ParallelDispatch(ThreadPool& pool, size_t n,
+void ParallelDispatch(Executor& pool, size_t n,
                       const std::function<void(size_t)>& fn);
 
 // Runs `fn(worker_index)` on `n` threads and joins them all.

@@ -1,0 +1,679 @@
+// Parallel dependency-tracked playback (src/runtime/playback.h).
+//
+// Three layers of coverage:
+//   * PlaybackEngine unit tests — conflict rules, ordering of conflicting
+//     tasks, genuine concurrency of disjoint tasks, window backpressure and
+//     error propagation.
+//   * Sequential equivalence — a randomized interleaved history of keyed /
+//     unkeyed updates, transactional commits (valid and stale), unhosted-read
+//     stall commits and decision records is replayed by a single-threaded
+//     runtime (playback_workers = 0) and a parallel one (4 workers); final
+//     views, version tables and commit/abort tallies must match exactly.
+//   * Barrier ordering and recovery — a stalled commit must hold back every
+//     later entry (even disjoint ones) until its decision arrives, and a
+//     playback interrupted by a storage-node kill must resume exactly where
+//     it left off once the cluster self-heals.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "src/corfu/health.h"
+#include "src/runtime/playback.h"
+#include "src/runtime/record.h"
+#include "src/runtime/runtime.h"
+#include "src/util/random.h"
+#include "src/util/serialize.h"
+#include "src/util/threading.h"
+#include "tests/test_env.h"
+
+namespace tango {
+namespace {
+
+using corfu::kInvalidOffset;
+using corfu::LogOffset;
+using tango_test::ClusterFixture;
+
+// --- PlaybackEngine unit tests ----------------------------------------------
+
+TEST(PlaybackAccessTest, ConflictRules) {
+  auto acc = [](ObjectId oid, bool has_key, uint64_t key, bool write) {
+    return PlaybackAccess{oid, has_key, key, write};
+  };
+  // Different objects never conflict.
+  EXPECT_FALSE(PlaybackAccessesConflict(acc(1, false, 0, true),
+                                        acc(2, false, 0, true)));
+  // Reads never conflict with reads, even unkeyed ones.
+  EXPECT_FALSE(PlaybackAccessesConflict(acc(1, false, 0, false),
+                                        acc(1, false, 0, false)));
+  EXPECT_FALSE(PlaybackAccessesConflict(acc(1, true, 7, false),
+                                        acc(1, true, 7, false)));
+  // Keyed accesses to distinct keys commute.
+  EXPECT_FALSE(PlaybackAccessesConflict(acc(1, true, 1, true),
+                                        acc(1, true, 2, true)));
+  // Same key write-write / read-write conflict.
+  EXPECT_TRUE(PlaybackAccessesConflict(acc(1, true, 1, true),
+                                       acc(1, true, 1, true)));
+  EXPECT_TRUE(PlaybackAccessesConflict(acc(1, true, 1, false),
+                                       acc(1, true, 1, true)));
+  // An unkeyed write conflicts with everything on the object.
+  EXPECT_TRUE(PlaybackAccessesConflict(acc(1, false, 0, true),
+                                       acc(1, true, 9, true)));
+  EXPECT_TRUE(PlaybackAccessesConflict(acc(1, true, 9, false),
+                                       acc(1, false, 0, true)));
+}
+
+TEST(PlaybackEngineTest, ConflictingTasksRunInScheduleOrder) {
+  PlaybackEngine::Options options;
+  options.workers = 4;
+  options.window = 16;
+  PlaybackEngine engine(options);
+
+  std::mutex mu;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    engine.Schedule(
+        static_cast<LogOffset>(i),
+        {PlaybackAccess{1, true, 5, true}},  // all write the same key
+        [&mu, &order, i] {
+          std::lock_guard<std::mutex> lock(mu);
+          order.push_back(i);
+          return Status::Ok();
+        });
+  }
+  ASSERT_TRUE(engine.Quiesce().ok());
+  ASSERT_EQ(order.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(PlaybackEngineTest, DisjointTasksRunConcurrently) {
+  PlaybackEngine::Options options;
+  options.workers = 2;
+  options.window = 8;
+  PlaybackEngine engine(options);
+
+  // Task A blocks until task B has started: this only terminates if the two
+  // tasks (touching different objects) genuinely overlap.
+  Notification b_started;
+  engine.Schedule(0, {PlaybackAccess{1, false, 0, true}}, [&b_started] {
+    EXPECT_TRUE(
+        b_started.WaitForNotificationWithTimeout(std::chrono::seconds(10)));
+    return Status::Ok();
+  });
+  engine.Schedule(1, {PlaybackAccess{2, false, 0, true}}, [&b_started] {
+    b_started.Notify();
+    return Status::Ok();
+  });
+  EXPECT_TRUE(engine.Quiesce().ok());
+}
+
+TEST(PlaybackEngineTest, SameKeyReadsRunConcurrently) {
+  PlaybackEngine::Options options;
+  options.workers = 2;
+  options.window = 8;
+  PlaybackEngine engine(options);
+
+  Notification second_started;
+  engine.Schedule(0, {PlaybackAccess{1, true, 3, false}}, [&second_started] {
+    EXPECT_TRUE(second_started.WaitForNotificationWithTimeout(
+        std::chrono::seconds(10)));
+    return Status::Ok();
+  });
+  engine.Schedule(1, {PlaybackAccess{1, true, 3, false}}, [&second_started] {
+    second_started.Notify();
+    return Status::Ok();
+  });
+  EXPECT_TRUE(engine.Quiesce().ok());
+}
+
+TEST(PlaybackEngineTest, WindowAppliesBackpressure) {
+  PlaybackEngine::Options options;
+  options.workers = 1;
+  options.window = 2;
+  PlaybackEngine engine(options);
+
+  Notification release;
+  std::atomic<int> done{0};
+  engine.Schedule(0, {PlaybackAccess{1, false, 0, true}}, [&release, &done] {
+    release.WaitForNotification();
+    ++done;
+    return Status::Ok();
+  });
+  engine.Schedule(1, {PlaybackAccess{1, false, 0, true}}, [&done] {
+    ++done;
+    return Status::Ok();
+  });
+  // The window is full; the third Schedule must block until the notifier
+  // thread releases the first task.
+  std::thread notifier([&release] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    release.Notify();
+  });
+  engine.Schedule(2, {PlaybackAccess{1, false, 0, true}}, [&done] {
+    ++done;
+    return Status::Ok();
+  });
+  // Schedule returned, so a slot freed up: task 0 must already have run.
+  EXPECT_GE(done.load(), 1);
+  notifier.join();
+  EXPECT_TRUE(engine.Quiesce().ok());
+  EXPECT_EQ(done.load(), 3);
+}
+
+TEST(PlaybackEngineTest, QuiesceReturnsFirstErrorThenClears) {
+  PlaybackEngine::Options options;
+  options.workers = 2;
+  options.window = 8;
+  PlaybackEngine engine(options);
+
+  engine.Schedule(0, {PlaybackAccess{1, true, 0, true}}, [] {
+    return Status(StatusCode::kInternal, "boom");
+  });
+  engine.Schedule(1, {PlaybackAccess{1, true, 1, true}},
+                  [] { return Status::Ok(); });
+  Status first = engine.Quiesce();
+  EXPECT_EQ(first.code(), StatusCode::kInternal);
+  EXPECT_TRUE(engine.Quiesce().ok());  // error is consumed, not sticky
+}
+
+// --- Test object: keyed cells recording every applied update ----------------
+
+// Payload = (slot, value); the slot doubles as the fine-grained version key.
+// Applies under concurrent playback may arrive out of order across slots, so
+// equivalence checks compare the *sorted* applied set.
+class KeyedCells : public TangoObject {
+ public:
+  using Applied = std::tuple<LogOffset, uint64_t, uint64_t>;
+
+  void Apply(std::span<const uint8_t> update, LogOffset offset) override {
+    ByteReader r(update);
+    uint64_t slot = r.GetU64();
+    uint64_t value = r.GetU64();
+    ASSERT_TRUE(r.ok());
+    std::lock_guard<std::mutex> lock(mu_);
+    // Same-slot applies must arrive in log order (the engine serializes
+    // conflicting accesses) — so last-writer-wins is well defined.
+    auto it = last_offset_.find(slot);
+    if (it != last_offset_.end()) {
+      // <= not <: one commit record may carry two writes to the same slot,
+      // both applied at the commit's offset (in record order, same task).
+      EXPECT_LE(it->second, offset)
+          << "same-slot applies reordered at slot " << slot;
+    }
+    last_offset_[slot] = offset;
+    cells_[slot] = value;
+    applied_.emplace_back(offset, slot, value);
+  }
+
+  void Clear() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    cells_.clear();
+    applied_.clear();
+    last_offset_.clear();
+  }
+
+  std::map<uint64_t, uint64_t> cells() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cells_;
+  }
+
+  std::vector<Applied> applied_sorted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Applied> sorted = applied_;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<uint64_t, uint64_t> cells_;
+  std::map<uint64_t, LogOffset> last_offset_;
+  std::vector<Applied> applied_;
+};
+
+std::vector<uint8_t> CellPayload(uint64_t slot, uint64_t value) {
+  ByteWriter w(16);
+  w.PutU64(slot);
+  w.PutU64(value);
+  return w.Take();
+}
+
+LogOffset AppendRaw(corfu::CorfuClient* log, const Record& record,
+                    const std::vector<corfu::StreamId>& streams) {
+  std::vector<uint8_t> payload = EncodeRecord(record);
+  Result<LogOffset> offset = log->AppendToStreams(payload, streams);
+  EXPECT_TRUE(offset.ok()) << offset.status().ToString();
+  return offset.ok() ? *offset : kInvalidOffset;
+}
+
+// An object id no replaying runtime hosts: a commit that *reads* it cannot be
+// evaluated locally and must arm the §4.1 stall barrier.
+constexpr ObjectId kUnhostedOid = 99;
+
+class PlaybackClusterTest : public ClusterFixture {};
+class PlaybackSeedTest : public ClusterFixture,
+                         public ::testing::WithParamInterface<uint64_t> {};
+
+// --- Sequential equivalence (property test) ---------------------------------
+
+struct ReplayResult {
+  std::map<ObjectId, std::map<uint64_t, uint64_t>> cells;
+  std::map<ObjectId, std::vector<KeyedCells::Applied>> applied;
+  std::map<ObjectId, LogOffset> versions;
+  std::map<std::pair<ObjectId, uint64_t>, LogOffset> key_versions;
+  TangoRuntime::Stats stats;
+};
+
+ReplayResult Replay(corfu::CorfuCluster* cluster,
+                    const std::vector<ObjectId>& oids, int workers,
+                    uint64_t seed, LogOffset tail) {
+  std::unique_ptr<corfu::CorfuClient> client = cluster->MakeClient({});
+  TangoRuntime::Options options;
+  options.playback_workers = workers;
+  options.playback_window = 16;
+  // Replaying runtimes must be passive observers: a decision-deadline
+  // fallback append would mutate the shared log between the two replays.
+  options.decision_timeout_ms = 60000;
+  TangoRuntime runtime(client.get(), options);
+
+  std::vector<std::unique_ptr<KeyedCells>> objects;
+  for (ObjectId oid : oids) {
+    objects.push_back(std::make_unique<KeyedCells>());
+    EXPECT_TRUE(runtime.RegisterObject(oid, objects.back().get()).ok());
+  }
+
+  // Replay in randomized SyncTo slices so playback stops and restarts at
+  // arbitrary log positions (exercising stall carryover across calls).
+  Rng rng(seed * 7919 + static_cast<uint64_t>(workers));
+  std::vector<LogOffset> cuts;
+  for (int i = 0; i < 4; ++i) {
+    cuts.push_back(rng.NextBelow(tail + 1));
+  }
+  std::sort(cuts.begin(), cuts.end());
+  for (LogOffset cut : cuts) {
+    EXPECT_TRUE(runtime.SyncTo(cut).ok());
+  }
+  EXPECT_TRUE(runtime.SyncTo(tail).ok());
+
+  ReplayResult result;
+  for (size_t i = 0; i < oids.size(); ++i) {
+    result.cells[oids[i]] = objects[i]->cells();
+    result.applied[oids[i]] = objects[i]->applied_sorted();
+    result.versions[oids[i]] = runtime.VersionOf(oids[i]);
+    for (uint64_t key = 0; key < 8; ++key) {
+      result.key_versions[{oids[i], key}] = runtime.VersionOf(oids[i], key);
+    }
+  }
+  result.stats = runtime.stats();
+  for (ObjectId oid : oids) {
+    EXPECT_TRUE(runtime.UnregisterObject(oid).ok());
+  }
+  return result;
+}
+
+TEST_P(PlaybackSeedTest, ParallelReplayMatchesSequential) {
+  const uint64_t seed = GetParam();
+  const std::vector<ObjectId> oids = {1, 2, 3};
+  std::unique_ptr<corfu::CorfuClient> log = MakeClient();
+  Rng rng(seed);
+
+  // Generator-side version tracking, mirroring the runtime's bookkeeping, so
+  // commits can be crafted to validate (reads carry current versions) or to
+  // abort (reads carry stale versions).
+  struct VersionState {
+    LogOffset version = kInvalidOffset;  // coarse: bumped by every write
+    LogOffset unkeyed = kInvalidOffset;
+    std::map<uint64_t, LogOffset> keys;
+  };
+  std::map<ObjectId, VersionState> tracked;
+  auto current = [&tracked](ObjectId oid, bool has_key, uint64_t key) {
+    VersionState& vs = tracked[oid];
+    if (!has_key) {
+      return vs.version;
+    }
+    LogOffset v = vs.unkeyed;
+    auto it = vs.keys.find(key);
+    if (it != vs.keys.end() && (v == kInvalidOffset || it->second > v)) {
+      v = it->second;
+    }
+    return v;
+  };
+  // Monotonic max, like the runtime's BumpVersion: a stall commit's writes
+  // apply at the *commit record's* offset when the decision drains the
+  // barrier, which can be below versions already set by queued later entries.
+  auto mx = [](LogOffset& v, LogOffset offset) {
+    if (v == kInvalidOffset || offset > v) {
+      v = offset;
+    }
+  };
+  auto bump = [&tracked, &mx](const WriteOp& w, LogOffset offset) {
+    VersionState& vs = tracked[w.oid];
+    mx(vs.version, offset);
+    if (w.has_key) {
+      mx(vs.keys[w.key], offset);
+    } else {
+      mx(vs.unkeyed, offset);
+    }
+  };
+  auto make_write = [&rng](ObjectId oid) {
+    WriteOp w;
+    w.oid = oid;
+    w.has_key = rng.NextDouble() < 0.8;
+    uint64_t slot = rng.NextBelow(8);
+    w.key = slot;  // meaningful only when has_key
+    w.data = CellPayload(slot, rng.Next() % 1000);
+    return w;
+  };
+
+  // Stall commits whose decision record is deferred a few appends.
+  struct PendingDecision {
+    TxId txid = 0;
+    bool commit = false;
+    std::vector<corfu::StreamId> streams;
+    std::vector<WriteOp> writes;
+    LogOffset position = kInvalidOffset;
+  };
+  std::vector<PendingDecision> pending;
+  auto flush_one = [&] {
+    if (pending.empty()) {
+      return;
+    }
+    PendingDecision d = pending.front();
+    pending.erase(pending.begin());
+    AppendRaw(log.get(), MakeDecisionRecord(d.txid, d.commit), d.streams);
+    if (d.commit) {
+      for (const WriteOp& w : d.writes) {
+        bump(w, d.position);
+      }
+    }
+  };
+
+  uint64_t next_tx = 1;
+  for (int op = 0; op < 120; ++op) {
+    double dice = rng.NextDouble();
+    if (dice < 0.55) {
+      // Plain update (keyed 80% / unkeyed 20%).
+      ObjectId oid = oids[rng.NextBelow(oids.size())];
+      WriteOp w = make_write(oid);
+      std::optional<uint64_t> key =
+          w.has_key ? std::optional<uint64_t>(w.key) : std::nullopt;
+      LogOffset pos =
+          AppendRaw(log.get(), MakeUpdateRecord(oid, w.data, key), {oid});
+      bump(w, pos);
+    } else if (dice < 0.80) {
+      // Evaluable commit: 1-2 writes, 0-2 reads, some crafted to abort.
+      // Synthetic txids sit far above any real client id so the replaying
+      // runtimes never mistake them for their own transactions.
+      TxId txid = ((0x70000000ULL + seed) << 32) | next_tx++;
+      std::vector<WriteOp> writes;
+      std::vector<corfu::StreamId> streams;
+      size_t num_writes = 1 + rng.NextBelow(2);
+      for (size_t i = 0; i < num_writes; ++i) {
+        WriteOp w = make_write(oids[rng.NextBelow(oids.size())]);
+        if (std::find(streams.begin(), streams.end(), w.oid) ==
+            streams.end()) {
+          streams.push_back(w.oid);
+        }
+        writes.push_back(std::move(w));
+      }
+      std::vector<ReadDep> reads;
+      bool valid = true;
+      size_t num_reads = rng.NextBelow(3);
+      for (size_t i = 0; i < num_reads; ++i) {
+        ReadDep dep;
+        dep.oid = oids[rng.NextBelow(oids.size())];
+        dep.has_key = rng.NextDouble() < 0.5;
+        dep.key = rng.NextBelow(8);
+        // While a stall decision is pending the tracker cannot predict the
+        // version the replayer will observe (the stalled writes apply before
+        // this commit is drained from the barrier queue), so only crafted
+        // aborts are generated then.  Stale versions are drawn far beyond
+        // any real log offset: ValidateReads is an exact match, so a nearby
+        // perturbation could accidentally hit a pending commit's offset and
+        // validate.
+        if (pending.empty() && rng.NextDouble() < 0.65) {
+          dep.version = current(dep.oid, dep.has_key, dep.key);
+        } else {
+          dep.version = 1'000'000 + rng.NextBelow(1000);
+          valid = false;
+        }
+        reads.push_back(dep);
+      }
+      std::vector<WriteOp> writes_copy = writes;
+      LogOffset pos = AppendRaw(
+          log.get(), MakeCommitRecord(txid, std::move(writes), reads),
+          streams);
+      if (valid) {
+        for (const WriteOp& w : writes_copy) {
+          bump(w, pos);
+        }
+      }
+    } else if (dice < 0.90) {
+      // Stall commit: reads an object no replayer hosts, so playback must
+      // arm the §4.1 barrier until the decision record lands.
+      PendingDecision d;
+      d.txid = ((0x70000000ULL + seed) << 32) | next_tx++;
+      d.commit = rng.NextDouble() < 0.6;
+      size_t num_writes = 1 + rng.NextBelow(2);
+      std::vector<WriteOp> writes;
+      for (size_t i = 0; i < num_writes; ++i) {
+        WriteOp w = make_write(oids[rng.NextBelow(oids.size())]);
+        if (std::find(d.streams.begin(), d.streams.end(), w.oid) ==
+            d.streams.end()) {
+          d.streams.push_back(w.oid);
+        }
+        writes.push_back(std::move(w));
+      }
+      d.writes = writes;
+      std::vector<ReadDep> reads(1);
+      reads[0].oid = kUnhostedOid;
+      reads[0].version = 0;
+      d.position = AppendRaw(
+          log.get(), MakeCommitRecord(d.txid, std::move(writes), reads),
+          d.streams);
+      pending.push_back(std::move(d));
+    } else {
+      flush_one();
+    }
+  }
+  while (!pending.empty()) {
+    flush_one();
+  }
+
+  Result<LogOffset> tail = log->CheckTail();
+  ASSERT_TRUE(tail.ok());
+
+  ReplayResult sequential = Replay(cluster_.get(), oids, 0, seed, *tail);
+  ReplayResult parallel = Replay(cluster_.get(), oids, 4, seed, *tail);
+
+  // Sanity: the history exercised all the interesting machinery.
+  EXPECT_GT(sequential.stats.commits, 0u);
+  EXPECT_GT(sequential.stats.aborts, 0u);
+  EXPECT_GT(sequential.stats.decision_stalls, 0u);
+
+  // The equivalence property: identical views, versions and outcomes.
+  EXPECT_EQ(sequential.cells, parallel.cells);
+  EXPECT_EQ(sequential.applied, parallel.applied);
+  EXPECT_EQ(sequential.versions, parallel.versions);
+  EXPECT_EQ(sequential.key_versions, parallel.key_versions);
+  EXPECT_EQ(sequential.stats.commits, parallel.stats.commits);
+  EXPECT_EQ(sequential.stats.aborts, parallel.stats.aborts);
+  EXPECT_EQ(sequential.stats.updates_applied, parallel.stats.updates_applied);
+  EXPECT_EQ(sequential.stats.entries_played, parallel.stats.entries_played);
+  EXPECT_EQ(sequential.stats.decision_stalls, parallel.stats.decision_stalls);
+
+  // The tracked generator state agrees with both replays (ground truth, so a
+  // bug that corrupts both replays identically still gets caught).
+  for (ObjectId oid : oids) {
+    EXPECT_EQ(parallel.versions[oid], tracked[oid].version) << "oid " << oid;
+  }
+}
+
+// --- Barrier ordering (directed) --------------------------------------------
+
+TEST_F(PlaybackClusterTest, StalledCommitHoldsBackDisjointEntries) {
+  std::unique_ptr<corfu::CorfuClient> log = MakeClient();
+  const TxId txid = (0x7abc0000ULL << 32) | 1;
+
+  // offset 0: keyed update, oid 2 slot 0 = 1
+  LogOffset o0 =
+      AppendRaw(log.get(), MakeUpdateRecord(2, CellPayload(0, 1), 0), {2});
+  // offset 1: commit T — reads unhosted oid 99, writes oid 1 slot 5 = 50
+  std::vector<WriteOp> writes(1);
+  writes[0].oid = 1;
+  writes[0].has_key = true;
+  writes[0].key = 5;
+  writes[0].data = CellPayload(5, 50);
+  std::vector<ReadDep> reads(1);
+  reads[0].oid = kUnhostedOid;
+  reads[0].version = 0;
+  LogOffset o1 = AppendRaw(
+      log.get(), MakeCommitRecord(txid, std::move(writes), reads), {1});
+  // offset 2: keyed update on a *disjoint* object/key, oid 2 slot 1 = 2
+  LogOffset o2 =
+      AppendRaw(log.get(), MakeUpdateRecord(2, CellPayload(1, 2), 1), {2});
+  // offset 3: the decision (commit).
+  LogOffset o3 = AppendRaw(log.get(), MakeDecisionRecord(txid, true), {1});
+  ASSERT_EQ(o0 + 1, o1);
+  ASSERT_EQ(o1 + 1, o2);
+  ASSERT_EQ(o2 + 1, o3);
+
+  std::unique_ptr<corfu::CorfuClient> client = cluster_->MakeClient({});
+  TangoRuntime::Options options;
+  options.playback_workers = 4;
+  options.decision_timeout_ms = 60000;
+  TangoRuntime runtime(client.get(), options);
+  KeyedCells cells1;
+  KeyedCells cells2;
+  ASSERT_TRUE(runtime.RegisterObject(1, &cells1).ok());
+  ASSERT_TRUE(runtime.RegisterObject(2, &cells2).ok());
+
+  // Play everything before the decision: the stalled commit must hold back
+  // the *later* disjoint update too — behind an armed barrier, log order
+  // governs every entry, not just conflicting ones.
+  ASSERT_TRUE(runtime.SyncTo(o3).ok());
+  EXPECT_EQ(cells2.cells(), (std::map<uint64_t, uint64_t>{{0, 1}}));
+  EXPECT_TRUE(cells1.cells().empty());
+  EXPECT_EQ(runtime.stats().decision_stalls, 1u);
+
+  // The decision unblocks the barrier, the queued write and the held entry.
+  ASSERT_TRUE(runtime.SyncTo(o3 + 1).ok());
+  EXPECT_EQ(cells1.cells(), (std::map<uint64_t, uint64_t>{{5, 50}}));
+  EXPECT_EQ(cells2.cells(), (std::map<uint64_t, uint64_t>{{0, 1}, {1, 2}}));
+  EXPECT_EQ(runtime.stats().commits, 1u);
+
+  ASSERT_TRUE(runtime.UnregisterObject(1).ok());
+  ASSERT_TRUE(runtime.UnregisterObject(2).ok());
+}
+
+TEST_F(PlaybackClusterTest, AbortDecisionDropsStalledWrites) {
+  std::unique_ptr<corfu::CorfuClient> log = MakeClient();
+  const TxId txid = (0x7abc0000ULL << 32) | 2;
+
+  std::vector<WriteOp> writes(1);
+  writes[0].oid = 1;
+  writes[0].has_key = false;
+  writes[0].data = CellPayload(3, 30);
+  std::vector<ReadDep> reads(1);
+  reads[0].oid = kUnhostedOid;
+  reads[0].version = 0;
+  AppendRaw(log.get(), MakeCommitRecord(txid, std::move(writes), reads), {1});
+  AppendRaw(log.get(), MakeDecisionRecord(txid, false), {1});
+
+  std::unique_ptr<corfu::CorfuClient> client = cluster_->MakeClient({});
+  TangoRuntime::Options options;
+  options.playback_workers = 2;
+  options.decision_timeout_ms = 60000;
+  TangoRuntime runtime(client.get(), options);
+  KeyedCells cells;
+  ASSERT_TRUE(runtime.RegisterObject(1, &cells).ok());
+
+  Result<LogOffset> tail = log->CheckTail();
+  ASSERT_TRUE(tail.ok());
+  ASSERT_TRUE(runtime.SyncTo(*tail).ok());
+  EXPECT_TRUE(cells.cells().empty());
+  EXPECT_EQ(runtime.stats().aborts, 1u);
+  EXPECT_EQ(runtime.stats().decision_stalls, 1u);
+
+  ASSERT_TRUE(runtime.UnregisterObject(1).ok());
+}
+
+// --- Chaos: storage-node kill mid-playback ----------------------------------
+
+TEST_P(PlaybackSeedTest, ReplayResumesAfterNodeKill) {
+  const uint64_t seed = GetParam();
+  std::unique_ptr<corfu::CorfuClient> log = MakeClient();
+  Rng rng(seed ^ 0xdead);
+
+  std::map<uint64_t, uint64_t> expected;
+  constexpr int kUpdates = 80;
+  for (int i = 0; i < kUpdates; ++i) {
+    uint64_t slot = rng.NextBelow(8);
+    uint64_t value = rng.Next() % 1000;
+    AppendRaw(log.get(), MakeUpdateRecord(1, CellPayload(slot, value), slot),
+              {1});
+    expected[slot] = value;
+  }
+  Result<LogOffset> tail = log->CheckTail();
+  ASSERT_TRUE(tail.ok());
+
+  corfu::CorfuClient::Options client_options;
+  client_options.hole_timeout_ms = 5;
+  client_options.max_epoch_retries = 64;
+  std::unique_ptr<corfu::CorfuClient> client =
+      cluster_->MakeClient(client_options);
+  TangoRuntime::Options options;
+  options.playback_workers = 4;
+  options.playback_window = 8;
+  TangoRuntime runtime(client.get(), options);
+  KeyedCells cells;
+  ASSERT_TRUE(runtime.RegisterObject(1, &cells).ok());
+
+  // Replay the first half, then kill a storage node.  The next SyncTo hits
+  // the dead chains mid-playback and may fail partway through a window; the
+  // engine must quiesce cleanly and the retries must resume playback without
+  // skipping or repeating an entry.
+  ASSERT_TRUE(runtime.SyncTo(*tail / 2).ok());
+
+  corfu::HealthMonitor::Options monitor_options;
+  monitor_options.heartbeat_interval_ms = 2;
+  monitor_options.miss_threshold = 3;
+  corfu::HealthMonitor* monitor = cluster_->StartHealthMonitor(monitor_options);
+  int num_nodes = cluster_->options().num_storage_nodes;
+  NodeId victim =
+      cluster_->options().storage_base +
+      static_cast<NodeId>(rng.NextBelow(static_cast<uint64_t>(num_nodes)));
+  transport_.KillNode(victim);
+
+  // Partition-tolerant replay loop: keep retrying until the monitor has
+  // reconfigured around the dead node and playback completes.
+  Status st;
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    st = runtime.SyncTo(*tail);
+    if (st.ok()) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(st.ok()) << "replay never recovered: " << st.ToString();
+  EXPECT_FALSE(monitor->InRecovery());
+
+  EXPECT_EQ(cells.cells(), expected);
+  EXPECT_EQ(runtime.stats().entries_played, static_cast<uint64_t>(kUpdates));
+
+  ASSERT_TRUE(runtime.UnregisterObject(1).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlaybackSeedTest,
+                         ::testing::ValuesIn(tango_test::ChaosSeeds()));
+
+}  // namespace
+}  // namespace tango

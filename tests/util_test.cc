@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "src/util/histogram.h"
 #include "src/util/random.h"
@@ -491,6 +494,74 @@ TEST(RetryPolicyTest, AttemptBudgetExhausts) {
   }
   EXPECT_FALSE(attempt.ShouldRetry());
   EXPECT_EQ(attempt.attempts(), 3);
+}
+
+TEST(ExecutorTest, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    Executor pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&count] { ++count; });
+    }
+    // The destructor drains the queue: every task runs before join.
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ExecutorTest, TasksRunConcurrently) {
+  // The pool is declared last so its destructor joins the workers before the
+  // notifications they touch are destroyed.
+  Notification first_running;
+  Notification second_ran;
+  Executor pool(2);
+  pool.Submit([&] {
+    first_running.Notify();
+    // Only terminates if the second task can run on the other worker.
+    EXPECT_TRUE(
+        second_ran.WaitForNotificationWithTimeout(std::chrono::seconds(10)));
+  });
+  pool.Submit([&] {
+    first_running.WaitForNotification();
+    second_ran.Notify();
+  });
+}
+
+TEST(TaskGroupTest, WaitBlocksUntilAllLaunchedFinish) {
+  Executor pool(3);
+  TaskGroup group(&pool);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    group.Launch([&count] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      ++count;
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(count.load(), 50);
+  // The group is reusable after Wait.
+  group.Launch([&count] { ++count; });
+  group.Wait();
+  EXPECT_EQ(count.load(), 51);
+}
+
+TEST(ParallelDispatchTest, CoversEveryIndexOnce) {
+  Executor pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  ParallelDispatch(pool, hits.size(),
+                   [&hits](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelDispatchTest, ZeroAndOneTaskDegenerate) {
+  Executor pool(2);
+  std::atomic<int> count{0};
+  ParallelDispatch(pool, 0, [&count](size_t) { ++count; });
+  EXPECT_EQ(count.load(), 0);
+  ParallelDispatch(pool, 1, [&count](size_t) { ++count; });
+  EXPECT_EQ(count.load(), 1);
 }
 
 TEST(RetryPolicyTest, DeadlineBoundsDelayAndRetry) {
