@@ -1,0 +1,170 @@
+// Storage backend: durable segment store vs in-memory page map.
+//
+// Sweeps the segment store's fsync batch {1, 8, 64, 256} against the
+// in-memory baseline under a multi-threaded append storm (each Put lands on
+// a fresh write-once offset, the storage node's hot path).  Shape to
+// reproduce: batch 1 pays one fsync per append and collapses throughput by
+// orders of magnitude; larger batches amortize the fsync until the write(2)
+// group-flush path, not the disk, is the bottleneck, converging toward (but
+// never reaching) the in-memory ceiling.  The fsync and group-flush counters
+// in each row show the amortization directly.  --json=FILE dumps the sweep
+// as BENCH_storage.json for EXPERIMENTS.md.
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/storage/fault_fs.h"
+#include "src/storage/memory_backend.h"
+#include "src/storage/segment_store.h"
+
+namespace tangobench {
+namespace {
+
+struct Cell {
+  std::string backend;     // "memory" or "segment"
+  uint32_t fsync_batch = 0;  // 0 for the memory backend
+  double puts_per_sec = 0;
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+  uint64_t fsyncs = 0;
+  uint64_t group_flushes = 0;
+};
+
+// Runs `threads` appenders against `backend` for `duration_ms`, each Put
+// targeting the next write-once offset from a shared counter.
+RunResult Storm(corfu::storage::StorageBackend* backend, int threads,
+                int duration_ms, int payload_bytes) {
+  const std::vector<uint8_t> payload(static_cast<size_t>(payload_bytes), 0xcd);
+  std::atomic<uint64_t> next{0};
+  return RunWorkers(
+      threads, duration_ms,
+      [&](int /*thread*/, std::atomic<bool>* stop, WorkerCounts* counts) {
+        while (!stop->load(std::memory_order_relaxed)) {
+          corfu::LogOffset off = next.fetch_add(1);
+          Stopwatch timer;
+          tango::Status status = backend->Put(1, off, payload);
+          counts->latency_us.Record(timer.ElapsedUs());
+          counts->total++;
+          if (status.ok()) {
+            counts->good++;
+          }
+        }
+      });
+}
+
+void Run(const Flags& flags) {
+  const int threads = static_cast<int>(flags.GetInt("threads", 4));
+  const int duration_ms = static_cast<int>(flags.GetInt("duration-ms", 300));
+  const int payload_bytes =
+      static_cast<int>(flags.GetInt("payload-bytes", 128));
+  const std::string json_path = flags.GetString("json", "");
+  const std::string base_dir = flags.GetString(
+      "dir", "/tmp/tango-bench-storage-" + std::to_string(::getpid()));
+  auto stats_dumper = MaybeStartStatsDumper(flags);
+
+  std::printf(
+      "Storage backend: append throughput, durable segment store vs "
+      "in-memory\n"
+      "(%d threads, %d ms per cell, %dB payloads; durable cells sweep "
+      "fsync_batch)\n\n",
+      threads, duration_ms, payload_bytes);
+  PrintHeader({"backend", "fsync_batch", "Kput/s", "p50_us", "p99_us",
+               "fsyncs", "flushes"});
+
+  std::vector<Cell> cells;
+
+  {
+    corfu::storage::MemoryBackend memory;
+    RunResult r = Storm(&memory, threads, duration_ms, payload_bytes);
+    Cell cell;
+    cell.backend = "memory";
+    cell.puts_per_sec = r.good_ops_per_sec;
+    cell.p50_us = r.latency_us.Percentile(0.5);
+    cell.p99_us = r.latency_us.Percentile(0.99);
+    PrintRow({"memory", "-", Fmt(cell.puts_per_sec / 1000.0),
+              std::to_string(cell.p50_us), std::to_string(cell.p99_us), "-",
+              "-"});
+    cells.push_back(cell);
+  }
+
+  // CreateDir is single-level; make the sweep's parent directory first.
+  (void)corfu::storage::PosixFileSystem()->CreateDir(base_dir);
+  for (uint32_t batch : {1u, 8u, 64u, 256u}) {
+    corfu::storage::SegmentStoreOptions options;
+    options.dir = base_dir + "/batch-" + std::to_string(batch);
+    options.fsync_batch = batch;
+    auto store = corfu::storage::SegmentStoreBackend::Open(options);
+    if (!store.ok()) {
+      std::fprintf(stderr, "cannot open segment store in %s: %s\n",
+                   options.dir.c_str(), store.status().ToString().c_str());
+      std::exit(1);
+    }
+    RunResult r = Storm(store->get(), threads, duration_ms, payload_bytes);
+    Cell cell;
+    cell.backend = "segment";
+    cell.fsync_batch = batch;
+    cell.puts_per_sec = r.good_ops_per_sec;
+    cell.p50_us = r.latency_us.Percentile(0.5);
+    cell.p99_us = r.latency_us.Percentile(0.99);
+    cell.fsyncs = (*store)->fsyncs();
+    cell.group_flushes = (*store)->group_flushes();
+    PrintRow({"segment", std::to_string(batch),
+              Fmt(cell.puts_per_sec / 1000.0), std::to_string(cell.p50_us),
+              std::to_string(cell.p99_us), std::to_string(cell.fsyncs),
+              std::to_string(cell.group_flushes)});
+    cells.push_back(cell);
+  }
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      std::exit(1);
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"fig_storage\",\n  \"threads\": %d,\n"
+                 "  \"duration_ms\": %d,\n  \"payload_bytes\": %d,\n",
+                 threads, duration_ms, payload_bytes);
+    WriteMetricsField(f);
+    std::fprintf(f, "  \"cells\": [\n");
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      std::fprintf(f,
+                   "    {\"backend\": \"%s\", \"fsync_batch\": %u, "
+                   "\"puts_per_sec\": %.1f, \"p50_us\": %llu, "
+                   "\"p99_us\": %llu, \"fsyncs\": %llu, "
+                   "\"group_flushes\": %llu}%s\n",
+                   c.backend.c_str(), c.fsync_batch, c.puts_per_sec,
+                   static_cast<unsigned long long>(c.p50_us),
+                   static_cast<unsigned long long>(c.p99_us),
+                   static_cast<unsigned long long>(c.fsyncs),
+                   static_cast<unsigned long long>(c.group_flushes),
+                   i + 1 == cells.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  // Scratch segment files are only useful for post-mortem inspection; clean
+  // them up unless the caller pinned the directory with --dir.
+  if (flags.GetString("dir", "").empty()) {
+    std::string cmd = "rm -rf " + base_dir;
+    if (std::system(cmd.c_str()) != 0) {
+      std::fprintf(stderr, "warning: could not remove %s\n", base_dir.c_str());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tangobench
+
+int main(int argc, char** argv) {
+  tangobench::Flags flags(argc, argv);
+  tangobench::Run(flags);
+  return 0;
+}

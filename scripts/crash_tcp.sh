@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Cross-process crash-recovery test: run a durable tango_logd on the
+# segment store, kill -9 it mid-deployment, restart it on the same data
+# directory, and verify every acknowledged append is still readable with its
+# exact payload.  Two kill/restart cycles; the second proves recovery itself
+# produces a log that recovers.  Wired up as a ctest alongside demo_tcp.sh.
+set -u
+
+LOGD="${1:?usage: crash_tcp.sh <tango_logd> <tango_cli> [base_port]}"
+CLI="${2:?usage: crash_tcp.sh <tango_logd> <tango_cli> [base_port]}"
+PORT="${3:-$(( (RANDOM % 2000) + 23000 ))}"
+DATA_DIR="$(mktemp -d /tmp/tango-crash-tcp.XXXXXX)"
+FLAGS="--base-port=${PORT} --nodes=4 --repl=2"
+DAEMON_FLAGS="${FLAGS} --data-dir=${DATA_DIR} --fsync-batch=8"
+DAEMON_PID=""
+
+cleanup() {
+  [ -n "${DAEMON_PID}" ] && kill -9 "${DAEMON_PID}" 2>/dev/null
+  rm -rf "${DATA_DIR}"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+start_daemon() {
+  "${LOGD}" ${DAEMON_FLAGS} &
+  DAEMON_PID=$!
+  for _ in $(seq 1 50); do
+    if "${CLI}" ${FLAGS} tail >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  fail "daemon never became ready"
+}
+
+start_daemon
+
+# Append entries, recording each acknowledged offset with its payload.
+# `acked[i]` is the offset the daemon acknowledged for payload "crash-$cycle-$i".
+declare -A PAYLOAD_AT
+append_batch() {
+  local cycle=$1 count=$2
+  for i in $(seq 1 "${count}"); do
+    OUT=$("${CLI}" ${FLAGS} append "crash-${cycle}-${i}" 7) \
+      || fail "append ${cycle}/${i}"
+    OFF=$(echo "${OUT}" | sed -n 's/appended at offset \([0-9]*\)/\1/p')
+    [ -n "${OFF}" ] || fail "no offset in ack: ${OUT}"
+    PAYLOAD_AT[${OFF}]="crash-${cycle}-${i}"
+  done
+}
+
+verify_acked() {
+  for OFF in "${!PAYLOAD_AT[@]}"; do
+    OUT=$("${CLI}" ${FLAGS} read "${OFF}") || fail "read offset ${OFF}"
+    echo "${OUT}" | grep -q "${PAYLOAD_AT[${OFF}]}" \
+      || fail "acked append lost at offset ${OFF}: ${OUT}"
+  done
+}
+
+for CYCLE in 1 2; do
+  append_batch "${CYCLE}" 12
+
+  kill -9 "${DAEMON_PID}" 2>/dev/null
+  wait "${DAEMON_PID}" 2>/dev/null
+  DAEMON_PID=""
+
+  start_daemon
+  OUT=$("${CLI}" ${FLAGS} recover) || fail "recover after kill ${CYCLE}"
+  echo "${OUT}" | grep -q "epoch" || fail "recover output: ${OUT}"
+
+  verify_acked
+done
+
+# The recovered log still accepts new appends at the correct tail.
+append_batch 3 3
+verify_acked
+
+echo "crash_tcp: all $(( ${#PAYLOAD_AT[@]} )) acked appends survived 2x kill -9"
+exit 0

@@ -18,21 +18,14 @@ CorfuCluster::CorfuCluster(tango::Transport* transport, Options options)
   initial.backpointer_count = options_.backpointer_count;
   initial.sequencer = options_.sequencer_node;
 
-  StorageNode::Options storage_options = options_.storage;
-  storage_options.page_size = options_.page_size;
-
   int num_sets = options_.num_storage_nodes / options_.replication_factor;
   for (int set = 0; set < num_sets; ++set) {
     std::vector<NodeId> chain;
     for (int r = 0; r < options_.replication_factor; ++r) {
       NodeId node = options_.storage_base +
                     static_cast<NodeId>(set * options_.replication_factor + r);
-      if (!options_.journal_dir.empty()) {
-        storage_options.journal_path = options_.journal_dir + "/node-" +
-                                       std::to_string(node) + ".journal";
-      }
-      storage_nodes_.push_back(
-          std::make_unique<StorageNode>(transport_, node, storage_options));
+      storage_nodes_.push_back(std::make_unique<StorageNode>(
+          transport_, node, NodeStorageOptions(node)));
       chain.push_back(node);
     }
     initial.replica_sets.push_back(std::move(chain));
@@ -61,29 +54,30 @@ std::unique_ptr<CorfuClient> CorfuCluster::MakeClient(
                                        options_.projection_store_node, options);
 }
 
-void CorfuCluster::SpawnStorageNode(tango::NodeId node) {
+StorageNode::Options CorfuCluster::NodeStorageOptions(tango::NodeId node) const {
   StorageNode::Options storage_options = options_.storage;
   storage_options.page_size = options_.page_size;
-  if (!options_.journal_dir.empty()) {
+  if (!options_.data_dir.empty()) {
+    storage_options.data_dir =
+        options_.data_dir + "/node-" + std::to_string(node);
+  } else if (!options_.journal_dir.empty()) {
     storage_options.journal_path =
         options_.journal_dir + "/node-" + std::to_string(node) + ".journal";
   }
+  return storage_options;
+}
+
+void CorfuCluster::SpawnStorageNode(tango::NodeId node) {
   std::lock_guard<std::mutex> lock(spawn_mu_);
-  storage_nodes_.push_back(
-      std::make_unique<StorageNode>(transport_, node, storage_options));
+  storage_nodes_.push_back(std::make_unique<StorageNode>(
+      transport_, node, NodeStorageOptions(node)));
 }
 
 tango::NodeId CorfuCluster::SpawnSpareStorageNode() {
-  StorageNode::Options storage_options = options_.storage;
-  storage_options.page_size = options_.page_size;
   std::lock_guard<std::mutex> lock(spawn_mu_);
   NodeId node = next_spare_node_++;
-  if (!options_.journal_dir.empty()) {
-    storage_options.journal_path =
-        options_.journal_dir + "/node-" + std::to_string(node) + ".journal";
-  }
-  storage_nodes_.push_back(
-      std::make_unique<StorageNode>(transport_, node, storage_options));
+  storage_nodes_.push_back(std::make_unique<StorageNode>(
+      transport_, node, NodeStorageOptions(node)));
   return node;
 }
 

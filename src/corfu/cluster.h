@@ -37,6 +37,10 @@ class CorfuCluster {
     // <journal_dir>/node-<id>.journal and reloads it on construction, so the
     // whole log survives a full cluster restart.
     std::string journal_dir;
+    // When non-empty, each storage node runs on the durable segment store
+    // rooted at <data_dir>/node-<id> (and journal_dir is ignored).  Tuning
+    // knobs (fsync_batch, segment_bytes, ...) come from `storage`.
+    std::string data_dir;
     // Node-id layout (storage nodes occupy [base, base+n)).
     tango::NodeId storage_base = 100;
     tango::NodeId sequencer_node = 10;
@@ -89,6 +93,10 @@ class CorfuCluster {
   const Options& options() const { return options_; }
 
  private:
+  // Per-node storage options: shared tuning plus the node's journal path or
+  // segment-store directory.
+  StorageNode::Options NodeStorageOptions(tango::NodeId node) const;
+
   tango::Transport* transport_;
   Options options_;
   // Guards node spawns: the HealthMonitor's thread spawns spares and

@@ -566,10 +566,14 @@ Status Reconfigure(CorfuClient* client,
                    const std::function<void(Projection&)>& mutate,
                    uint64_t rebuild_scan_limit) {
   // Rebuild stream state from the log *before* sealing (reads still work
-  // either way, but this keeps the sealed window short).
+  // either way, but this keeps the sealed window short).  A kSealedEpoch
+  // here means the storage is sealed above our (stale or reset) projection
+  // epoch — tolerate it and redo the rebuild once the new projection is
+  // installed and our reads carry a current epoch.
   Result<std::unordered_map<StreamId, StreamTail>> state =
       client->RebuildSequencerState(rebuild_scan_limit);
-  if (!state.ok()) {
+  if (!state.ok() &&
+      state.status().code() != tango::StatusCode::kSealedEpoch) {
     return state.status();
   }
 
@@ -577,6 +581,27 @@ Status Reconfigure(CorfuClient* client,
   Projection next = current;
   mutate(next);
   next.epoch = current.epoch + 1;
+
+  // A durable store's seal records outlive an in-memory projection store:
+  // after a daemon restart the nodes may already be sealed above the epoch
+  // this client believes is current.  Discover the highest sealed epoch so
+  // the new epoch fences it; nodes that cannot answer are left to the seal
+  // round below, which reports the real failure.
+  for (size_t set = 0; set < next.replica_sets.size(); ++set) {
+    for (tango::NodeId node : next.replica_sets[set]) {
+      std::vector<uint8_t> resp;
+      Status st = client->transport()->Call(node, kStorageSealedEpoch, {},
+                                            &resp);
+      if (!st.ok()) {
+        continue;
+      }
+      ByteReader r(resp);
+      Epoch sealed = r.GetU32();
+      if (sealed >= next.epoch) {
+        next.epoch = sealed + 1;
+      }
+    }
+  }
 
   // Seal every storage node at the new epoch, collecting tails.
   LogOffset tail = 0;
@@ -607,11 +632,20 @@ Status Reconfigure(CorfuClient* client,
     return proposed;
   }
 
+  // Redo a rebuild that was fenced by a pre-existing seal, now that the
+  // installed projection gives our reads the sealed epoch.
+  TANGO_RETURN_IF_ERROR(client->RefreshProjection());
+  if (!state.ok()) {
+    state = client->RebuildSequencerState(rebuild_scan_limit);
+    if (!state.ok()) {
+      return state.status();
+    }
+  }
+
   // Bring the (possibly new) sequencer up to speed: sealed tail plus the
   // backpointer state recovered from the log.
-  TANGO_RETURN_IF_ERROR(SequencerBootstrap(client->transport(), next.sequencer,
-                                           next.epoch, tail, *state));
-  return client->RefreshProjection();
+  return SequencerBootstrap(client->transport(), next.sequencer, next.epoch,
+                            tail, *state);
 }
 
 Status ReplaceStorageNode(CorfuClient* client, tango::NodeId failed,

@@ -76,7 +76,12 @@ Status ProjectionStore::HandlePropose(ByteReader& req, ByteWriter& resp) {
     return proposed.status();
   }
   std::lock_guard<std::mutex> lock(mu_);
-  if (proposed->epoch != current_.epoch + 1) {
+  // Any strictly higher epoch wins: racing reconfigurers collide on equal
+  // epochs (second proposer rejected here), and a proposer that jumped
+  // several epochs ahead is legitimate — after a restart the in-memory
+  // store lags the epochs durably sealed into the storage nodes, and the
+  // storage seal (not store contiguity) is what fences stale projections.
+  if (proposed->epoch <= current_.epoch) {
     // Lost the race (or proposer was behind); return the winner so the
     // caller can adopt it.
     current_.Encode(resp);

@@ -77,8 +77,10 @@ class ProjectionStore {
 // Client-side accessors for the store.
 tango::Result<Projection> FetchProjection(tango::Transport* transport,
                                           tango::NodeId store);
-// Proposes `next` (whose epoch must be current+1); fails with
-// kFailedPrecondition if someone else reconfigured first.
+// Proposes `next` (whose epoch must be strictly greater than the store's —
+// usually current+1, but a reconfigurer may jump further after discovering
+// higher durably-sealed epochs); fails with kFailedPrecondition if someone
+// else reconfigured first.
 tango::Status ProposeProjection(tango::Transport* transport,
                                 tango::NodeId store, const Projection& next);
 

@@ -1,10 +1,21 @@
 #include "src/corfu/storage_node.h"
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
+#include <cstring>
 #include <thread>
+
+#include "src/storage/memory_backend.h"
+#include "src/storage/segment_store.h"
+#include "src/util/logging.h"
 
 namespace corfu {
 
+using corfu::storage::MemoryBackend;
+using corfu::storage::SegmentStoreBackend;
+using corfu::storage::SegmentStoreOptions;
 using tango::ByteReader;
 using tango::ByteWriter;
 using tango::NodeId;
@@ -23,6 +34,7 @@ StorageNode::StorageNode(tango::Transport* transport, NodeId node,
   reads_trimmed_ = reg.GetCounter("storage.read.trimmed");
   seals_ = reg.GetCounter("storage.seals");
   trims_ = reg.GetCounter("storage.trims");
+  journal_errors_ = reg.GetCounter("storage.journal.errors");
   batch_size_ = reg.GetHistogram("storage.read_batch.size");
   dispatcher_.Register(kStorageWrite, [this](ByteReader& q, ByteWriter& p) {
     return HandleWrite(q, p);
@@ -48,9 +60,44 @@ StorageNode::StorageNode(tango::Transport* transport, NodeId node,
                        [this](ByteReader& q, ByteWriter& p) {
                          return HandleLocalTail(q, p);
                        });
-  if (!options_.journal_path.empty()) {
-    JournalReplay();
-    journal_ = std::fopen(options_.journal_path.c_str(), "ab");
+  dispatcher_.Register(kStorageSealedEpoch,
+                       [this](ByteReader& q, ByteWriter& p) {
+                         return HandleSealedEpoch(q, p);
+                       });
+
+  if (!options_.data_dir.empty()) {
+    SegmentStoreOptions seg;
+    seg.dir = options_.data_dir;
+    seg.fs = options_.fs;
+    seg.segment_bytes = options_.segment_bytes;
+    seg.fsync_batch = options_.fsync_batch;
+    seg.flush_interval_ms = options_.flush_interval_ms;
+    auto store = SegmentStoreBackend::Open(std::move(seg));
+    TANGO_CHECK(store.ok()) << "node " << node_
+                            << ": cannot open segment store at "
+                            << options_.data_dir << ": "
+                            << store.status().ToString();
+    backend_ = std::move(*store);
+    if (!options_.journal_path.empty()) {
+      TANGO_LOG(kWarning) << "node " << node_
+                          << ": journal_path ignored — the segment store is "
+                             "its own journal";
+    }
+  } else {
+    backend_ = std::make_unique<MemoryBackend>();
+    if (!options_.journal_path.empty()) {
+      JournalReplay();
+      journal_ = std::fopen(options_.journal_path.c_str(), "ab");
+      if (journal_ == nullptr) {
+        // A node that silently loses its journal looks healthy until the
+        // restart that needs it.  Count it and say so.
+        journal_errors_->Add();
+        TANGO_LOG(kWarning) << "node " << node_ << ": cannot open journal "
+                            << options_.journal_path << " ("
+                            << std::strerror(errno)
+                            << "); persistence disabled for this run";
+      }
+    }
   }
   transport_->RegisterNode(node_, dispatcher_.AsHandler());
 }
@@ -60,6 +107,13 @@ StorageNode::~StorageNode() {
   if (journal_ != nullptr) {
     std::fclose(journal_);
   }
+}
+
+std::unique_lock<std::mutex> StorageNode::JournalLock() {
+  if (journal_ == nullptr) {
+    return std::unique_lock<std::mutex>();
+  }
+  return std::unique_lock<std::mutex>(journal_mu_);
 }
 
 bool StorageNode::JournalAppend(JournalOp op, Epoch epoch, LogOffset local,
@@ -76,10 +130,14 @@ bool StorageNode::JournalAppend(JournalOp op, Epoch epoch, LogOffset local,
   } else {
     w.PutU32(0);
   }
-  if (std::fwrite(w.bytes().data(), 1, w.size(), journal_) != w.size()) {
+  if (std::fwrite(w.bytes().data(), 1, w.size(), journal_) != w.size() ||
+      std::fflush(journal_) != 0) {
+    journal_errors_->Add();
+    TANGO_LOG(kWarning) << "node " << node_ << ": journal append failed ("
+                        << std::strerror(errno) << ")";
     return false;
   }
-  return std::fflush(journal_) == 0;
+  return true;
 }
 
 void StorageNode::JournalReplay() {
@@ -88,10 +146,16 @@ void StorageNode::JournalReplay() {
     return;  // fresh node
   }
   // Records are self-framing: fixed 13-byte header + u32-length payload.
+  // `good_end` tracks the end of the last whole record so a torn tail can
+  // be truncated away instead of poisoning the next append.
+  long good_end = 0;
+  bool torn = false;
   while (true) {
     uint8_t header[17];
-    if (std::fread(header, 1, sizeof(header), in) != sizeof(header)) {
-      break;  // EOF or torn tail record: stop replaying
+    size_t got = std::fread(header, 1, sizeof(header), in);
+    if (got != sizeof(header)) {
+      torn = got != 0;
+      break;  // EOF (clean) or torn tail record
     }
     tango::ByteReader r(header, sizeof(header));
     JournalOp op = static_cast<JournalOp>(r.GetU8());
@@ -100,32 +164,41 @@ void StorageNode::JournalReplay() {
     uint32_t len = r.GetU32();
     std::vector<uint8_t> bytes(len);
     if (len > 0 && std::fread(bytes.data(), 1, len, in) != len) {
+      torn = true;
       break;
     }
     switch (op) {
       case kJournalWrite:
-        pages_.emplace(local, std::move(bytes));
-        if (local + 1 > local_tail_) {
-          local_tail_ = local + 1;
-        }
+        (void)backend_->Put(epoch, local, bytes);
         break;
       case kJournalSeal:
-        sealed_epoch_ = std::max(sealed_epoch_, epoch);
+        (void)backend_->Seal(epoch);
         break;
       case kJournalTrim:
-        pages_.erase(local);
-        trimmed_[local] = true;
+        (void)backend_->Trim(epoch, local);
         break;
       case kJournalTrimPrefix:
-        for (LogOffset o = trim_prefix_; o < local; ++o) {
-          pages_.erase(o);
-          trimmed_.erase(o);
-        }
-        trim_prefix_ = std::max(trim_prefix_, local);
+        (void)backend_->TrimPrefix(epoch, local);
         break;
     }
+    good_end = std::ftell(in);
   }
   std::fclose(in);
+  if (torn) {
+    // A crash mid-append leaves a partial record; anything after the last
+    // whole record was never acknowledged.  Truncate so the journal stays
+    // appendable — re-opening "ab" after garbage would corrupt every later
+    // replay.
+    TANGO_LOG(kWarning) << "node " << node_
+                        << ": truncating torn journal tail at byte "
+                        << good_end;
+    if (::truncate(options_.journal_path.c_str(), good_end) != 0) {
+      journal_errors_->Add();
+      TANGO_LOG(kWarning) << "node " << node_
+                          << ": journal truncate failed ("
+                          << std::strerror(errno) << ")";
+    }
+  }
 }
 
 void StorageNode::SimulateMedia(uint32_t latency_us) {
@@ -140,33 +213,21 @@ void StorageNode::SimulateMedia(uint32_t latency_us) {
   }
 }
 
-Status StorageNode::CheckEpoch(Epoch epoch) const {
-  if (epoch < sealed_epoch_) {
-    return Status(StatusCode::kSealedEpoch, "node sealed at higher epoch");
-  }
-  return Status::Ok();
-}
-
 Status StorageNode::WriteLocal(Epoch epoch, LogOffset local,
                                std::vector<uint8_t> bytes) {
   if (bytes.size() > options_.page_size) {
     return Status(StatusCode::kInvalidArgument, "entry exceeds page size");
   }
   SimulateMedia(options_.write_latency_us);
-  std::lock_guard<std::mutex> lock(mu_);
-  TANGO_RETURN_IF_ERROR(CheckEpoch(epoch));
-  if (local < trim_prefix_ || trimmed_.contains(local)) {
-    return Status(StatusCode::kTrimmed);
+  auto lock = JournalLock();
+  Status s = backend_->Put(epoch, local, bytes);
+  if (!s.ok()) {
+    if (s.code() == StatusCode::kWritten) {
+      writes_lost_->Add();
+    }
+    return s;
   }
-  auto [it, inserted] = pages_.emplace(local, std::move(bytes));
-  if (!inserted) {
-    writes_lost_->Add();
-    return Status(StatusCode::kWritten);
-  }
-  if (local + 1 > local_tail_) {
-    local_tail_ = local + 1;
-  }
-  if (!JournalAppend(kJournalWrite, epoch, local, &it->second)) {
+  if (!JournalAppend(kJournalWrite, epoch, local, &bytes)) {
     return Status(StatusCode::kUnavailable, "journal write failed");
   }
   writes_ok_->Add();
@@ -176,19 +237,15 @@ Status StorageNode::WriteLocal(Epoch epoch, LogOffset local,
 Result<std::vector<uint8_t>> StorageNode::ReadLocal(Epoch epoch,
                                                     LogOffset local) {
   SimulateMedia(options_.read_latency_us);
-  std::lock_guard<std::mutex> lock(mu_);
-  TANGO_RETURN_IF_ERROR(CheckEpoch(epoch));
-  if (local < trim_prefix_ || trimmed_.contains(local)) {
+  Result<std::vector<uint8_t>> page = backend_->Get(epoch, local);
+  if (page.ok()) {
+    reads_ok_->Add();
+  } else if (page.status().code() == StatusCode::kTrimmed) {
     reads_trimmed_->Add();
-    return Status(StatusCode::kTrimmed);
-  }
-  auto it = pages_.find(local);
-  if (it == pages_.end()) {
+  } else if (page.status().code() == StatusCode::kUnwritten) {
     reads_unwritten_->Add();
-    return Status(StatusCode::kUnwritten);
   }
-  reads_ok_->Add();
-  return it->second;
+  return page;
 }
 
 Status StorageNode::ReadBatchLocal(
@@ -198,28 +255,20 @@ Status StorageNode::ReadBatchLocal(
   // page, but seek/setup cost and the RPC round trip are amortized.
   SimulateMedia(options_.read_latency_us *
                 static_cast<uint32_t>(locals.size()));
-  std::lock_guard<std::mutex> lock(mu_);
-  TANGO_RETURN_IF_ERROR(CheckEpoch(epoch));
   batch_size_->Record(locals.size());
   pages->clear();
-  pages->reserve(locals.size());
+  TANGO_RETURN_IF_ERROR(backend_->GetBatch(epoch, locals, pages));
   // Tally locally and publish once per batch: per-slot atomic increments
   // would put ~one RMW per log entry on the batched read hot path.
   uint64_t ok = 0, unwritten = 0, trimmed = 0;
-  for (LogOffset local : locals) {
-    if (local < trim_prefix_ || trimmed_.contains(local)) {
+  for (const Result<std::vector<uint8_t>>& page : *pages) {
+    if (page.ok()) {
+      ++ok;
+    } else if (page.status().code() == StatusCode::kTrimmed) {
       ++trimmed;
-      pages->emplace_back(Status(StatusCode::kTrimmed));
-      continue;
-    }
-    auto it = pages_.find(local);
-    if (it == pages_.end()) {
+    } else if (page.status().code() == StatusCode::kUnwritten) {
       ++unwritten;
-      pages->emplace_back(Status(StatusCode::kUnwritten));
-      continue;
     }
-    ++ok;
-    pages->emplace_back(it->second);
   }
   if (trimmed > 0) {
     reads_trimmed_->Add(trimmed);
@@ -234,28 +283,21 @@ Status StorageNode::ReadBatchLocal(
 }
 
 Result<LogOffset> StorageNode::Seal(Epoch epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (epoch <= sealed_epoch_) {
-    return Status(StatusCode::kSealedEpoch, "seal epoch not newer");
+  auto lock = JournalLock();
+  Result<LogOffset> tail = backend_->Seal(epoch);
+  if (!tail.ok()) {
+    return tail;
   }
-  sealed_epoch_ = epoch;
   if (!JournalAppend(kJournalSeal, epoch, 0, nullptr)) {
     return Status(StatusCode::kUnavailable, "journal write failed");
   }
   seals_->Add();
-  return local_tail_;
+  return tail;
 }
 
 Status StorageNode::TrimLocal(Epoch epoch, LogOffset local) {
-  std::lock_guard<std::mutex> lock(mu_);
-  TANGO_RETURN_IF_ERROR(CheckEpoch(epoch));
-  if (local < trim_prefix_) {
-    return Status::Ok();  // already gone
-  }
-  if (pages_.erase(local) > 0) {
-    ++trimmed_count_;
-  }
-  trimmed_[local] = true;
+  auto lock = JournalLock();
+  TANGO_RETURN_IF_ERROR(backend_->Trim(epoch, local));
   trims_->Add();
   if (!JournalAppend(kJournalTrim, epoch, local, nullptr)) {
     return Status(StatusCode::kUnavailable, "journal write failed");
@@ -264,32 +306,18 @@ Status StorageNode::TrimLocal(Epoch epoch, LogOffset local) {
 }
 
 Status StorageNode::TrimPrefixLocal(Epoch epoch, LogOffset local_limit) {
-  std::lock_guard<std::mutex> lock(mu_);
-  TANGO_RETURN_IF_ERROR(CheckEpoch(epoch));
-  if (local_limit <= trim_prefix_) {
-    return Status::Ok();
-  }
-  for (LogOffset o = trim_prefix_; o < local_limit; ++o) {
-    if (pages_.erase(o) > 0) {
-      ++trimmed_count_;
-    }
-    trimmed_.erase(o);
-  }
-  trim_prefix_ = local_limit;
+  auto lock = JournalLock();
+  TANGO_RETURN_IF_ERROR(backend_->TrimPrefix(epoch, local_limit));
   if (!JournalAppend(kJournalTrimPrefix, epoch, local_limit, nullptr)) {
     return Status(StatusCode::kUnavailable, "journal write failed");
   }
   return Status::Ok();
 }
 
-size_t StorageNode::PageCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return pages_.size();
-}
+size_t StorageNode::PageCount() const { return backend_->PageCount(); }
 
 uint64_t StorageNode::trimmed_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return trimmed_count_;
+  return backend_->trimmed_count();
 }
 
 Status StorageNode::HandleWrite(ByteReader& req, ByteWriter& /*resp*/) {
@@ -365,9 +393,16 @@ Status StorageNode::HandleTrimPrefix(ByteReader& req, ByteWriter& /*resp*/) {
 
 Status StorageNode::HandleLocalTail(ByteReader& req, ByteWriter& resp) {
   Epoch epoch = req.GetU32();
-  std::lock_guard<std::mutex> lock(mu_);
-  TANGO_RETURN_IF_ERROR(CheckEpoch(epoch));
-  resp.PutU64(local_tail_);
+  Result<LogOffset> tail = backend_->LocalTail(epoch);
+  if (!tail.ok()) {
+    return tail.status();
+  }
+  resp.PutU64(*tail);
+  return Status::Ok();
+}
+
+Status StorageNode::HandleSealedEpoch(ByteReader& /*req*/, ByteWriter& resp) {
+  resp.PutU32(backend_->sealed_epoch());
   return Status::Ok();
 }
 

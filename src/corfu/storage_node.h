@@ -10,20 +10,28 @@
 // makes it reject any request carrying an older epoch with kSealedEpoch,
 // which is the mechanism reconfiguration uses to fence lagging clients and
 // retired sequencers.
+//
+// The node itself is a protocol shell: wire handling, media simulation and
+// metrics live here, while the write-once page state lives behind a
+// storage::StorageBackend.  The default engine is the in-memory map
+// (optionally paired with the legacy record journal); setting `data_dir`
+// selects the durable SegmentStoreBackend instead.
 
 #ifndef SRC_CORFU_STORAGE_NODE_H_
 #define SRC_CORFU_STORAGE_NODE_H_
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/corfu/types.h"
 #include "src/net/transport.h"
 #include "src/obs/metrics.h"
+#include "src/storage/backend.h"
+#include "src/storage/fault_fs.h"
 #include "src/util/status.h"
 
 namespace corfu {
@@ -41,10 +49,21 @@ class StorageNode {
     // modeling a single-channel device.  When false, latency only delays
     // callers (infinite parallelism).
     bool serialize_media_access = true;
-    // When non-empty, pages/seals/trims are journaled to this file
-    // (append-only, like the flash the paper runs on) and reloaded on
-    // construction, so a storage node survives process restarts.
+    // Legacy journal (in-memory engine only): when non-empty,
+    // pages/seals/trims are journaled to this file (append-only, like the
+    // flash the paper runs on) and reloaded on construction, so a storage
+    // node survives process restarts.
     std::string journal_path;
+    // When non-empty, the node runs on the durable SegmentStoreBackend
+    // rooted at this directory (and journal_path is ignored).
+    std::string data_dir;
+    // Segment-engine tuning; see storage::SegmentStoreOptions.
+    uint64_t segment_bytes = 8ull << 20;
+    uint32_t fsync_batch = 64;
+    uint32_t flush_interval_ms = 20;
+    // File abstraction for the segment engine; nullptr = real POSIX.
+    // Tests inject faults here.
+    corfu::storage::FileSystem* fs = nullptr;
   };
 
   StorageNode(tango::Transport* transport, tango::NodeId node, Options options);
@@ -54,6 +73,8 @@ class StorageNode {
   StorageNode& operator=(const StorageNode&) = delete;
 
   tango::NodeId node() const { return node_; }
+  // The persistence engine under this node.
+  corfu::storage::StorageBackend* backend() { return backend_.get(); }
 
   // Direct (non-RPC) accessors used by tests.
   tango::Status WriteLocal(Epoch epoch, LogOffset local,
@@ -87,12 +108,18 @@ class StorageNode {
                                  tango::ByteWriter& resp);
   tango::Status HandleLocalTail(tango::ByteReader& req,
                                 tango::ByteWriter& resp);
+  tango::Status HandleSealedEpoch(tango::ByteReader& req,
+                                  tango::ByteWriter& resp);
 
-  tango::Status CheckEpoch(Epoch epoch) const;  // caller holds mu_
   void SimulateMedia(uint32_t latency_us);
 
-  // Journal records (caller holds mu_).  Best-effort: journaling failures
-  // surface as kUnavailable on the triggering operation.
+  // Holds journal_mu_ for the scope of a mutation iff the legacy journal is
+  // enabled, so journal record order matches backend commit order.
+  std::unique_lock<std::mutex> JournalLock();
+
+  // Journal records (caller holds journal_mu_ via JournalLock).  Journaling
+  // failures are counted (storage.journal.errors), logged at warning level,
+  // and surface as kUnavailable on the triggering operation.
   enum JournalOp : uint8_t {
     kJournalWrite = 1,
     kJournalSeal = 2,
@@ -108,15 +135,12 @@ class StorageNode {
   Options options_;
   std::mutex media_mu_;  // serializes simulated device access
 
-  mutable std::mutex mu_;
-  Epoch sealed_epoch_ = 0;
-  std::unordered_map<LogOffset, std::vector<uint8_t>> pages_;
-  // Offsets below this are trimmed wholesale (prefix trim).
-  LogOffset trim_prefix_ = 0;
-  // Individually trimmed offsets at or above trim_prefix_.
-  std::unordered_map<LogOffset, bool> trimmed_;
-  LogOffset local_tail_ = 0;  // one past the highest written local offset
-  uint64_t trimmed_count_ = 0;
+  std::unique_ptr<corfu::storage::StorageBackend> backend_;
+
+  // Legacy journal (memory engine only).  journal_mu_ orders backend
+  // mutations with their journal records; it is never taken when the
+  // journal is off, so the durable engine's group commit stays concurrent.
+  std::mutex journal_mu_;
   std::FILE* journal_ = nullptr;
 
   // Registry instruments (shared across all storage nodes in the process).
@@ -127,6 +151,7 @@ class StorageNode {
   tango::obs::Counter* reads_trimmed_;
   tango::obs::Counter* seals_;
   tango::obs::Counter* trims_;
+  tango::obs::Counter* journal_errors_;
   tango::obs::Histogram* batch_size_;
 
   tango::RpcDispatcher dispatcher_;

@@ -50,6 +50,11 @@ enum RpcMethod : uint16_t {
   // round trip.  A stale epoch fails the whole batch with kSealedEpoch;
   // per-offset failures (unwritten, trimmed) never do.
   kStorageReadBatch = 0x0106,
+  // Epoch discovery: returns the node's current sealed epoch (no epoch
+  // check — this is how a reconfiguring client with a stale or reset
+  // projection learns what epoch it must seal above, e.g. after a restart
+  // on a durable store whose seal records outlive the projection store).
+  kStorageSealedEpoch = 0x0107,
 
   // Sequencer
   kSequencerNext = 0x0200,

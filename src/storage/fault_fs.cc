@@ -1,0 +1,259 @@
+#include "src/storage/fault_fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <algorithm>
+
+namespace corfu::storage {
+
+using tango::Result;
+using tango::Status;
+using tango::StatusCode;
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status(StatusCode::kUnavailable,
+                std::string(what) + ": " + std::strerror(errno));
+}
+
+class PosixFile : public File {
+ public:
+  explicit PosixFile(int fd) : fd_(fd) {}
+  ~PosixFile() override { ::close(fd_); }
+
+  Result<size_t> Append(std::span<const uint8_t> bytes) override {
+    ssize_t n = ::write(fd_, bytes.data(), bytes.size());
+    if (n < 0) {
+      return Errno("write");
+    }
+    return static_cast<size_t>(n);
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Errno("fsync");
+    }
+    return Status::Ok();
+  }
+
+  Result<size_t> ReadAt(uint64_t offset, std::span<uint8_t> out) override {
+    size_t done = 0;
+    while (done < out.size()) {
+      ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
+                          static_cast<off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return Errno("pread");
+      }
+      if (n == 0) {
+        break;  // EOF
+      }
+      done += static_cast<size_t>(n);
+    }
+    return done;
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Errno("ftruncate");
+    }
+    // O_APPEND keeps subsequent writes at the (new) end of file.
+    return Status::Ok();
+  }
+
+  Result<uint64_t> Size() override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      return Errno("fstat");
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+ private:
+  int fd_;
+};
+
+class PosixFs : public FileSystem {
+ public:
+  Result<std::unique_ptr<File>> Open(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) {
+      return Errno("open");
+    }
+    return std::unique_ptr<File>(new PosixFile(fd));
+  }
+
+  Result<std::vector<std::string>> List(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+      return Errno("opendir");
+    }
+    std::vector<std::string> names;
+    while (struct dirent* e = ::readdir(d)) {
+      std::string name = e->d_name;
+      if (name != "." && name != "..") {
+        names.push_back(std::move(name));
+      }
+    }
+    ::closedir(d);
+    return names;
+  }
+
+  Status Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return Errno("unlink");
+    }
+    return Status::Ok();
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir");
+    }
+    return Status::Ok();
+  }
+
+  bool Exists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+};
+
+}  // namespace
+
+// Namespace-scope (not anonymous) so FaultInjectingFs can befriend it.
+class FaultInjectingFile : public File {
+ public:
+  FaultInjectingFile(FaultInjectingFs* fs, std::unique_ptr<File> base)
+      : fs_(fs), base_(std::move(base)) {}
+
+  Result<size_t> Append(std::span<const uint8_t> bytes) override {
+    size_t allowed = bytes.size();
+    {
+      std::lock_guard<std::mutex> lock(fs_->mu_);
+      if (fs_->plan_.capacity_bytes > 0) {
+        uint64_t remaining =
+            fs_->plan_.capacity_bytes > fs_->bytes_written_
+                ? fs_->plan_.capacity_bytes - fs_->bytes_written_
+                : 0;
+        if (remaining == 0) {
+          fs_->enospc_failures_.fetch_add(1);
+          return Status(StatusCode::kUnavailable, "injected ENOSPC");
+        }
+        allowed = static_cast<size_t>(
+            std::min<uint64_t>(allowed, remaining));
+      }
+      if (allowed > 1 && fs_->rng_.NextBool(fs_->plan_.short_write_prob)) {
+        // A strict prefix, like write(2) under memory pressure or a signal.
+        allowed = 1 + static_cast<size_t>(fs_->rng_.NextBelow(allowed - 1));
+        fs_->short_writes_.fetch_add(1);
+      }
+    }
+    Result<size_t> written = base_->Append(bytes.subspan(0, allowed));
+    if (written.ok()) {
+      std::lock_guard<std::mutex> lock(fs_->mu_);
+      fs_->bytes_written_ += *written;
+    }
+    return written;
+  }
+
+  Status Sync() override {
+    {
+      std::lock_guard<std::mutex> lock(fs_->mu_);
+      if (fs_->rng_.NextBool(fs_->plan_.sync_fail_prob)) {
+        fs_->sync_failures_.fetch_add(1);
+        return Status(StatusCode::kUnavailable, "injected fsync failure");
+      }
+    }
+    return base_->Sync();
+  }
+
+  Result<size_t> ReadAt(uint64_t offset, std::span<uint8_t> out) override {
+    return base_->ReadAt(offset, out);
+  }
+
+  Status Truncate(uint64_t size) override { return base_->Truncate(size); }
+
+  Result<uint64_t> Size() override { return base_->Size(); }
+
+ private:
+  FaultInjectingFs* fs_;
+  std::unique_ptr<File> base_;
+};
+
+FileSystem* PosixFileSystem() {
+  static PosixFs fs;
+  return &fs;
+}
+
+FaultInjectingFs::FaultInjectingFs(FileSystem* base, FaultPlan plan)
+    : base_(base), plan_(plan), rng_(plan.seed) {}
+
+Result<std::unique_ptr<File>> FaultInjectingFs::Open(const std::string& path) {
+  auto base = base_->Open(path);
+  if (!base.ok()) {
+    return base.status();
+  }
+  return std::unique_ptr<File>(
+      new FaultInjectingFile(this, std::move(*base)));
+}
+
+Result<std::vector<std::string>> FaultInjectingFs::List(
+    const std::string& dir) {
+  return base_->List(dir);
+}
+
+Status FaultInjectingFs::Remove(const std::string& path) {
+  return base_->Remove(path);
+}
+
+Status FaultInjectingFs::CreateDir(const std::string& path) {
+  return base_->CreateDir(path);
+}
+
+bool FaultInjectingFs::Exists(const std::string& path) {
+  return base_->Exists(path);
+}
+
+Status TearFileTail(const std::string& path, uint64_t bytes) {
+  auto file = PosixFileSystem()->Open(path);
+  if (!file.ok()) {
+    return file.status();
+  }
+  auto size = (*file)->Size();
+  if (!size.ok()) {
+    return size.status();
+  }
+  uint64_t keep = *size > bytes ? *size - bytes : 0;
+  return (*file)->Truncate(keep);
+}
+
+Status FlipFileBit(const std::string& path, uint64_t byte_offset, int bit) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Errno("open");
+  }
+  uint8_t b = 0;
+  if (::pread(fd, &b, 1, static_cast<off_t>(byte_offset)) != 1) {
+    ::close(fd);
+    return Status(StatusCode::kInvalidArgument, "flip offset out of range");
+  }
+  b ^= static_cast<uint8_t>(1u << bit);
+  if (::pwrite(fd, &b, 1, static_cast<off_t>(byte_offset)) != 1) {
+    ::close(fd);
+    return Errno("pwrite");
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+}  // namespace corfu::storage

@@ -1,0 +1,120 @@
+// Pluggable file abstraction for the segment store, with fault injection.
+//
+// The durable backend never touches POSIX directly: it goes through a
+// FileSystem, so tests can interpose a FaultInjectingFs that injects short
+// writes, fsync failures and ENOSPC deterministically by seed, plus
+// post-crash corruption helpers (torn tails, bit flips) that operate on the
+// real files between a simulated crash and the restart.  This is how the
+// recovery suite drives the storage engine through every failure mode a
+// disk can produce without needing a failing disk.
+
+#ifndef SRC_STORAGE_FAULT_FS_H_
+#define SRC_STORAGE_FAULT_FS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace corfu::storage {
+
+// An append-only-writable, random-readable file.  One writer at a time; the
+// segment store serializes writes itself.
+class File {
+ public:
+  virtual ~File() = default;
+
+  // Appends at the current end of file.  May write fewer bytes than asked
+  // (a short write, as write(2) is allowed to); returns the number written.
+  virtual tango::Result<size_t> Append(std::span<const uint8_t> bytes) = 0;
+
+  // Durability barrier (fsync).
+  virtual tango::Status Sync() = 0;
+
+  // Reads up to out.size() bytes at `offset`; returns the number read (short
+  // at EOF).
+  virtual tango::Result<size_t> ReadAt(uint64_t offset,
+                                       std::span<uint8_t> out) = 0;
+
+  // Truncates to `size` bytes; subsequent Appends continue from there.
+  virtual tango::Status Truncate(uint64_t size) = 0;
+
+  virtual tango::Result<uint64_t> Size() = 0;
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  // Opens for append+read, creating if absent.
+  virtual tango::Result<std::unique_ptr<File>> Open(const std::string& path) = 0;
+  // File names (not paths) in `dir`, unsorted.  Missing dir is an error.
+  virtual tango::Result<std::vector<std::string>> List(
+      const std::string& dir) = 0;
+  virtual tango::Status Remove(const std::string& path) = 0;
+  virtual tango::Status CreateDir(const std::string& path) = 0;
+  virtual bool Exists(const std::string& path) = 0;
+};
+
+// The real thing.  Process-wide singleton; stateless.
+FileSystem* PosixFileSystem();
+
+// Knobs for FaultInjectingFs.  All probabilities in [0, 1]; draws come from
+// one seeded Rng so a (plan, op sequence) pair replays identically.
+struct FaultPlan {
+  uint64_t seed = 1;
+  double short_write_prob = 0;   // Append writes a random strict prefix
+  double sync_fail_prob = 0;     // Sync returns kUnavailable
+  // Total bytes the fs will accept across all files before injecting
+  // ENOSPC-style failures; 0 = unlimited.
+  uint64_t capacity_bytes = 0;
+};
+
+// Wraps a base FileSystem and injects faults per the plan.  Thread-safe.
+class FaultInjectingFs : public FileSystem {
+ public:
+  FaultInjectingFs(FileSystem* base, FaultPlan plan);
+
+  tango::Result<std::unique_ptr<File>> Open(const std::string& path) override;
+  tango::Result<std::vector<std::string>> List(const std::string& dir) override;
+  tango::Status Remove(const std::string& path) override;
+  tango::Status CreateDir(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+
+  uint64_t short_writes() const { return short_writes_.load(); }
+  uint64_t sync_failures() const { return sync_failures_.load(); }
+  uint64_t enospc_failures() const { return enospc_failures_.load(); }
+
+ private:
+  friend class FaultInjectingFile;
+
+  FileSystem* base_;
+  FaultPlan plan_;
+  std::mutex mu_;  // guards rng_ and bytes_written_
+  tango::Rng rng_;
+  uint64_t bytes_written_ = 0;
+  std::atomic<uint64_t> short_writes_{0};
+  std::atomic<uint64_t> sync_failures_{0};
+  std::atomic<uint64_t> enospc_failures_{0};
+};
+
+// Post-crash corruption helpers (deterministic given their arguments).
+// These act on real files through PosixFileSystem, simulating what a torn
+// or bit-rotted tail looks like after power loss.
+
+// Chops `bytes` off the end of `path`.
+tango::Status TearFileTail(const std::string& path, uint64_t bytes);
+
+// Flips bit `bit` (0-7) of the byte at `byte_offset` in `path`.
+tango::Status FlipFileBit(const std::string& path, uint64_t byte_offset,
+                          int bit);
+
+}  // namespace corfu::storage
+
+#endif  // SRC_STORAGE_FAULT_FS_H_

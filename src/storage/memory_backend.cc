@@ -1,0 +1,128 @@
+#include "src/storage/memory_backend.h"
+
+namespace corfu::storage {
+
+using tango::Result;
+using tango::Status;
+using tango::StatusCode;
+
+Status MemoryBackend::CheckEpochLocked(Epoch epoch) const {
+  if (epoch < sealed_epoch_) {
+    return Status(StatusCode::kSealedEpoch, "node sealed at higher epoch");
+  }
+  return Status::Ok();
+}
+
+Status MemoryBackend::Put(Epoch epoch, LogOffset local,
+                          std::span<const uint8_t> bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TANGO_RETURN_IF_ERROR(CheckEpochLocked(epoch));
+  if (local < trim_prefix_ || trimmed_.contains(local)) {
+    return Status(StatusCode::kTrimmed);
+  }
+  auto [it, inserted] =
+      pages_.emplace(local, std::vector<uint8_t>(bytes.begin(), bytes.end()));
+  (void)it;
+  if (!inserted) {
+    return Status(StatusCode::kWritten);
+  }
+  if (local + 1 > local_tail_) {
+    local_tail_ = local + 1;
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> MemoryBackend::Get(Epoch epoch, LogOffset local) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TANGO_RETURN_IF_ERROR(CheckEpochLocked(epoch));
+  if (local < trim_prefix_ || trimmed_.contains(local)) {
+    return Status(StatusCode::kTrimmed);
+  }
+  auto it = pages_.find(local);
+  if (it == pages_.end()) {
+    return Status(StatusCode::kUnwritten);
+  }
+  return it->second;
+}
+
+Status MemoryBackend::GetBatch(
+    Epoch epoch, const std::vector<LogOffset>& locals,
+    std::vector<Result<std::vector<uint8_t>>>* pages) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TANGO_RETURN_IF_ERROR(CheckEpochLocked(epoch));
+  pages->reserve(pages->size() + locals.size());
+  for (LogOffset local : locals) {
+    if (local < trim_prefix_ || trimmed_.contains(local)) {
+      pages->emplace_back(Status(StatusCode::kTrimmed));
+      continue;
+    }
+    auto it = pages_.find(local);
+    if (it == pages_.end()) {
+      pages->emplace_back(Status(StatusCode::kUnwritten));
+      continue;
+    }
+    pages->emplace_back(it->second);
+  }
+  return Status::Ok();
+}
+
+Result<LogOffset> MemoryBackend::Seal(Epoch epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch <= sealed_epoch_) {
+    return Status(StatusCode::kSealedEpoch, "seal epoch not newer");
+  }
+  sealed_epoch_ = epoch;
+  return local_tail_;
+}
+
+Status MemoryBackend::Trim(Epoch epoch, LogOffset local) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TANGO_RETURN_IF_ERROR(CheckEpochLocked(epoch));
+  if (local < trim_prefix_) {
+    return Status::Ok();  // already gone
+  }
+  if (pages_.erase(local) > 0) {
+    ++trimmed_count_;
+  }
+  trimmed_[local] = true;
+  return Status::Ok();
+}
+
+Status MemoryBackend::TrimPrefix(Epoch epoch, LogOffset limit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TANGO_RETURN_IF_ERROR(CheckEpochLocked(epoch));
+  if (limit <= trim_prefix_) {
+    return Status::Ok();
+  }
+  for (LogOffset o = trim_prefix_; o < limit; ++o) {
+    if (pages_.erase(o) > 0) {
+      ++trimmed_count_;
+    }
+    trimmed_.erase(o);
+  }
+  trim_prefix_ = limit;
+  return Status::Ok();
+}
+
+Result<LogOffset> MemoryBackend::LocalTail(Epoch epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TANGO_RETURN_IF_ERROR(CheckEpochLocked(epoch));
+  return local_tail_;
+}
+
+Epoch MemoryBackend::sealed_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sealed_epoch_;
+}
+
+size_t MemoryBackend::PageCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.size();
+}
+
+uint64_t MemoryBackend::trimmed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trimmed_count_;
+}
+
+}  // namespace corfu::storage

@@ -1,0 +1,59 @@
+#include "src/util/crc32c.h"
+
+namespace tango {
+namespace {
+
+// Four 256-entry tables for slicing-by-4, generated once at startup from the
+// reflected Castagnoli polynomial.
+struct Crc32cTables {
+  uint32_t t[4][256];
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int b = 0; b < 8; ++b) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xff];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xff];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xff];
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t len) {
+  const Crc32cTables& tb = Tables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  while (len > 0 && (reinterpret_cast<uintptr_t>(p) & 3) != 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xff];
+    --len;
+  }
+  while (len >= 4) {
+    uint32_t w;
+    __builtin_memcpy(&w, p, 4);
+    crc ^= w;  // little-endian assumed, as everywhere in this codebase
+    crc = tb.t[3][crc & 0xff] ^ tb.t[2][(crc >> 8) & 0xff] ^
+          tb.t[1][(crc >> 16) & 0xff] ^ tb.t[0][(crc >> 24) & 0xff];
+    p += 4;
+    len -= 4;
+  }
+  while (len > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xff];
+    --len;
+  }
+  return ~crc;
+}
+
+}  // namespace tango

@@ -93,16 +93,25 @@ TEST(ProjectionStoreTest, ProposeAdvancesEpoch) {
   EXPECT_EQ(fetched->sequencer, 99u);
 }
 
-TEST(ProjectionStoreTest, CasRejectsWrongEpoch) {
+TEST(ProjectionStoreTest, CasRejectsStaleEpochAllowsSkips) {
   tango::InProcTransport transport;
   ProjectionStore store(&transport, 50, MakeProjection(2, 2));
-  Projection skip = MakeProjection(2, 2);
-  skip.epoch = 5;  // not current + 1
-  EXPECT_EQ(ProposeProjection(&transport, 50, skip).code(),
-            StatusCode::kFailedPrecondition);
   Projection stale = MakeProjection(2, 2);
-  stale.epoch = 0;
+  stale.epoch = 0;  // not greater than current
   EXPECT_EQ(ProposeProjection(&transport, 50, stale).code(),
+            StatusCode::kFailedPrecondition);
+  // Epoch skips are legal: a reconfigurer that discovered higher durably
+  // sealed epochs (daemon restart on a segment store) jumps past them.
+  Projection skip = MakeProjection(2, 2);
+  skip.epoch = 5;
+  EXPECT_TRUE(ProposeProjection(&transport, 50, skip).ok());
+  auto fetched = FetchProjection(&transport, 50);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->epoch, 5u);
+  // A second proposer at the same (now stale) epoch loses the race.
+  Projection tie = MakeProjection(2, 2);
+  tie.epoch = 5;
+  EXPECT_EQ(ProposeProjection(&transport, 50, tie).code(),
             StatusCode::kFailedPrecondition);
 }
 

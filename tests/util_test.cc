@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/util/crc32c.h"
 #include "src/util/histogram.h"
 #include "src/util/random.h"
 #include "src/util/retry.h"
@@ -95,6 +96,29 @@ TEST(SerializeTest, LittleEndianLayout) {
   w.PutU32(0x01020304);
   EXPECT_EQ(w.bytes()[0], 0x04);
   EXPECT_EQ(w.bytes()[3], 0x01);
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vectors for CRC32C (Castagnoli).
+  EXPECT_EQ(tango::Crc32c(nullptr, 0), 0x00000000u);
+  const char* check = "123456789";
+  EXPECT_EQ(tango::Crc32c(check, 9), 0xE3069283u);
+  std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(tango::Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  std::vector<uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(tango::Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, ExtendIsIncremental) {
+  const char* data = "hello, crc world";
+  uint32_t whole = tango::Crc32c(data, 16);
+  uint32_t part = tango::Crc32cExtend(0, data, 7);
+  part = tango::Crc32cExtend(part, data + 7, 9);
+  EXPECT_EQ(part, whole);
+  // Any flipped bit changes the sum.
+  std::string copy(data, 16);
+  copy[5] ^= 0x10;
+  EXPECT_NE(tango::Crc32c(copy.data(), copy.size()), whole);
 }
 
 TEST(SerializeTest, OverrunMarksFailed) {

@@ -9,11 +9,15 @@
 //
 // Usage:
 //   tango_logd [--base-port=19700] [--nodes=6] [--repl=2]
-//              [--journal-dir=/var/lib/tango] [--listen=127.0.0.1]
+//              [--journal-dir=/var/lib/tango] [--data-dir=/var/lib/tango]
+//              [--fsync-batch=64] [--listen=127.0.0.1]
 //
 // With --journal-dir, storage nodes persist their pages and survive daemon
 // restarts (restart with the same flags, then run `tango_cli recover` once
-// to rebuild the fresh sequencer's state from the log).
+// to rebuild the fresh sequencer's state from the log).  --data-dir selects
+// the crash-consistent segment store instead (checksummed segment files
+// under <data-dir>/node-<id>, kill -9 safe); --fsync-batch tunes its group
+// commit (1 = fsync every append).
 
 #include <csignal>
 #include <cstdio>
@@ -43,6 +47,8 @@ int main(int argc, char** argv) {
       static_cast<uint16_t>(args.GetInt("base-port", 19700))};
   int replication = static_cast<int>(args.GetInt("repl", 2));
   std::string journal_dir = args.Get("journal-dir", "");
+  std::string data_dir = args.Get("data-dir", "");
+  uint32_t fsync_batch = static_cast<uint32_t>(args.GetInt("fsync-batch", 64));
   std::string listen = args.Get("listen", "127.0.0.1");
 
   tango::TcpTransport transport;
@@ -51,6 +57,12 @@ int main(int argc, char** argv) {
 
   corfu::CorfuCluster::Options options = layout.ClusterOptions(replication);
   options.journal_dir = journal_dir;
+  if (!data_dir.empty()) {
+    // Each node roots its segment store under here; create the parent now.
+    (void)corfu::storage::PosixFileSystem()->CreateDir(data_dir);
+    options.data_dir = data_dir;
+    options.storage.fsync_batch = fsync_batch;
+  }
   corfu::CorfuCluster cluster(&transport, options);
 
   // Metrics/trace inspector endpoint: `tango_stat --connect=HOST` attaches
@@ -63,7 +75,11 @@ int main(int argc, char** argv) {
       layout.num_storage_nodes, replication, listen.c_str(),
       layout.ProjectionStorePort(),
       layout.StoragePort(layout.num_storage_nodes - 1),
-      journal_dir.empty() ? "" : (", journaling to " + journal_dir).c_str());
+      !data_dir.empty()
+          ? (", durable segment store in " + data_dir).c_str()
+          : (journal_dir.empty()
+                 ? ""
+                 : (", journaling to " + journal_dir).c_str()));
   std::printf("tango_logd: stats endpoint (tango_stat --connect) on port %u\n",
               layout.StatsPort());
   std::printf("tango_logd: ready\n");
