@@ -10,10 +10,14 @@
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <sys/utsname.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <functional>
 #include <memory>
 #include <string>
@@ -214,6 +218,48 @@ inline std::string Fmt(double v, int precision = 1) {
 inline void WriteMetricsField(FILE* f, const char* indent = "  ") {
   std::fprintf(f, "%s\"metrics\": %s,\n", indent,
                tango::obs::MetricsRegistry::Default().RenderJson().c_str());
+}
+
+// Writes a `"run_info": {...},` provenance stamp — git SHA, UTC timestamp,
+// host and kernel — so a BENCH_*.json pulled out of a results directory
+// months later still says what produced it.  Every field degrades to
+// "unknown" rather than failing the bench (e.g. a tarball checkout has no
+// git).
+inline void WriteRunInfoField(FILE* f, const char* indent = "  ") {
+  std::string sha = "unknown";
+  if (FILE* git = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[64] = {0};
+    if (std::fgets(buf, sizeof(buf), git) != nullptr) {
+      sha.assign(buf);
+      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+        sha.pop_back();
+      }
+      if (sha.empty()) {
+        sha = "unknown";
+      }
+    }
+    ::pclose(git);
+  }
+
+  char when[32] = "unknown";
+  std::time_t now = std::time(nullptr);
+  if (std::tm* utc = std::gmtime(&now)) {
+    std::strftime(when, sizeof(when), "%Y-%m-%dT%H:%M:%SZ", utc);
+  }
+
+  char host[256] = "unknown";
+  (void)::gethostname(host, sizeof(host) - 1);
+
+  std::string kernel = "unknown";
+  utsname un{};
+  if (::uname(&un) == 0) {
+    kernel = std::string(un.sysname) + " " + un.release + " " + un.machine;
+  }
+
+  std::fprintf(f,
+               "%s\"run_info\": {\"git_sha\": \"%s\", \"utc_time\": \"%s\", "
+               "\"host\": \"%s\", \"kernel\": \"%s\"},\n",
+               indent, sha.c_str(), when, host, kernel.c_str());
 }
 
 // The periodic stats-dump hook: with --stats-dump-ms=N a background thread

@@ -162,6 +162,7 @@ void Run(const Flags& flags) {
     std::fprintf(f,
                  "{\n  \"bench\": \"fig_appendpath\",\n  \"appends\": %d,\n",
                  appends);
+    WriteRunInfoField(f);
     WriteMetricsField(f);
     std::fprintf(f, "  \"cells\": [\n");
     for (size_t i = 0; i < cells.size(); ++i) {

@@ -221,6 +221,7 @@ void Run(const Flags& flags) {
                  entries, num_objects,
                  static_cast<unsigned long long>(apply_us),
                  spin ? "spin" : "sleep", speedup);
+    WriteRunInfoField(f);
     WriteMetricsField(f);
     std::fprintf(f, "  \"cells\": [\n");
     for (size_t i = 0; i < cells.size(); ++i) {

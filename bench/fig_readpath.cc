@@ -231,6 +231,7 @@ void Run(const Flags& flags) {
                  "\"disabled_entries_per_sec\": %.1f, \"overhead_pct\": "
                  "%.2f},\n",
                  obs.enabled_eps, obs.disabled_eps, obs.overhead_pct);
+    WriteRunInfoField(f);
     WriteMetricsField(f);
     std::fprintf(f, "  \"cells\": [\n");
     for (size_t i = 0; i < cells.size(); ++i) {

@@ -129,6 +129,7 @@ void Run(const Flags& flags) {
                  "{\n  \"bench\": \"fig_storage\",\n  \"threads\": %d,\n"
                  "  \"duration_ms\": %d,\n  \"payload_bytes\": %d,\n",
                  threads, duration_ms, payload_bytes);
+    WriteRunInfoField(f);
     WriteMetricsField(f);
     std::fprintf(f, "  \"cells\": [\n");
     for (size_t i = 0; i < cells.size(); ++i) {

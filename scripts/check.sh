@@ -18,12 +18,13 @@ ctest --test-dir "$ROOT/build-asan" --output-on-failure -j "$JOBS"
 
 echo "== tier-3: TSan on the concurrency-heavy suites =="
 # The full TSan ctest runs in its own CI job; locally we gate on the suites
-# that exercise the parallel playback engine and the shared executor.
+# that exercise the parallel playback engine, the shared executor, and the
+# per-thread trace/flight rings under concurrent multiplexed RPC.
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DCMAKE_BUILD_TYPE=Tsan
 cmake --build "$ROOT/build-tsan" -j "$JOBS" \
-  --target playback_test util_test runtime_test txn_test
+  --target playback_test util_test runtime_test txn_test obs_test
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" ctest \
   --test-dir "$ROOT/build-tsan" --output-on-failure -j "$JOBS" \
-  -R '^(playback_test|util_test|runtime_test|txn_test)$'
+  -R '^(playback_test|util_test|runtime_test|txn_test|obs_test)$'
 
 echo "check.sh: all green"

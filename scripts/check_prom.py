@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text-exposition payload (the /metrics endpoint).
+
+Usage: check_prom.py FILE [--require-metric NAME ...]
+
+Checks, line by line:
+  * comment lines are `# HELP`, `# TYPE`, or exemplar-free chatter;
+  * every `# TYPE` names a metric and one of counter/gauge/histogram/summary/
+    untyped, and no metric is TYPEd twice;
+  * every sample line parses as  name{labels} value [# {exemplar} value];
+  * metric and label names match the Prometheus grammar;
+  * histogram `le` buckets are cumulative (non-decreasing) and end with +Inf,
+    and the +Inf bucket equals the histogram's `_count`;
+  * sample values parse as floats (NaN/+Inf/-Inf allowed).
+
+Exits nonzero with a line-numbered message on the first violation, so a CI
+scrape failure says exactly what the daemon emitted wrong.
+"""
+
+import math
+import re
+import sys
+
+METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name{labels} value [# {exemplar-labels} value [timestamp]]
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)"
+    r"(?P<exemplar> # \{[^}]*\} \S+( \S+)?)?$"
+)
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_value(raw):
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    return float(raw)  # raises on garbage; NaN parses
+
+
+def parse_labels(raw):
+    labels = {}
+    if not raw:
+        return labels
+    for part in raw.split(","):
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(f"label without '=': {part!r}")
+        key, val = part.split("=", 1)
+        if not LABEL_RE.match(key):
+            raise ValueError(f"bad label name: {key!r}")
+        if len(val) < 2 or val[0] != '"' or val[-1] != '"':
+            raise ValueError(f"unquoted label value: {val!r}")
+        labels[key] = val[1:-1]
+    return labels
+
+
+def main():
+    args = sys.argv[1:]
+    if not args:
+        sys.exit("usage: check_prom.py FILE [--require-metric NAME ...]")
+    path = args[0]
+    required = set()
+    i = 1
+    while i < len(args):
+        if args[i] == "--require-metric" and i + 1 < len(args):
+            required.add(args[i + 1])
+            i += 2
+        else:
+            sys.exit(f"unknown argument: {args[i]}")
+
+    typed = {}
+    seen = set()
+    buckets = {}  # base name -> list of (le, cumulative)
+    counts = {}  # base name -> _count value
+
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+
+            def die(msg):
+                sys.exit(f"{path}:{lineno}: {msg}\n  {line}")
+
+            if line.startswith("#"):
+                parts = line.split(None, 3)
+                if len(parts) >= 2 and parts[1] == "TYPE":
+                    if len(parts) != 4:
+                        die("malformed # TYPE line")
+                    name, mtype = parts[2], parts[3]
+                    if not METRIC_RE.match(name):
+                        die(f"bad metric name in TYPE: {name!r}")
+                    if mtype not in TYPES:
+                        die(f"unknown metric type: {mtype!r}")
+                    if name in typed:
+                        die(f"duplicate TYPE for {name}")
+                    typed[name] = mtype
+                continue
+
+            m = SAMPLE_RE.match(line)
+            if not m:
+                die("unparseable sample line")
+            name = m.group("name")
+            try:
+                labels = parse_labels(m.group("labels"))
+                value = parse_value(m.group("value"))
+            except ValueError as e:
+                die(str(e))
+            seen.add(name)
+
+            if name.endswith("_bucket"):
+                base = name[: -len("_bucket")]
+                if "le" not in labels:
+                    die(f"histogram bucket without le label: {name}")
+                le = math.inf if labels["le"] == "+Inf" else float(labels["le"])
+                series = buckets.setdefault(base, [])
+                if series and value < series[-1][1]:
+                    die(
+                        f"{base} buckets not cumulative: "
+                        f"le={labels['le']} value {value} < {series[-1][1]}"
+                    )
+                series.append((le, value))
+            elif name.endswith("_count"):
+                counts[name[: -len("_count")]] = value
+
+    for base, series in buckets.items():
+        if series[-1][0] != math.inf:
+            sys.exit(f"{path}: histogram {base} missing +Inf bucket")
+        if base in counts and series[-1][1] != counts[base]:
+            sys.exit(
+                f"{path}: histogram {base} +Inf bucket {series[-1][1]} "
+                f"!= _count {counts[base]}"
+            )
+
+    for name, mtype in typed.items():
+        expected = (
+            {name + "_bucket", name + "_sum", name + "_count"}
+            if mtype == "histogram"
+            else {name}
+        )
+        if not expected & seen:
+            sys.exit(f"{path}: TYPE {name} declared but no samples emitted")
+
+    missing = {r for r in required if r not in seen and r not in typed}
+    if missing:
+        sys.exit(f"{path}: required metrics absent: {sorted(missing)}")
+
+    print(
+        f"check_prom: {path} OK "
+        f"({len(seen)} series, {len(typed)} typed, {len(buckets)} histograms)"
+    )
+
+
+if __name__ == "__main__":
+    main()

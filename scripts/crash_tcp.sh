@@ -74,5 +74,30 @@ done
 append_batch 3 3
 verify_acked
 
-echo "crash_tcp: all $(( ${#PAYLOAD_AT[@]} )) acked appends survived 2x kill -9"
+# Flight-recorder assertion: a *catchable* fatal signal (SEGV, not KILL)
+# must make the daemon dump its flight rings to stderr before dying.  The
+# daemon just recovered twice, so the rings hold recovery/seal events.
+FLIGHT_LOG="${DATA_DIR}/flight-stderr.log"
+kill -SEGV "${DAEMON_PID}" 2>/dev/null
+wait "${DAEMON_PID}" 2>/dev/null
+DAEMON_PID=""
+# Restart with stderr captured and crash it again so the dump lands in a file
+# we own regardless of how the harness wired the first daemon's stderr.
+"${LOGD}" ${DAEMON_FLAGS} 2>"${FLIGHT_LOG}" &
+DAEMON_PID=$!
+for _ in $(seq 1 50); do
+  if "${CLI}" ${FLAGS} tail >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+kill -SEGV "${DAEMON_PID}" 2>/dev/null
+wait "${DAEMON_PID}" 2>/dev/null
+DAEMON_PID=""
+grep -q "=== tango flight recorder (signal 11) ===" "${FLIGHT_LOG}" \
+  || fail "no flight-recorder dump on SIGSEGV (see ${FLIGHT_LOG})"
+grep -q "kind=signal" "${FLIGHT_LOG}" \
+  || fail "flight dump missing the fatal-signal event"
+grep -q "kind=recovery" "${FLIGHT_LOG}" \
+  || fail "flight dump missing the recovery events from startup"
+
+echo "crash_tcp: all $(( ${#PAYLOAD_AT[@]} )) acked appends survived 2x kill -9; flight recorder dumped on SIGSEGV"
 exit 0

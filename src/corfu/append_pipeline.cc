@@ -5,7 +5,9 @@
 
 #include "src/corfu/entry.h"
 #include "src/corfu/log_client.h"
+#include "src/obs/flight.h"
 #include "src/util/retry.h"
+#include "src/util/threading.h"
 
 namespace corfu {
 
@@ -91,8 +93,16 @@ AppendPipeline::Handle AppendPipeline::Submit(
                kInvalidOffset);
       return handle;
     }
-    window_cv_.wait(lock,
-                    [&] { return queue_.size() + active_ < options_.window; });
+    if (queue_.size() + active_ >= options_.window) {
+      // The submitter is actually blocked on the window — the stall the
+      // flight recorder exists to explain after a crash.
+      uint64_t stall_start_us = tango::NowMicros();
+      window_cv_.wait(
+          lock, [&] { return queue_.size() + active_ < options_.window; });
+      tango::obs::FlightRecorder::Default().Record(
+          tango::obs::FlightKind::kPipelineStall, "append window stall",
+          tango::NowMicros() - stall_start_us, options_.window);
+    }
     queue_.push_back(std::move(work));
     depth_gauge_->Set(static_cast<int64_t>(queue_.size() + active_));
     queue_cv_.notify_one();

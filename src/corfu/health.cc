@@ -12,6 +12,7 @@
 // no-op thread-local write.
 #include "src/net/inproc_transport.h"
 #include "src/corfu/sequencer.h"
+#include "src/obs/flight.h"
 #include "src/util/logging.h"
 #include "src/util/serialize.h"
 #include "src/util/threading.h"
@@ -246,6 +247,9 @@ Status HealthMonitor::RunOnce() {
       uint64_t start = recovery_start_us_.exchange(0, std::memory_order_relaxed);
       uint64_t latency = tango::NowMicros() - start;
       recovery_latency_->Record(latency);
+      tango::obs::FlightRecorder::Default().Record(tango::obs::FlightKind::kRecovery,
+                                            "cluster healed", current.epoch,
+                                            latency);
       TANGO_LOG(kInfo)
           << "health: cluster healed at epoch " << current.epoch << " after "
           << latency << " us";
@@ -283,6 +287,9 @@ Status HealthMonitor::HandleSequencerFailure() {
   misses_by_node_.clear();
   failovers_sequencer_->Add();
   reconfigurations_->Add(1);
+  tango::obs::FlightRecorder::Default().Record(
+      tango::obs::FlightKind::kReconfig, "sequencer failover",
+      client_->projection().epoch);
   return Status::Ok();
 }
 
@@ -295,6 +302,9 @@ Status HealthMonitor::ResyncSequencer() {
       client_.get(), [](Projection&) {}, options_.rebuild_scan_limit);
   if (st.ok()) {
     reconfigurations_->Add(1);
+    tango::obs::FlightRecorder::Default().Record(
+        tango::obs::FlightKind::kReconfig, "sequencer resync",
+        client_->projection().epoch);
   } else {
     (void)client_->RefreshProjection();
   }
@@ -362,6 +372,8 @@ Status HealthMonitor::DegradeChain(NodeId dead) {
   }
   failovers_storage_->Add();
   reconfigurations_->Add(1);
+  tango::obs::FlightRecorder::Default().Record(tango::obs::FlightKind::kReconfig,
+                                        "storage failover", next.epoch);
 
   // The sequencer keeps its soft state across a storage swap; it only needs
   // the new epoch and the sealed tail.  If it is dead too, the next round's
@@ -487,6 +499,9 @@ Status HealthMonitor::RepairChain(size_t set_index) {
   }
   pending_spare_ = tango::kInvalidNodeId;
   reconfigurations_->Add(1);
+  tango::obs::FlightRecorder::Default().Record(tango::obs::FlightKind::kReconfig,
+                                        "set repaired with spare", next.epoch,
+                                        spare);
   TANGO_LOG(kInfo)
       << "health: set " << set_index << " repaired with spare " << spare
       << " at epoch " << next.epoch;

@@ -1,5 +1,6 @@
 #include "src/corfu/log_client.h"
 
+#include "src/obs/slo.h"
 #include "src/obs/trace.h"
 
 #include <algorithm>
@@ -235,7 +236,10 @@ Result<LogOffset> CorfuClient::AppendToStreams(
     if (st.ok()) {
       appends_->Add();
       if (start_us != 0) {
-        append_latency_->Record(tango::NowMicros() - start_us);
+        uint64_t latency_us = tango::NowMicros() - start_us;
+        append_latency_->Record(latency_us);
+        tango::obs::SloTracker::Default().Record(tango::obs::SloOp::kAppend,
+                                                 latency_us);
       }
       return grant->start;
     }
@@ -265,6 +269,7 @@ Result<LogOffset> CorfuClient::AppendToStreams(
 
 Result<LogEntry> CorfuClient::Read(LogOffset offset) {
   tango::obs::TraceScope span("log.read");
+  uint64_t start_us = tango::obs::MetricsEnabled() ? tango::NowMicros() : 0;
   std::vector<uint8_t> page;
   Status st = WithEpochRetry([&](const Projection& p) {
     Result<std::vector<uint8_t>> r = ChainRead(p, offset);
@@ -276,12 +281,17 @@ Result<LogEntry> CorfuClient::Read(LogOffset offset) {
   if (!st.ok()) {
     return st;
   }
+  if (start_us != 0) {
+    tango::obs::SloTracker::Default().Record(
+        tango::obs::SloOp::kRead, tango::NowMicros() - start_us);
+  }
   return DecodeEntry(page, offset);
 }
 
 Result<std::vector<CorfuClient::BatchedRead>> CorfuClient::ReadBatch(
     std::span<const LogOffset> offsets) {
   tango::obs::TraceScope span("log.read_batch");
+  uint64_t start_us = tango::obs::MetricsEnabled() ? tango::NowMicros() : 0;
   std::vector<BatchedRead> out(offsets.size());
   if (offsets.empty()) {
     return out;
@@ -371,6 +381,12 @@ Result<std::vector<CorfuClient::BatchedRead>> CorfuClient::ReadBatch(
       }
     }
     if (pending.empty()) {
+      if (start_us != 0) {
+        // One SLO sample per batch: a batched read is one user-visible
+        // operation regardless of how many offsets it covers.
+        tango::obs::SloTracker::Default().Record(
+            tango::obs::SloOp::kRead, tango::NowMicros() - start_us);
+      }
       return out;
     }
   }

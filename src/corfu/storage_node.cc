@@ -7,6 +7,7 @@
 #include <cstring>
 #include <thread>
 
+#include "src/obs/flight.h"
 #include "src/storage/memory_backend.h"
 #include "src/storage/segment_store.h"
 #include "src/util/logging.h"
@@ -375,6 +376,9 @@ Status StorageNode::HandleSeal(ByteReader& req, ByteWriter& resp) {
   if (!tail.ok()) {
     return tail.status();
   }
+  tango::obs::FlightRecorder::Default().Record(tango::obs::FlightKind::kSeal,
+                                        "storage sealed epoch", epoch, *tail,
+                                        node_);
   resp.PutU64(*tail);
   return Status::Ok();
 }

@@ -1,0 +1,267 @@
+#include "src/obs/flight.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/threading.h"
+
+namespace tango::obs {
+
+namespace {
+
+// u64 -> decimal into `buf`, returning the length.  The signal path cannot
+// use snprintf (not async-signal-safe on all libcs).
+size_t FormatU64(uint64_t v, char* buf) {
+  char tmp[20];
+  size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (size_t i = 0; i < n; ++i) {
+    buf[i] = tmp[n - 1 - i];
+  }
+  return n;
+}
+
+void WriteStr(int fd, const char* s) {
+  size_t len = ::strlen(s);
+  while (len > 0) {
+    ssize_t n = ::write(fd, s, len);
+    if (n <= 0) {
+      return;
+    }
+    s += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+void WriteU64(int fd, uint64_t v) {
+  char buf[20];
+  size_t n = FormatU64(v, buf);
+  ::write(fd, buf, n);
+}
+
+volatile sig_atomic_t g_handler_installed = 0;
+
+void FatalSignalHandler(int signo) {
+  FlightRecorder& rec = FlightRecorder::Default();
+  rec.Record(FlightKind::kSignal, "fatal signal",
+             static_cast<uint64_t>(signo));
+  WriteStr(2, "\n=== tango flight recorder (signal ");
+  WriteU64(2, static_cast<uint64_t>(signo));
+  WriteStr(2, ") ===\n");
+  rec.DumpToFd(2);
+  WriteStr(2, "=== end flight recorder ===\n");
+  // Restore default disposition and re-raise: exit status and core dumps
+  // look exactly as they would without the recorder.
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+}  // namespace
+
+const char* FlightKindName(FlightKind kind) {
+  switch (kind) {
+    case FlightKind::kSeal:
+      return "seal";
+    case FlightKind::kReconfig:
+      return "reconfig";
+    case FlightKind::kGc:
+      return "gc";
+    case FlightKind::kRecovery:
+      return "recovery";
+    case FlightKind::kPipelineStall:
+      return "pipeline_stall";
+    case FlightKind::kFailstop:
+      return "failstop";
+    case FlightKind::kSignal:
+      return "signal";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::Default() {
+  static FlightRecorder* recorder = [] {
+    auto* r = new FlightRecorder();
+    MetricsRegistry::Default().AddCollectionHook([r] {
+      MetricsRegistry::Default()
+          .GetGauge("obs.flight.events")
+          ->Set(static_cast<int64_t>(r->events()));
+    });
+    return r;
+  }();
+  return *recorder;
+}
+
+FlightRecorder::Ring* FlightRecorder::LocalRing() {
+  thread_local struct Cache {
+    FlightRecorder* owner = nullptr;
+    Ring* ring = nullptr;
+  } cache;
+  if (cache.owner == this && cache.ring != nullptr) {
+    return cache.ring;
+  }
+  uint32_t me = CurrentThreadIndex();
+  int n = num_rings_.load(std::memory_order_acquire);
+  for (int i = 0; i < n; ++i) {
+    Ring* r = rings_[i].load(std::memory_order_acquire);
+    if (r != nullptr && r->thread == me) {
+      cache = {this, r};
+      return r;
+    }
+  }
+  auto* ring = new Ring();  // immortal: the signal handler may walk it
+  ring->thread = me;
+  int slot = num_rings_.fetch_add(1, std::memory_order_acq_rel);
+  if (slot >= kMaxThreads) {
+    // Table full (pathological thread churn): record into the last ring
+    // rather than dropping — shared slots tear, but events survive.
+    num_rings_.store(kMaxThreads, std::memory_order_release);
+    delete ring;
+    Ring* shared = rings_[kMaxThreads - 1].load(std::memory_order_acquire);
+    cache = {this, shared};
+    return shared;
+  }
+  rings_[slot].store(ring, std::memory_order_release);
+  cache = {this, ring};
+  return ring;
+}
+
+void FlightRecorder::Record(FlightKind kind, const char* msg, uint64_t a,
+                            uint64_t b, uint32_t node) {
+  Ring* ring = LocalRing();
+  uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t idx = ring->next.fetch_add(1, std::memory_order_relaxed);
+  Event& e = ring->events[idx % kRingEvents];
+  // Mark in-flight first so racing readers skip rather than mix old/new.
+  e.seq.store(0, std::memory_order_release);
+  e.time_us.store(NowMicros(), std::memory_order_relaxed);
+  e.msg.store(msg, std::memory_order_relaxed);
+  e.a.store(a, std::memory_order_relaxed);
+  e.b.store(b, std::memory_order_relaxed);
+  e.node.store(node, std::memory_order_relaxed);
+  e.kind.store(static_cast<uint8_t>(kind), std::memory_order_relaxed);
+  e.seq.store(seq, std::memory_order_release);
+}
+
+std::string FlightRecorder::Dump() const {
+  struct Row {
+    uint64_t seq;
+    uint64_t time_us;
+    uint64_t a;
+    uint64_t b;
+    const char* msg;
+    uint32_t node;
+    uint32_t thread;
+    uint8_t kind;
+  };
+  std::vector<Row> rows;
+  int n = std::min(num_rings_.load(std::memory_order_acquire),
+                   static_cast<int>(kMaxThreads));
+  for (int i = 0; i < n; ++i) {
+    const Ring* ring = rings_[i].load(std::memory_order_acquire);
+    if (ring == nullptr) {
+      continue;
+    }
+    for (const Event& e : ring->events) {
+      uint64_t seq = e.seq.load(std::memory_order_acquire);
+      if (seq == 0) {
+        continue;  // empty or in-flight
+      }
+      rows.push_back({seq, e.time_us.load(std::memory_order_relaxed),
+                      e.a.load(std::memory_order_relaxed),
+                      e.b.load(std::memory_order_relaxed),
+                      e.msg.load(std::memory_order_relaxed),
+                      e.node.load(std::memory_order_relaxed), ring->thread,
+                      e.kind.load(std::memory_order_relaxed)});
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& x, const Row& y) { return x.seq < y.seq; });
+  std::ostringstream out;
+  for (const Row& r : rows) {
+    out << "seq=" << r.seq << " t_us=" << r.time_us << " thread=" << r.thread
+        << " node=" << r.node << " kind="
+        << FlightKindName(static_cast<FlightKind>(r.kind)) << " a=" << r.a
+        << " b=" << r.b << " msg=" << (r.msg != nullptr ? r.msg : "") << "\n";
+  }
+  return out.str();
+}
+
+void FlightRecorder::DumpToFd(int fd) const {
+  int n = std::min(num_rings_.load(std::memory_order_acquire),
+                   static_cast<int>(kMaxThreads));
+  for (int i = 0; i < n; ++i) {
+    const Ring* ring = rings_[i].load(std::memory_order_acquire);
+    if (ring == nullptr) {
+      continue;
+    }
+    for (const Event& e : ring->events) {
+      uint64_t seq = e.seq.load(std::memory_order_acquire);
+      if (seq == 0) {
+        continue;
+      }
+      WriteStr(fd, "seq=");
+      WriteU64(fd, seq);
+      WriteStr(fd, " t_us=");
+      WriteU64(fd, e.time_us.load(std::memory_order_relaxed));
+      WriteStr(fd, " thread=");
+      WriteU64(fd, ring->thread);
+      WriteStr(fd, " node=");
+      WriteU64(fd, e.node.load(std::memory_order_relaxed));
+      WriteStr(fd, " kind=");
+      WriteStr(fd, FlightKindName(static_cast<FlightKind>(
+                       e.kind.load(std::memory_order_relaxed))));
+      WriteStr(fd, " a=");
+      WriteU64(fd, e.a.load(std::memory_order_relaxed));
+      WriteStr(fd, " b=");
+      WriteU64(fd, e.b.load(std::memory_order_relaxed));
+      WriteStr(fd, " msg=");
+      const char* msg = e.msg.load(std::memory_order_relaxed);
+      if (msg != nullptr) {
+        WriteStr(fd, msg);
+      }
+      WriteStr(fd, "\n");
+    }
+  }
+}
+
+void FlightRecorder::InstallFatalSignalHandler() {
+  if (g_handler_installed != 0) {
+    return;
+  }
+  g_handler_installed = 1;
+  Default();  // force construction outside the signal path
+  struct sigaction sa{};
+  sa.sa_handler = FatalSignalHandler;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  for (int signo : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) {
+    ::sigaction(signo, &sa, nullptr);
+  }
+}
+
+void FlightRecorder::Clear() {
+  int n = std::min(num_rings_.load(std::memory_order_acquire),
+                   static_cast<int>(kMaxThreads));
+  for (int i = 0; i < n; ++i) {
+    Ring* ring = rings_[i].load(std::memory_order_acquire);
+    if (ring == nullptr) {
+      continue;
+    }
+    ring->next.store(0, std::memory_order_relaxed);
+    for (Event& e : ring->events) {
+      e.seq.store(0, std::memory_order_release);
+    }
+  }
+}
+
+}  // namespace tango::obs

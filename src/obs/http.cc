@@ -1,0 +1,269 @@
+#include "src/obs/http.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "src/obs/metrics.h"
+#include "src/obs/slo.h"
+#include "src/obs/trace.h"
+
+namespace tango::obs {
+
+namespace {
+
+// Same full-buffer write loop as tcp_transport.cc, minus the result enum —
+// a diagnostics response either lands or the connection is abandoned.
+bool WriteAll(int fd, const void* buf, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  while (len > 0) {
+    ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void SetTimeouts(int fd, uint32_t ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+// Reads until the end of the request head ("\r\n\r\n") or `cap` bytes.
+// Request bodies are ignored — every endpoint is a GET.
+std::string ReadRequestHead(int fd, size_t cap) {
+  std::string head;
+  char buf[1024];
+  while (head.size() < cap) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    head.append(buf, static_cast<size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos ||
+        head.find("\n\n") != std::string::npos) {
+      break;
+    }
+  }
+  return head;
+}
+
+void WriteResponse(int fd, int code, const char* reason,
+                   const std::string& content_type, const std::string& body) {
+  std::ostringstream head;
+  head << "HTTP/1.1 " << code << " " << reason << "\r\n"
+       << "Content-Type: " << content_type << "\r\n"
+       << "Content-Length: " << body.size() << "\r\n"
+       << "Connection: close\r\n\r\n";
+  std::string h = head.str();
+  if (WriteAll(fd, h.data(), h.size())) {
+    WriteAll(fd, body.data(), body.size());
+  }
+}
+
+}  // namespace
+
+Status ObsHttpServer::Start(const Options& options) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status(StatusCode::kFailedPrecondition, "obs http already running");
+  }
+
+  // Built-in endpoints; Handle() registrations (e.g. /flight) ride along.
+  handlers_["/metrics"] = [] {
+    return MetricsRegistry::Default().RenderPrometheus();
+  };
+  handlers_["/vars"] = [] { return MetricsRegistry::Default().RenderJson(); };
+  handlers_["/traces"] = [] { return Tracer::Default().ExportChromeJson(); };
+  handlers_["/slo"] = [] { return SloTracker::Default().RenderJson(); };
+  // Touch the tracker now: its constructor registers the collection hook
+  // that puts slo.* gauges into /metrics, and a monitoring stack should see
+  // the full schema from the first scrape, not from the first request.
+  SloTracker::Default();
+  handlers_["/healthz"] = [] { return std::string("ok\n"); };
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status(StatusCode::kUnavailable, "socket() failed");
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  if (::inet_pton(AF_INET, options.address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status(StatusCode::kInvalidArgument,
+                  "bad obs http address: " + options.address);
+  }
+  addr.sin_port = htons(options.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Status(StatusCode::kUnavailable,
+                  "obs http bind/listen failed on " + options.address + ":" +
+                      std::to_string(options.port));
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void ObsHttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+}
+
+void ObsHttpServer::Handle(const std::string& path,
+                           std::function<std::string()> handler) {
+  handlers_[path] = std::move(handler);
+}
+
+void ObsHttpServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // listener closed by Stop()
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    SetTimeouts(fd, 5000);
+    // Scrapes are rare and the payloads small; serving inline on the accept
+    // thread keeps the server to one thread and bounds concurrent work.
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void ObsHttpServer::ServeConnection(int fd) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  std::string head = ReadRequestHead(fd, 8192);
+  // Request line: METHOD SP PATH SP VERSION.
+  size_t sp1 = head.find(' ');
+  size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                        : head.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) {
+    WriteResponse(fd, 400, "Bad Request", "text/plain", "bad request\n");
+    return;
+  }
+  std::string method = head.substr(0, sp1);
+  std::string path = head.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (size_t q = path.find('?'); q != std::string::npos) {
+    path.resize(q);  // no endpoint takes query params
+  }
+  if (method != "GET" && method != "HEAD") {
+    WriteResponse(fd, 405, "Method Not Allowed", "text/plain",
+                  "GET only\n");
+    return;
+  }
+  auto it = handlers_.find(path);
+  if (it == handlers_.end()) {
+    std::ostringstream body;
+    body << "not found; endpoints:\n";
+    for (const auto& [p, unused] : handlers_) {
+      body << "  " << p << "\n";
+    }
+    WriteResponse(fd, 404, "Not Found", "text/plain", body.str());
+    return;
+  }
+  std::string body = it->second();
+  const char* type = "text/plain; version=0.0.4";  // Prometheus-compatible
+  if (!body.empty() && (body[0] == '{' || body[0] == '[')) {
+    type = "application/json";
+  }
+  if (method == "HEAD") {
+    body.clear();
+  }
+  WriteResponse(fd, 200, "OK", type, body);
+}
+
+Result<std::string> HttpGet(const std::string& host, uint16_t port,
+                            const std::string& path, uint32_t timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status(StatusCode::kUnavailable, "socket() failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  std::string ip = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status(StatusCode::kInvalidArgument, "bad host: " + host);
+  }
+  SetTimeouts(fd, timeout_ms == 0 ? 5000 : timeout_ms);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status(StatusCode::kUnavailable,
+                  "connect failed: " + host + ":" + std::to_string(port));
+  }
+  std::string req = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                    "\r\nConnection: close\r\n\r\n";
+  if (!WriteAll(fd, req.data(), req.size())) {
+    ::close(fd);
+    return Status(StatusCode::kUnavailable, "send failed");
+  }
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      break;
+    }
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  size_t eol = resp.find("\r\n");
+  if (eol == std::string::npos || resp.compare(0, 5, "HTTP/") != 0) {
+    return Status(StatusCode::kUnavailable, "malformed http response");
+  }
+  // Status line: HTTP/1.1 SP CODE SP REASON.
+  size_t sp = resp.find(' ');
+  int code = sp == std::string::npos ? 0 : std::atoi(resp.c_str() + sp + 1);
+  size_t body_at = resp.find("\r\n\r\n");
+  if (body_at == std::string::npos) {
+    return Status(StatusCode::kUnavailable, "truncated http response");
+  }
+  if (code != 200) {
+    return Status(StatusCode::kNotFound,
+                  "http " + std::to_string(code) + " for " + path);
+  }
+  return resp.substr(body_at + 4);
+}
+
+}  // namespace tango::obs

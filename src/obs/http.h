@@ -1,0 +1,87 @@
+// Embedded observability HTTP server: the smallest HTTP/1.1 surface that
+// lets standard tooling look inside a running tango process.
+//
+// Endpoints (GET only):
+//   /metrics  Prometheus text exposition of the default MetricsRegistry,
+//             with trace exemplars on histogram buckets (curl/Prometheus).
+//   /vars     RenderJson() snapshot of the same registry.
+//   /traces   Chrome trace_event JSON of the retained traces
+//             (chrome://tracing, ui.perfetto.dev).
+//   /slo      SLO burn-rate accounting as JSON (src/obs/slo.h).
+//   /healthz  "ok\n" — liveness probe.
+//
+// Deliberately dependency-free: one accept thread, one short-lived handler
+// per connection (read request line, respond, close).  This is a diagnostics
+// port, not a web server — no keep-alive, no TLS, no request bodies.  Binds
+// 127.0.0.1 by default; opening it wider is an explicit operator decision.
+
+#ifndef SRC_OBS_HTTP_H_
+#define SRC_OBS_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace tango::obs {
+
+class ObsHttpServer {
+ public:
+  struct Options {
+    std::string address = "127.0.0.1";
+    uint16_t port = 0;  // 0 = kernel-assigned (read back via port())
+  };
+
+  ObsHttpServer() = default;
+  ~ObsHttpServer() { Stop(); }
+
+  ObsHttpServer(const ObsHttpServer&) = delete;
+  ObsHttpServer& operator=(const ObsHttpServer&) = delete;
+
+  // Binds and starts the accept thread.  Fails (kUnavailable) when the
+  // address/port cannot be bound.
+  Status Start(const Options& options);
+  // Closes the listener and joins the accept thread; idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // The bound port (after Start with port 0 this is the kernel's pick).
+  uint16_t port() const { return port_; }
+
+  // Registers an extra GET endpoint ("/flight", ...) before Start.  The
+  // handler returns the response body; content type is text/plain unless
+  // the body starts with '{' or '[' (then application/json).
+  void Handle(const std::string& path, std::function<std::string()> handler);
+
+  // Requests served (all endpoints, including 404s).
+  uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  std::map<std::string, std::function<std::string()>> handlers_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+};
+
+// Blocking one-shot HTTP GET against `host:port` (IPv4 dotted quad or
+// "localhost"), returning the response body on 200 and a non-OK status on
+// connect failure, timeout, or any other response code.  The client half of
+// tango_stat --http / --watch and the CI smoke scrape.
+Result<std::string> HttpGet(const std::string& host, uint16_t port,
+                            const std::string& path, uint32_t timeout_ms);
+
+}  // namespace tango::obs
+
+#endif  // SRC_OBS_HTTP_H_

@@ -5,11 +5,17 @@
 #include <cstdio>
 #include <sstream>
 
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 
 namespace tango::obs {
 
 Histogram::Histogram() : buckets_(tango::Histogram::kNumBuckets) {}
+
+int Histogram::ExemplarSlotFor(uint64_t value) {
+  return tango::Histogram::BucketFor(value) * kExemplarSlots /
+         tango::Histogram::kNumBuckets;
+}
 
 void Histogram::Record(uint64_t value) {
   if (!MetricsEnabled()) {
@@ -26,6 +32,33 @@ void Histogram::Record(uint64_t value) {
   while (value > cur &&
          !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
   }
+  TraceContext ctx = CurrentTrace();
+  if (ctx.active()) {
+    ExemplarSlot& slot = exemplars_[ExemplarSlotFor(value)];
+    slot.value.store(value, std::memory_order_relaxed);
+    slot.trace_id.store(ctx.trace_id, std::memory_order_relaxed);
+  }
+}
+
+std::vector<Histogram::Exemplar> Histogram::Exemplars() const {
+  std::vector<Exemplar> out;
+  for (const ExemplarSlot& slot : exemplars_) {
+    uint64_t trace = slot.trace_id.load(std::memory_order_relaxed);
+    if (trace != 0) {
+      out.push_back({slot.value.load(std::memory_order_relaxed), trace});
+    }
+  }
+  return out;
+}
+
+Histogram::Exemplar Histogram::ExemplarNear(uint64_t value) const {
+  for (int slot = ExemplarSlotFor(value); slot >= 0; --slot) {
+    uint64_t trace = exemplars_[slot].trace_id.load(std::memory_order_relaxed);
+    if (trace != 0) {
+      return {exemplars_[slot].value.load(std::memory_order_relaxed), trace};
+    }
+  }
+  return {};
 }
 
 tango::Histogram Histogram::Snapshot() const {
@@ -46,6 +79,10 @@ void Histogram::Reset() {
   sum_.store(0, std::memory_order_relaxed);
   min_.store(~0ULL, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
+  for (ExemplarSlot& slot : exemplars_) {
+    slot.value.store(0, std::memory_order_relaxed);
+    slot.trace_id.store(0, std::memory_order_relaxed);
+  }
 }
 
 MetricsRegistry& MetricsRegistry::Default() {
@@ -80,7 +117,22 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
+void MetricsRegistry::AddCollectionHook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(hooks_mu_);
+  hooks_.push_back(std::move(hook));
+}
+
 MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
+  // Hooks run before the registry lock: they typically Set() gauges, which
+  // re-enters GetGauge's resolved pointers but never the registry mutex.
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(hooks_mu_);
+    hooks = hooks_;
+  }
+  for (const auto& hook : hooks) {
+    hook();
+  }
   std::lock_guard<std::mutex> lock(mu_);
   Snapshot snap;
   for (const auto& [name, c] : counters_) {
@@ -91,6 +143,10 @@ MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
   }
   for (const auto& [name, h] : histograms_) {
     snap.histograms[name] = h->Snapshot();
+    std::vector<Histogram::Exemplar> ex = h->Exemplars();
+    if (!ex.empty()) {
+      snap.exemplars[name] = std::move(ex);
+    }
   }
   return snap;
 }
@@ -152,16 +208,103 @@ std::string RenderSnapshotJson(const MetricsRegistry::Snapshot& snap) {
     char buf[192];
     std::snprintf(buf, sizeof(buf),
                   ":{\"count\":%llu,\"mean\":%.1f,\"p50\":%llu,\"p90\":%llu,"
-                  "\"p99\":%llu,\"max\":%llu}",
+                  "\"p99\":%llu,\"max\":%llu",
                   static_cast<unsigned long long>(h.count()), h.Mean(),
                   static_cast<unsigned long long>(h.Percentile(0.50)),
                   static_cast<unsigned long long>(h.Percentile(0.90)),
                   static_cast<unsigned long long>(h.Percentile(0.99)),
                   static_cast<unsigned long long>(h.max()));
     out << buf;
+    auto ex = snap.exemplars.find(name);
+    if (ex != snap.exemplars.end()) {
+      out << ",\"exemplars\":[";
+      bool ex_first = true;
+      for (const Histogram::Exemplar& e : ex->second) {
+        if (!ex_first) out << ",";
+        ex_first = false;
+        out << "{\"value\":" << e.value << ",\"trace_id\":" << e.trace_id
+            << "}";
+      }
+      out << "]";
+    }
+    out << "}";
   }
   out << "}}";
   return out.str();
+}
+
+std::string RenderSnapshotPrometheus(const MetricsRegistry::Snapshot& snap) {
+  // Metric names allow [a-zA-Z0-9_:]; the registry's dotted names map 1:1
+  // by replacing every other character with '_', under a tango_ prefix.
+  auto prom_name = [](const std::string& name) {
+    std::string out = "tango_";
+    for (char c : name) {
+      bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '_';
+      out.push_back(ok ? c : '_');
+    }
+    return out;
+  };
+  std::ostringstream out;
+  for (const auto& [name, v] : snap.counters) {
+    std::string pn = prom_name(name);
+    out << "# TYPE " << pn << " counter\n" << pn << " " << v << "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    std::string pn = prom_name(name);
+    out << "# TYPE " << pn << " gauge\n" << pn << " " << v << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    std::string pn = prom_name(name);
+    const std::vector<Histogram::Exemplar>* exemplars = nullptr;
+    if (auto it = snap.exemplars.find(name); it != snap.exemplars.end()) {
+      exemplars = &it->second;
+    }
+    out << "# TYPE " << pn << " histogram\n";
+    // Fold the 2048 log-linear buckets into one cumulative le-bucket per
+    // octave (32 sub-buckets each); stop once the running total covers every
+    // record, then close with +Inf.  Exemplars attach to the first bucket
+    // whose le covers their value (OpenMetrics "# {labels} value" syntax).
+    constexpr int kFold = 1 << tango::Histogram::kSubBucketBits;
+    const std::vector<uint64_t>& buckets = h.bucket_counts();
+    uint64_t cumulative = 0;
+    uint64_t prev_le = 0;
+    for (int i = 0; i < tango::Histogram::kNumBuckets; i += kFold) {
+      for (int j = i; j < i + kFold; ++j) {
+        cumulative += buckets[j];
+      }
+      uint64_t le = tango::Histogram::BucketUpperBound(i + kFold - 1);
+      out << pn << "_bucket{le=\"" << le << "\"} " << cumulative;
+      if (exemplars != nullptr) {
+        for (const Histogram::Exemplar& e : *exemplars) {
+          if (e.value <= le && (i == 0 || e.value > prev_le)) {
+            char hexid[32];
+            std::snprintf(hexid, sizeof(hexid), "%llx",
+                          static_cast<unsigned long long>(e.trace_id));
+            out << " # {trace_id=\"" << hexid << "\"} " << e.value;
+            break;
+          }
+        }
+      }
+      out << "\n";
+      prev_le = le;
+      if (cumulative >= h.count()) {
+        break;
+      }
+    }
+    out << pn << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+    out << pn << "_sum " << h.sum() << "\n";
+    out << pn << "_count " << h.count() << "\n";
+    // Derived percentile gauges: non-standard but invaluable for pollers
+    // that read one scrape at a time (tango_stat --watch).
+    out << pn << "_p50 " << h.Percentile(0.50) << "\n";
+    out << pn << "_p99 " << h.Percentile(0.99) << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  return RenderSnapshotPrometheus(Snap());
 }
 
 std::string MetricsRegistry::RenderJson() const { return RenderSnapshotJson(Snap()); }

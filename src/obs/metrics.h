@@ -18,10 +18,12 @@
 #ifndef SRC_OBS_METRICS_H_
 #define SRC_OBS_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -84,19 +86,48 @@ class Gauge {
 // loops for min/max); Snapshot() materializes a plain tango::Histogram whose
 // totals are internally consistent (count is derived from the bucket sweep;
 // sum/min/max may lag by in-flight records).
+//
+// Exemplars: when the recording thread has an active trace context
+// (src/obs/trace.h), the value and its trace id are stamped into one of
+// kExemplarSlots slots, each covering a contiguous range of buckets — so a
+// tail-latency bucket in a metrics dump links to a concrete trace.  Slots
+// hold the latest exemplar for their range; value/trace pairs are published
+// as independent relaxed atomics, so a reader racing a writer may see a
+// freshly-mixed pair (both halves are always real recorded data).
 class Histogram {
  public:
+  static constexpr int kExemplarSlots = 8;
+
+  struct Exemplar {
+    uint64_t value = 0;
+    uint64_t trace_id = 0;
+  };
+
   Histogram();
 
   void Record(uint64_t value);
   tango::Histogram Snapshot() const;
   void Reset();
 
+  // The exemplar slot index covering `value` (by bucket range).
+  static int ExemplarSlotFor(uint64_t value);
+  // Populated exemplars, ascending by slot (empty slots omitted).
+  std::vector<Exemplar> Exemplars() const;
+  // The exemplar covering `value`'s slot, falling back to the nearest
+  // populated lower slot; all-zero when none recorded yet.
+  Exemplar ExemplarNear(uint64_t value) const;
+
  private:
+  struct ExemplarSlot {
+    std::atomic<uint64_t> value{0};
+    std::atomic<uint64_t> trace_id{0};
+  };
+
   std::vector<std::atomic<uint64_t>> buckets_;
   std::atomic<uint64_t> sum_{0};
   std::atomic<uint64_t> min_{~0ULL};
   std::atomic<uint64_t> max_{0};
+  std::array<ExemplarSlot, kExemplarSlots> exemplars_;
 };
 
 // RAII stage timer: records the scope's elapsed microseconds into `hist` at
@@ -141,8 +172,15 @@ class MetricsRegistry {
     std::map<std::string, uint64_t> counters;
     std::map<std::string, int64_t> gauges;
     std::map<std::string, tango::Histogram> histograms;
+    // Trace exemplars per histogram name (absent when none recorded).
+    std::map<std::string, std::vector<Histogram::Exemplar>> exemplars;
   };
   Snapshot Snap() const;
+
+  // Runs `hook` at the start of every Snap() (before the registry lock is
+  // taken), so lazily-computed instruments — tracer ring occupancy, SLO burn
+  // rates — refresh in every dump.  Hooks must not call Snap() themselves.
+  void AddCollectionHook(std::function<void()> hook);
 
   // Human-readable dump: one "name value" line per counter/gauge, one
   // "name n=... p50=..." line per histogram, sorted by name.
@@ -150,6 +188,11 @@ class MetricsRegistry {
   // {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,p50,p90,
   // p99,max}}} — the payload tango_stat and the bench snapshot helper emit.
   std::string RenderJson() const;
+  // Prometheus text exposition format (the /metrics payload): counters and
+  // gauges as-is, histograms as cumulative per-octave le-buckets with
+  // OpenMetrics-style trace exemplars, plus derived _p50/_p99 gauges so a
+  // scraper-less poller (tango_stat --watch) sees percentile movement.
+  std::string RenderPrometheus() const;
 
   // Zeroes every instrument (pointers stay valid).  For benches and tests
   // that want per-phase deltas without process restarts.
@@ -160,10 +203,15 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable std::mutex hooks_mu_;
+  std::vector<std::function<void()>> hooks_;
 };
 
 // Renders a registry snapshot as the JSON object RenderJson() produces.
 std::string RenderSnapshotJson(const MetricsRegistry::Snapshot& snap);
+
+// Renders a registry snapshot in Prometheus text exposition format.
+std::string RenderSnapshotPrometheus(const MetricsRegistry::Snapshot& snap);
 
 // Background thread that appends a RenderText() dump to `path` (or stderr
 // when empty) every `interval_ms`.  The stats-dump hook for long benches and

@@ -1,0 +1,191 @@
+#include "src/obs/slo.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/obs/metrics.h"
+#include "src/util/threading.h"
+
+namespace tango::obs {
+
+namespace {
+
+uint64_t NowSecs() { return NowMicros() / 1'000'000; }
+
+// Default objectives: generous enough that healthy in-process and
+// local-TCP runs stay inside budget, tight enough that injected stalls
+// (bench slow-request runs, chaos partitions) show up as burn.
+constexpr uint64_t kDefaultAppendUs = 5'000;
+constexpr uint64_t kDefaultReadUs = 2'000;
+constexpr uint64_t kDefaultTxnUs = 10'000;
+
+}  // namespace
+
+const char* SloOpName(SloOp op) {
+  switch (op) {
+    case SloOp::kAppend:
+      return "append";
+    case SloOp::kRead:
+      return "read";
+    case SloOp::kTxnCommit:
+      return "txn_commit";
+  }
+  return "unknown";
+}
+
+SloTracker& SloTracker::Default() {
+  static SloTracker* tracker = [] {
+    auto* t = new SloTracker();
+    MetricsRegistry::Default().AddCollectionHook(
+        [t] { t->ExportToRegistry(); });
+    return t;
+  }();
+  return *tracker;
+}
+
+SloTracker::SloTracker() {
+  SetObjective(SloOp::kAppend, {kDefaultAppendUs, 0.999});
+  SetObjective(SloOp::kRead, {kDefaultReadUs, 0.999});
+  SetObjective(SloOp::kTxnCommit, {kDefaultTxnUs, 0.999});
+}
+
+void SloTracker::SetObjective(SloOp op, SloObjective objective) {
+  PerOp& o = ops_[static_cast<int>(op)];
+  o.objective_us.store(objective.objective_us, std::memory_order_relaxed);
+  o.target_millis.store(static_cast<uint64_t>(objective.target * 1000.0),
+                        std::memory_order_relaxed);
+}
+
+SloObjective SloTracker::objective(SloOp op) const {
+  const PerOp& o = ops_[static_cast<int>(op)];
+  SloObjective out;
+  out.objective_us = o.objective_us.load(std::memory_order_relaxed);
+  out.target =
+      static_cast<double>(o.target_millis.load(std::memory_order_relaxed)) /
+      1000.0;
+  return out;
+}
+
+void SloTracker::Record(SloOp op, uint64_t latency_us) {
+  PerOp& o = ops_[static_cast<int>(op)];
+  bool breach = latency_us > o.objective_us.load(std::memory_order_relaxed);
+  o.total.fetch_add(1, std::memory_order_relaxed);
+  if (breach) {
+    o.breached.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t sec = NowSecs();
+  Slot& slot = o.slots[sec % kSlots];
+  uint64_t tagged = slot.epoch_sec.load(std::memory_order_acquire);
+  while (tagged != sec) {
+    // The slot still holds a lapped second: first claimer resets it.  A
+    // loser of the CAS re-reads and joins whoever won.
+    if (slot.epoch_sec.compare_exchange_weak(tagged, sec,
+                                             std::memory_order_acq_rel)) {
+      slot.total.store(0, std::memory_order_relaxed);
+      slot.breached.store(0, std::memory_order_relaxed);
+      break;
+    }
+  }
+  slot.total.fetch_add(1, std::memory_order_relaxed);
+  if (breach) {
+    slot.breached.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SloTracker::WindowSums(const PerOp& op, uint64_t window_secs,
+                            uint64_t* total, uint64_t* breached) const {
+  *total = 0;
+  *breached = 0;
+  uint64_t now = NowSecs();
+  uint64_t oldest = now >= window_secs ? now - window_secs + 1 : 0;
+  for (int i = 0; i < kSlots; ++i) {
+    const Slot& slot = op.slots[i];
+    uint64_t sec = slot.epoch_sec.load(std::memory_order_acquire);
+    if (sec >= oldest && sec <= now) {
+      *total += slot.total.load(std::memory_order_relaxed);
+      *breached += slot.breached.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+double SloTracker::BurnRate(const PerOp& op, uint64_t window_secs) const {
+  uint64_t total = 0;
+  uint64_t breached = 0;
+  WindowSums(op, window_secs, &total, &breached);
+  if (total == 0) {
+    return 0.0;
+  }
+  double target =
+      static_cast<double>(op.target_millis.load(std::memory_order_relaxed)) /
+      1000.0;
+  double budget = 1.0 - target;
+  if (budget <= 0.0) {
+    budget = 1e-6;  // a 100% target burns instantly on any breach
+  }
+  return (static_cast<double>(breached) / static_cast<double>(total)) / budget;
+}
+
+SloTracker::OpStats SloTracker::Stats(SloOp op) const {
+  const PerOp& o = ops_[static_cast<int>(op)];
+  OpStats s;
+  s.total = o.total.load(std::memory_order_relaxed);
+  s.breached = o.breached.load(std::memory_order_relaxed);
+  s.burn_rate_1m = BurnRate(o, 60);
+  s.burn_rate_5m = BurnRate(o, 300);
+  return s;
+}
+
+std::string SloTracker::RenderJson() const {
+  std::ostringstream out;
+  out << "{";
+  for (int i = 0; i < kNumSloOps; ++i) {
+    SloOp op = static_cast<SloOp>(i);
+    SloObjective obj = objective(op);
+    OpStats s = Stats(op);
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "\"%s\":{\"objective_us\":%llu,\"target\":%.4f,"
+                  "\"total\":%llu,\"breached\":%llu,"
+                  "\"burn_rate_1m\":%.3f,\"burn_rate_5m\":%.3f}",
+                  SloOpName(op),
+                  static_cast<unsigned long long>(obj.objective_us),
+                  obj.target, static_cast<unsigned long long>(s.total),
+                  static_cast<unsigned long long>(s.breached), s.burn_rate_1m,
+                  s.burn_rate_5m);
+    out << (i > 0 ? "," : "") << buf;
+  }
+  out << "}";
+  return out.str();
+}
+
+void SloTracker::Reset() {
+  for (PerOp& o : ops_) {
+    o.total.store(0, std::memory_order_relaxed);
+    o.breached.store(0, std::memory_order_relaxed);
+    for (Slot& slot : o.slots) {
+      slot.epoch_sec.store(0, std::memory_order_release);
+      slot.total.store(0, std::memory_order_relaxed);
+      slot.breached.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void SloTracker::ExportToRegistry() {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  for (int i = 0; i < kNumSloOps; ++i) {
+    SloOp op = static_cast<SloOp>(i);
+    OpStats s = Stats(op);
+    std::string prefix = std::string("slo.") + SloOpName(op);
+    // Gauges, not counters: these mirror tracker state rather than count
+    // events of their own, and Set() is idempotent across hooks.
+    reg.GetGauge(prefix + ".total")->Set(static_cast<int64_t>(s.total));
+    reg.GetGauge(prefix + ".breached")->Set(static_cast<int64_t>(s.breached));
+    reg.GetGauge(prefix + ".burn_rate_1m_x1000")
+        ->Set(static_cast<int64_t>(s.burn_rate_1m * 1000.0));
+    reg.GetGauge(prefix + ".burn_rate_5m_x1000")
+        ->Set(static_cast<int64_t>(s.burn_rate_5m * 1000.0));
+  }
+}
+
+}  // namespace tango::obs

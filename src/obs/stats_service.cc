@@ -1,7 +1,9 @@
 #include "src/obs/stats_service.h"
 
 #include "src/corfu/types.h"
+#include "src/obs/flight.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
 #include "src/obs/trace.h"
 
 namespace tango::obs {
@@ -23,6 +25,15 @@ StatsService::StatsService(Transport* transport, NodeId node)
             return Status::Ok();
           case StatsKind::kChromeTrace:
             resp.PutString(Tracer::Default().ExportChromeJson());
+            return Status::Ok();
+          case StatsKind::kFlightRecorder:
+            resp.PutString(FlightRecorder::Default().Dump());
+            return Status::Ok();
+          case StatsKind::kSloJson:
+            resp.PutString(SloTracker::Default().RenderJson());
+            return Status::Ok();
+          case StatsKind::kPrometheus:
+            resp.PutString(MetricsRegistry::Default().RenderPrometheus());
             return Status::Ok();
         }
         return Status(StatusCode::kInvalidArgument, "unknown stats kind");

@@ -23,6 +23,9 @@ enum class StatsKind : uint8_t {
   kMetricsText = 1,
   kMetricsJson = 2,
   kChromeTrace = 3,
+  kFlightRecorder = 4,  // flight-recorder event log (src/obs/flight.h)
+  kSloJson = 5,         // SLO burn-rate accounting (src/obs/slo.h)
+  kPrometheus = 6,      // /metrics payload over RPC instead of HTTP
 };
 
 class StatsService {

@@ -1,4 +1,4 @@
-// Trace-context propagation and span collection.
+// Trace-context propagation and always-on sampled span collection.
 //
 // A trace is a tree of timed spans sharing one 64-bit trace id.  The current
 // context (trace id + active span id) lives in a thread-local; TraceScope
@@ -11,13 +11,53 @@
 //     (16 bytes after the method id — see tcp_transport.h) and the server
 //     adopts it around the handler via the adopting TraceScope constructor.
 //
-// Tracing is off by default (zero spans recorded, scopes are inert); the
-// registry of finished spans is a bounded ring so a long traced run degrades
-// to keeping the most recent spans rather than growing without bound.
+// Sampling model (production shape — tracing can stay enabled under load):
+//   * Head sampling: each new root trace is kept with probability
+//     1/sample_every, decided by a seeded hash of the trace id so the
+//     decision is deterministic for a fixed seed.
+//   * Hindsight/tail retention: spans of *every* trace are provisionally
+//     buffered; when a root span finishes slower than `slow_us`, its trace
+//     is retained even if head sampling would have dropped it.  The slow
+//     request you could not predict is the one you get to keep.
+//   * Exemplars: obs::Histogram::Record snapshots the active trace id into a
+//     per-bucket-range exemplar slot, so a p99 bucket in a metrics dump
+//     links to a concrete retained trace (see metrics.h).
+//
+// Always-on means the recording path has to be nearly free: the budget
+// (DESIGN.md) is < 3% on the fig_append/readpath analogue cells, a few tens
+// of nanoseconds per span.  The hot path therefore takes no locks and
+// performs no syscalls:
+//   * A closing span appends to a small plain (non-atomic) thread-local
+//     scratch batch — an L1-resident buffer no other thread ever reads.
+//     When the top scope of the request closes, the batch is either flushed
+//     to the shared rings (trace retained) or discarded (head-dropped and
+//     fast), so the common not-retained request never touches shared memory
+//     at all beyond three counters.
+//   * The shared per-thread rings that exporters read are arrays of
+//     all-atomic slots: the owner stores relaxed (plain MOVs on x86),
+//     exporters load relaxed — concurrent overwrite tears a record but is
+//     never a data race.
+//   * The sampling policy is three relaxed atomics, not a mutex-guarded
+//     struct.
+//   * Trace/span ids come from thread-local blocks carved off one global
+//     counter, so id allocation is a thread-local increment.
+//   * Timestamps are raw TSC reads (x86); conversion to microseconds — and
+//     the one-time calibration against the monotonic clock — happens at
+//     flush time, never per span.
+// The only lock on a recording path is the retained-set mutex, touched once
+// per *retained* trace (1/1024 of roots under the production policy) —
+// never per span.
+//
+// Rings are bounded, so a long traced run degrades to keeping the most
+// recent spans; overwrites are counted and exported as `obs.trace.dropped`.
+//
+// Spans whose root lives in another process (adopted via the TCP envelope)
+// are always retained locally — the sampling decision belongs to the root's
+// process, which this process cannot see.
 //
 // Export: Chrome trace_event JSON ("X" complete events, chrome://tracing or
 // https://ui.perfetto.dev), with pid = NodeId the span executed on and tid =
-// a dense per-thread index.
+// a dense per-thread index.  Only retained traces are exported.
 
 #ifndef SRC_OBS_TRACE_H_
 #define SRC_OBS_TRACE_H_
@@ -27,9 +67,13 @@
 #include <deque>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 namespace tango::obs {
+
+class Counter;
+class Gauge;
 
 struct TraceContext {
   uint64_t trace_id = 0;  // 0 = not tracing
@@ -41,51 +85,197 @@ struct TraceContext {
 TraceContext CurrentTrace();
 void SetCurrentTrace(TraceContext ctx);
 
+// The calling thread's dense index (1-based, assigned at first use) — the
+// `tid` lane in trace exports; the flight recorder reuses it so crash dumps
+// and traces agree on thread identity.
+uint32_t CurrentThreadIndex();
+
 struct Span {
   uint64_t trace_id = 0;
   uint64_t span_id = 0;
   uint64_t parent_id = 0;  // 0 = root
   std::string name;
-  uint64_t start_us = 0;     // NowMicros at construction
+  uint64_t start_us = 0;     // monotonic-clock microseconds at construction
   uint64_t duration_us = 0;
   uint32_t node = 0;    // NodeId the span executed on (0 = client/runtime)
   uint32_t thread = 0;  // dense thread index, for trace-viewer lanes
+};
+
+// Head-sampling + tail-retention policy.  The default keeps every trace,
+// which is what tests and the --demo tools want; production deployments run
+// e.g. {1024, 10'000, seed} — one trace in 1024 plus everything slower than
+// 10 ms.
+struct SamplingPolicy {
+  uint64_t sample_every = 1;  // keep 1 in N new root traces (0 and 1 = all)
+  uint64_t slow_us = 0;       // also keep roots >= this duration (0 = off)
+  uint64_t seed = 0;          // head-sampling hash seed (fixes decisions)
 };
 
 class Tracer {
  public:
   static Tracer& Default();
 
-  void SetEnabled(bool enabled) {
-    enabled_.store(enabled, std::memory_order_relaxed);
-  }
+  void SetEnabled(bool enabled);
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  void RecordSpan(Span span);
+  void SetSampling(SamplingPolicy policy);
+  SamplingPolicy sampling() const;
 
-  // Finished spans, oldest first (bounded by capacity; see dropped()).
+  // The head-sampling decision for a root trace id under the current policy.
+  // Pure: same policy + same id => same answer (sampler determinism).
+  bool WouldHeadSample(uint64_t trace_id) const;
+
+  // Internal span record: `name` must have static storage duration (string
+  // literals), so the hot path never allocates.
+  struct Rec {
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
+    uint64_t parent_id = 0;
+    const char* name = "";
+    uint64_t start_us = 0;
+    uint64_t duration_us = 0;
+    uint32_t node = 0;
+    uint32_t thread = 0;
+    bool adopted = false;  // root lives in another process: always retain
+  };
+  // Appends directly to the calling thread's shared ring (timestamps already
+  // in microseconds).  TraceScope does not use this — it goes through the
+  // scratch-batch path below — but flushes land here, and it remains the
+  // entry point for synthetic records.
+  void RecordSpan(const Rec& rec);
+
+  // Hot-path entry used by TraceScope: buffers the closing span (timestamps
+  // still raw ticks) in the calling thread's private scratch batch.  When
+  // `top` is set (the request's root or an adopted server-side scope), the
+  // whole batch is flushed to the rings if the trace is retained — adopted,
+  // head-sampled, or slower than the policy threshold — and discarded
+  // otherwise.
+  void RecordScoped(uint64_t trace_id, uint64_t span_id, uint64_t parent_id,
+                    const char* name, uint32_t node, bool adopted,
+                    uint64_t start_ticks, uint64_t end_ticks, bool top);
+
+  // Applies head sampling and tail retention to a closing root; returns
+  // whether the trace is retained (and records it if so).
+  bool FinishRoot(uint64_t trace_id, bool head_sampled, uint64_t duration_us);
+
+  // Finished spans of retained traces, per-thread-ring order (oldest first
+  // within a ring; single-threaded tests therefore see completion order).
   std::vector<Span> Spans() const;
   // Spans with duration >= min_duration_us, slowest first, at most `limit`.
   std::vector<Span> SlowSpans(uint64_t min_duration_us, size_t limit) const;
+  // True if the trace survived sampling (head-kept, tail-retained or
+  // adopted).
+  bool IsRetained(uint64_t trace_id) const;
 
   // Chrome trace_event JSON array of complete ("X") events.
   std::string ExportChromeJson() const;
 
   void Clear();
+  // Per-thread ring capacity in spans (the old global-capacity knob).
+  // Applied lazily: each ring reshapes on its owner's next RecordSpan.
   void set_capacity(size_t capacity);
-  // Spans discarded because the ring was full.
-  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  // Spans discarded because a thread ring was full (also exported as the
+  // `obs.trace.dropped` registry counter at every collection).
+  uint64_t dropped() const;
+  // Root traces discarded by head sampling (not slow enough to retain).
+  uint64_t head_sampled_out() const {
+    return head_sampled_out_.load(std::memory_order_relaxed);
+  }
+  // Root traces kept only because they crossed the slow threshold.
+  uint64_t tail_retained() const {
+    return tail_retained_.load(std::memory_order_relaxed);
+  }
+  // Spans currently buffered across all thread rings.
+  uint64_t RingSpans() const;
 
   uint64_t NewTraceId();
   uint64_t NewSpanId();
 
  private:
+  // One buffered span, every field individually atomic: the owning thread
+  // stores with relaxed order (plain MOVs on x86) and concurrent exporters
+  // load the same way, so overwrite-during-export is tearing, not UB.
+  struct Slot {
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<uint64_t> span_id{0};
+    std::atomic<uint64_t> parent_id{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<uint64_t> start_us{0};
+    std::atomic<uint64_t> duration_us{0};
+    std::atomic<uint32_t> node{0};
+    std::atomic<uint32_t> thread{0};
+    std::atomic<uint8_t> adopted{0};
+  };
+  // Capacity and storage swap together behind one pointer so readers never
+  // see a mismatched (cap, slots) pair.  Arrays are never freed — exporters
+  // and late writers may still hold the old one.
+  struct SlotArray {
+    size_t cap = 0;
+    Slot* slots = nullptr;
+  };
+  struct alignas(64) ThreadRing {
+    uint32_t owner_thread = 0;  // dense thread index that records here
+    std::atomic<uint64_t> head{0};     // total records pushed since reset
+    std::atomic<uint64_t> dropped{0};  // overwrites (single-writer counter)
+    std::atomic<SlotArray*> arr{nullptr};
+  };
+
+  struct TickRec;  // scratch record, timestamps in raw ticks (trace.cc)
+  struct Scratch;  // per-thread plain batch buffer (trace.cc)
+
+  ThreadRing* LocalRing();
+  SlotArray* ResizeRing(ThreadRing* ring, size_t want);
+  Scratch& LocalScratch();
+  // Converts the batch to microseconds and appends it to the shared ring;
+  // marks `retain_trace_id` retained when nonzero.
+  void FlushScratch(Scratch* s, uint64_t retain_trace_id);
+  void AppendToRing(const Rec& rec);
+  void MarkRetained(uint64_t trace_id);
+  void EnsureInstruments();
+  // Appends `ring`'s live records, oldest first, to `out` (lock-free;
+  // records mid-overwrite may come out mixed).
+  static void SnapshotRing(const ThreadRing* ring, std::vector<Rec>* out);
+  std::vector<Rec> SnapshotRecs() const;
+  uint64_t NewId();
+
   std::atomic<bool> enabled_{false};
-  std::atomic<uint64_t> next_id_{1};
-  std::atomic<uint64_t> dropped_{0};
-  mutable std::mutex mu_;
-  size_t capacity_ = 1 << 16;
-  std::deque<Span> spans_;
+  std::atomic<uint64_t> next_id_block_{1};
+  std::atomic<uint64_t> head_sampled_out_{0};
+  std::atomic<uint64_t> tail_retained_{0};
+  std::atomic<size_t> ring_capacity_{1 << 13};
+
+  // Sampling policy as three relaxed atomics: WouldHeadSample/FinishRoot
+  // run per root and must not take a lock.
+  std::atomic<uint64_t> policy_sample_every_{1};
+  std::atomic<uint64_t> policy_slow_us_{0};
+  std::atomic<uint64_t> policy_seed_{0};
+
+  mutable std::mutex rings_mu_;
+  std::vector<ThreadRing*> rings_;  // never freed; one per recording thread
+  // Replaced slot arrays parked here instead of freed: a concurrent
+  // exporter may still be walking one, and keeping them reachable also
+  // keeps leak checkers quiet.
+  std::vector<SlotArray*> retired_arrays_;
+
+  // Bounded FIFO of retained trace ids; spans of evicted traces fall out of
+  // exports (their ring slots recycle anyway).
+  mutable std::mutex retained_mu_;
+  std::unordered_set<uint64_t> retained_;
+  std::deque<uint64_t> retained_order_;
+  size_t retained_cap_ = 1 << 14;
+
+  // Registry instruments (resolved once; see EnsureInstruments).  The
+  // counters mirror the tracer's own totals via delta export from the
+  // collection hook, keeping registry traffic off the span path.
+  std::once_flag instruments_once_;
+  Counter* m_dropped_ = nullptr;
+  Counter* m_head_out_ = nullptr;
+  Counter* m_tail_retained_ = nullptr;
+  Gauge* m_ring_spans_ = nullptr;
+  Gauge* m_retained_traces_ = nullptr;
+  std::atomic<uint64_t> exported_dropped_{0};
+  std::atomic<uint64_t> exported_head_out_{0};
+  std::atomic<uint64_t> exported_tail_{0};
 };
 
 // RAII span.  Inert (no allocation, no clock reads) unless the default
@@ -93,6 +283,8 @@ class Tracer {
 // calling thread has no active context, otherwise parents under it.  The
 // adopting constructor joins an incoming RPC context instead — inert when the
 // incoming context is empty (untraced caller).
+//
+// `name` must point at storage that outlives the tracer (string literals).
 class TraceScope {
  public:
   explicit TraceScope(const char* name, uint32_t node = 0);
@@ -105,12 +297,19 @@ class TraceScope {
   bool active() const { return active_; }
 
  private:
-  void Begin(const char* name, TraceContext parent, uint32_t node,
-             bool require_parent);
+  void Begin(Tracer& tracer, const char* name, TraceContext parent,
+             uint32_t node, bool adopted);
 
   bool active_ = false;
+  bool root_ = false;
+  bool adopted_ = false;
   TraceContext saved_;
-  Span span_;
+  uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_id_ = 0;
+  uint64_t start_ticks_ = 0;  // TSC (or ns fallback); converted at flush
+  const char* name_ = "";
+  uint32_t node_ = 0;
 };
 
 }  // namespace tango::obs

@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "src/obs/slo.h"
 #include "src/obs/trace.h"
 #include "src/util/logging.h"
 #include "src/util/threading.h"
@@ -720,7 +721,15 @@ Status TangoRuntime::EndTx() {
   if (counted) {
     txn_attempts_->Add();
   }
+  uint64_t start_us =
+      counted && obs::MetricsEnabled() ? NowMicros() : 0;
   Status st = EndTxImpl();
+  if (start_us != 0 && (st.ok() || st == StatusCode::kAborted)) {
+    // Aborts count against the objective too: a conflict retry is latency
+    // the caller eats, not a free pass.
+    obs::SloTracker::Default().Record(obs::SloOp::kTxnCommit,
+                                      NowMicros() - start_us);
+  }
   if (counted) {
     if (st.ok()) {
       txn_commits_->Add();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/obs/flight.h"
 #include "src/util/crc32c.h"
 #include "src/util/logging.h"
 #include "src/util/serialize.h"
@@ -207,6 +208,9 @@ Status SegmentStoreBackend::Recover() {
   }
 
   active_id_ = ids.back();
+  tango::obs::FlightRecorder::Default().Record(
+      tango::obs::FlightKind::kRecovery, "segment store recovered",
+      recovery_.segments_scanned, recovery_.pages_recovered);
   return Status::Ok();
 }
 
@@ -389,6 +393,8 @@ Status SegmentStoreBackend::FlushToSeqLocked(uint64_t seq,
     if (!s.ok()) {
       failed_ = true;
       m_failstop_->Add();
+      tango::obs::FlightRecorder::Default().Record(
+          tango::obs::FlightKind::kFailstop, "group flush failed");
       TANGO_LOG(kError) << "segment store: group flush failed, entering "
                            "fail-stop: " << s.ToString();
       cv_.notify_all();
@@ -429,6 +435,8 @@ Status SegmentStoreBackend::SyncToSeqLocked(uint64_t seq,
     if (!s.ok()) {
       failed_ = true;
       m_failstop_->Add();
+      tango::obs::FlightRecorder::Default().Record(
+          tango::obs::FlightKind::kFailstop, "fsync failed");
       TANGO_LOG(kError) << "segment store: fsync failed, entering fail-stop: "
                         << s.ToString();
       cv_.notify_all();
@@ -465,6 +473,8 @@ Status SegmentStoreBackend::RollSegmentLocked(std::unique_lock<std::mutex>& lk) 
   if (!file.ok()) {
     failed_ = true;
     m_failstop_->Add();
+    tango::obs::FlightRecorder::Default().Record(
+        tango::obs::FlightKind::kFailstop, "segment open failed", id);
     return file.status();
   }
   segments_[id].file = std::move(*file);
@@ -521,6 +531,8 @@ void SegmentStoreBackend::MaybeGcLocked(std::unique_lock<std::mutex>& lk) {
     segments_.erase(id);
     gc_deleted_.fetch_add(1);
     m_gc_deleted_->Add();
+    tango::obs::FlightRecorder::Default().Record(
+        tango::obs::FlightKind::kGc, "gc deleted segment", id, trim_prefix_);
   }
 }
 

@@ -60,6 +60,10 @@ class Histogram {
 
   void Reset();
 
+  // Raw per-bucket counts, laid out by BucketFor() — the Prometheus
+  // exposition renderer folds these into cumulative le-buckets.
+  const std::vector<uint64_t>& bucket_counts() const { return buckets_; }
+
   // e.g. "p50=812us p99=2.3ms mean=901us n=18234" (values are raw units).
   std::string Summary() const;
 

@@ -8,6 +8,7 @@
 //   sequencer        : node 10,  base_port + 1
 //   storage node i   : node 100+i, base_port + 2 + i
 //   stats service    : node 12,  base_port + 2 + num_storage_nodes
+//   obs http server  : (plain HTTP), base_port + 3 + num_storage_nodes
 
 #ifndef TOOLS_NODE_LAYOUT_H_
 #define TOOLS_NODE_LAYOUT_H_
@@ -36,6 +37,11 @@ struct NodeLayout {
   }
   uint16_t StatsPort() const {
     return static_cast<uint16_t>(base_port + 2 + num_storage_nodes);
+  }
+  // The daemon's embedded observability HTTP server (/metrics, /traces,
+  // /vars, /slo, /flight, /healthz), one past the stats RPC port.
+  uint16_t HttpPort() const {
+    return static_cast<uint16_t>(base_port + 3 + num_storage_nodes);
   }
 
   corfu::CorfuCluster::Options ClusterOptions(int replication) const {

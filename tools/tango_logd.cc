@@ -11,6 +11,16 @@
 //   tango_logd [--base-port=19700] [--nodes=6] [--repl=2]
 //              [--journal-dir=/var/lib/tango] [--data-dir=/var/lib/tango]
 //              [--fsync-batch=64] [--listen=127.0.0.1]
+//              [--http-port=N] [--trace-sample-every=1024]
+//              [--trace-slow-us=10000]
+//
+// Observability: an embedded HTTP server (default port base_port + 3 +
+// nodes; --http-port=0 disables) serves /metrics (Prometheus), /traces
+// (Chrome JSON), /vars, /slo, /flight and /healthz.  Tracing runs always-on
+// with 1-in-N head sampling plus retention of any request slower than
+// --trace-slow-us.  On a fatal signal the flight recorder's last control-
+// plane events (seals, reconfigurations, GC, recovery, stalls) are written
+// to stderr before the process dies.
 //
 // With --journal-dir, storage nodes persist their pages and survive daemon
 // restarts (restart with the same flags, then run `tango_cli recover` once
@@ -24,7 +34,10 @@
 
 #include "src/corfu/cluster.h"
 #include "src/net/tcp_transport.h"
+#include "src/obs/flight.h"
+#include "src/obs/http.h"
 #include "src/obs/stats_service.h"
+#include "src/obs/trace.h"
 #include "src/util/threading.h"
 #include "tools/node_layout.h"
 
@@ -50,6 +63,21 @@ int main(int argc, char** argv) {
   std::string data_dir = args.Get("data-dir", "");
   uint32_t fsync_batch = static_cast<uint32_t>(args.GetInt("fsync-batch", 64));
   std::string listen = args.Get("listen", "127.0.0.1");
+  uint16_t http_port = static_cast<uint16_t>(
+      args.GetInt("http-port", layout.HttpPort()));
+  uint64_t sample_every =
+      static_cast<uint64_t>(args.GetInt("trace-sample-every", 1024));
+  uint64_t slow_us = static_cast<uint64_t>(args.GetInt("trace-slow-us", 10000));
+
+  // The black box first: anything that crashes from here on dumps the
+  // flight recorder to stderr before dying.
+  tango::obs::FlightRecorder::InstallFatalSignalHandler();
+
+  // Always-on sampled tracing: cheap enough to leave running (see
+  // BENCH_obs.json), and the slow outliers are retained regardless of the
+  // sampling rate.
+  tango::obs::Tracer::Default().SetSampling({sample_every, slow_us, 0});
+  tango::obs::Tracer::Default().SetEnabled(true);
 
   tango::TcpTransport transport;
   transport.SetListenAddress(listen);
@@ -69,6 +97,21 @@ int main(int argc, char** argv) {
   // here (same flags as the daemon) and dumps this process's registry.
   tango::obs::StatsService stats(&transport, tangotools::NodeLayout::kStatsNode);
 
+  // HTTP observability endpoint: curl :port/metrics, /traces, /slo, ...
+  tango::obs::ObsHttpServer http;
+  if (http_port != 0) {
+    http.Handle("/flight",
+                [] { return tango::obs::FlightRecorder::Default().Dump(); });
+    tango::obs::ObsHttpServer::Options http_options;
+    http_options.address = listen;
+    http_options.port = http_port;
+    tango::Status http_st = http.Start(http_options);
+    if (!http_st.ok()) {
+      std::fprintf(stderr, "tango_logd: obs http disabled: %s\n",
+                   http_st.ToString().c_str());
+    }
+  }
+
   std::printf(
       "tango_logd: serving %d storage nodes (x%d replication) on %s ports "
       "%u-%u%s\n",
@@ -82,6 +125,11 @@ int main(int argc, char** argv) {
                  : (", journaling to " + journal_dir).c_str()));
   std::printf("tango_logd: stats endpoint (tango_stat --connect) on port %u\n",
               layout.StatsPort());
+  if (http.running()) {
+    std::printf("tango_logd: obs http (/metrics /traces /vars /slo /flight) "
+                "on port %u\n",
+                http.port());
+  }
   std::printf("tango_logd: ready\n");
   std::fflush(stdout);
 

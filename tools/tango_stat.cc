@@ -3,10 +3,20 @@
 // Three modes:
 //
 //   tango_stat --connect=HOST [--base-port=19700] [--nodes=6]
-//              [--kind=text|json|trace]
+//              [--kind=text|json|trace|prom|slo|flight] [--http]
 //     Attach to a live tango_logd (started with the same --base-port/--nodes
 //     flags) over TCP and dump its metrics registry, or — with --kind=trace —
-//     its span buffer as Chrome trace_event JSON.
+//     its span buffer as Chrome trace_event JSON.  --kind=prom fetches the
+//     Prometheus exposition, slo the burn-rate accounting, flight the crash
+//     flight recorder.  With --http the same payloads come from the daemon's
+//     HTTP port instead of the stats RPC (text -> /metrics, json -> /vars,
+//     trace -> /traces, slo -> /slo, flight -> /flight).
+//
+//   tango_stat --connect=HOST --watch=SECS [--count=N] [--http]
+//     Poll the deployment every SECS seconds and print what moved: counter
+//     rates (per second, from consecutive Prometheus scrapes) and latency
+//     percentile movement (_p50/_p99 gauges).  --count bounds the number of
+//     polls (0 = until interrupted).
 //
 //   tango_stat --demo [--chrome-out=FILE] [--slow-us=0]
 //     Spin up an in-process cluster, run a traced read-write transaction
@@ -27,10 +37,14 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+#include <thread>
+
 #include "src/corfu/cluster.h"
 #include "src/net/inproc_transport.h"
 #include "src/net/tcp_transport.h"
 #include "src/objects/tango_register.h"
+#include "src/obs/http.h"
 #include "src/obs/metrics.h"
 #include "src/obs/stats_service.h"
 #include "src/obs/trace.h"
@@ -43,7 +57,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: tango_stat --connect=HOST [--base-port=19700] [--nodes=6] "
-      "[--kind=text|json|trace]\n"
+      "[--kind=text|json|trace|prom|slo|flight] [--http]\n"
+      "       tango_stat --connect=HOST --watch=SECS [--count=N] [--http]\n"
       "       tango_stat --demo [--chrome-out=FILE] [--slow-us=0]\n"
       "       tango_stat --selftest [--chrome-out=FILE]\n");
   return 2;
@@ -202,11 +217,47 @@ int RunDemo(const tangotools::ToolArgs& args, bool selftest) {
   return failures == 0 ? 0 : 1;
 }
 
-int RunConnect(const tangotools::ToolArgs& args) {
+// Fetches one stats payload from the daemon, over the stats RPC or (with
+// --http) the observability HTTP port.  The two transports carry the same
+// renderings, so everything downstream is transport-agnostic.
+tango::Result<std::string> Fetch(const tangotools::ToolArgs& args,
+                                 tango::obs::StatsKind kind) {
   std::string host = args.Get("connect", "");
   tangotools::NodeLayout layout{
       static_cast<int>(args.GetInt("nodes", 6)),
       static_cast<uint16_t>(args.GetInt("base-port", 19700))};
+  if (args.Get("http", "") == "true") {
+    const char* path = "/metrics";
+    switch (kind) {
+      case tango::obs::StatsKind::kMetricsText:
+      case tango::obs::StatsKind::kPrometheus:
+        path = "/metrics";
+        break;
+      case tango::obs::StatsKind::kMetricsJson:
+        path = "/vars";
+        break;
+      case tango::obs::StatsKind::kChromeTrace:
+        path = "/traces";
+        break;
+      case tango::obs::StatsKind::kSloJson:
+        path = "/slo";
+        break;
+      case tango::obs::StatsKind::kFlightRecorder:
+        path = "/flight";
+        break;
+    }
+    uint16_t port =
+        static_cast<uint16_t>(args.GetInt("http-port", layout.HttpPort()));
+    return tango::obs::HttpGet(host, port, path, /*timeout_ms=*/5000);
+  }
+  tango::TcpTransport transport;
+  transport.AddRoute(tangotools::NodeLayout::kStatsNode, host,
+                     layout.StatsPort());
+  return tango::obs::FetchStats(&transport,
+                                tangotools::NodeLayout::kStatsNode, kind);
+}
+
+int RunConnect(const tangotools::ToolArgs& args) {
   std::string kind_name = args.Get("kind", "text");
 
   tango::obs::StatsKind kind;
@@ -216,24 +267,103 @@ int RunConnect(const tangotools::ToolArgs& args) {
     kind = tango::obs::StatsKind::kMetricsJson;
   } else if (kind_name == "trace") {
     kind = tango::obs::StatsKind::kChromeTrace;
+  } else if (kind_name == "prom") {
+    kind = tango::obs::StatsKind::kPrometheus;
+  } else if (kind_name == "slo") {
+    kind = tango::obs::StatsKind::kSloJson;
+  } else if (kind_name == "flight") {
+    kind = tango::obs::StatsKind::kFlightRecorder;
   } else {
     return Usage();
   }
 
-  tango::TcpTransport transport;
-  transport.AddRoute(tangotools::NodeLayout::kStatsNode, host,
-                     layout.StatsPort());
-  auto payload = tango::obs::FetchStats(
-      &transport, tangotools::NodeLayout::kStatsNode, kind);
+  auto payload = Fetch(args, kind);
   if (!payload.ok()) {
-    std::fprintf(stderr, "tango_stat: fetch from %s:%u failed: %s\n",
-                 host.c_str(), layout.StatsPort(),
+    std::fprintf(stderr, "tango_stat: fetch from %s failed: %s\n",
+                 args.Get("connect", "").c_str(),
                  payload.status().ToString().c_str());
     return 1;
   }
   std::printf("%s", payload->c_str());
   if (!payload->empty() && payload->back() != '\n') {
     std::printf("\n");
+  }
+  return 0;
+}
+
+// One numeric sample per metric name out of a Prometheus exposition.
+// Bucket lines (any name carrying labels) are skipped — the derived _p50 /
+// _p99 gauges carry the percentile story for watch mode.
+std::map<std::string, double> ParseProm(const std::string& payload) {
+  std::map<std::string, double> out;
+  size_t pos = 0;
+  while (pos < payload.size()) {
+    size_t eol = payload.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = payload.size();
+    }
+    std::string line = payload.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    size_t sp = line.find(' ');
+    if (sp == std::string::npos) {
+      continue;
+    }
+    std::string name = line.substr(0, sp);
+    if (name.find('{') != std::string::npos) {
+      continue;
+    }
+    out[name] = std::atof(line.c_str() + sp + 1);
+  }
+  return out;
+}
+
+int RunWatch(const tangotools::ToolArgs& args) {
+  uint64_t interval_s = static_cast<uint64_t>(args.GetInt("watch", 2));
+  if (interval_s == 0) {
+    interval_s = 1;
+  }
+  uint64_t count = static_cast<uint64_t>(args.GetInt("count", 0));
+
+  std::map<std::string, double> prev;
+  bool first = true;
+  for (uint64_t polls = 0; count == 0 || polls < count; ++polls) {
+    auto payload = Fetch(args, tango::obs::StatsKind::kPrometheus);
+    if (!payload.ok()) {
+      std::fprintf(stderr, "tango_stat: watch fetch failed: %s\n",
+                   payload.status().ToString().c_str());
+      return 1;
+    }
+    std::map<std::string, double> cur = ParseProm(*payload);
+    if (!first) {
+      std::printf("--- %llus tick ---\n",
+                  static_cast<unsigned long long>(interval_s));
+      for (const auto& [name, value] : cur) {
+        bool percentile =
+            name.size() > 4 && (name.compare(name.size() - 4, 4, "_p50") == 0 ||
+                                name.compare(name.size() - 4, 4, "_p99") == 0);
+        auto it = prev.find(name);
+        double before = it == prev.end() ? 0.0 : it->second;
+        if (percentile) {
+          if (value != before) {
+            std::printf("%-48s %12.0f -> %.0f\n", name.c_str(), before, value);
+          }
+        } else if (value > before) {
+          std::printf("%-48s %+12.1f/s (now %.0f)\n", name.c_str(),
+                      (value - before) / static_cast<double>(interval_s),
+                      value);
+        }
+      }
+      std::fflush(stdout);
+    }
+    prev = std::move(cur);
+    first = false;
+    if (count != 0 && polls + 1 >= count) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::seconds(interval_s));
   }
   return 0;
 }
@@ -249,6 +379,9 @@ int main(int argc, char** argv) {
     return RunDemo(args, /*selftest=*/false);
   }
   if (!args.Get("connect", "").empty()) {
+    if (!args.Get("watch", "").empty()) {
+      return RunWatch(args);
+    }
     return RunConnect(args);
   }
   return Usage();
