@@ -11,6 +11,19 @@ cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
+echo "== overload smoke: fig_overload tiny sweep + JSON sanity =="
+cmake --build "$ROOT/build" -j "$JOBS" --target fig_overload
+"$ROOT/build/bench/fig_overload" --duration-ms=150 --threads=8 \
+  --capacity=2000 --storage-latency-us=200 \
+  --json="$ROOT/build/bench-overload-smoke.json"
+python3 - "$ROOT/build/bench-overload-smoke.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+a = d["acceptance"]
+assert a["priority_probe_failures"] == 0, a
+assert any(c["sheds"] > 0 for c in d["cells"]), "no cell ever shed"
+EOF
+
 echo "== tier-2: ASan/UBSan build + ctest =="
 cmake -B "$ROOT/build-asan" -S "$ROOT" -DCMAKE_BUILD_TYPE=Asan
 cmake --build "$ROOT/build-asan" -j "$JOBS"

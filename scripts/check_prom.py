@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validates a Prometheus text-exposition payload (the /metrics endpoint).
 
-Usage: check_prom.py FILE [--require-metric NAME ...]
+Usage: check_prom.py FILE [--require-metric NAME ...] [--require-prefix P ...]
 
 Checks, line by line:
   * comment lines are `# HELP`, `# TYPE`, or exemplar-free chatter;
@@ -65,10 +65,14 @@ def main():
         sys.exit("usage: check_prom.py FILE [--require-metric NAME ...]")
     path = args[0]
     required = set()
+    required_prefixes = set()
     i = 1
     while i < len(args):
         if args[i] == "--require-metric" and i + 1 < len(args):
             required.add(args[i + 1])
+            i += 2
+        elif args[i] == "--require-prefix" and i + 1 < len(args):
+            required_prefixes.add(args[i + 1])
             i += 2
         else:
             sys.exit(f"unknown argument: {args[i]}")
@@ -149,6 +153,18 @@ def main():
     missing = {r for r in required if r not in seen and r not in typed}
     if missing:
         sys.exit(f"{path}: required metrics absent: {sorted(missing)}")
+
+    all_names = seen | set(typed)
+    missing_prefixes = {
+        p
+        for p in required_prefixes
+        if not any(name.startswith(p) for name in all_names)
+    }
+    if missing_prefixes:
+        sys.exit(
+            f"{path}: no metric matches required prefixes: "
+            f"{sorted(missing_prefixes)}"
+        )
 
     print(
         f"check_prom: {path} OK "

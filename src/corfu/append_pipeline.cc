@@ -39,6 +39,7 @@ AppendPipeline::AppendPipeline(CorfuClient* client, Options options)
   options_.window = std::max(options_.window, 1u);
   options_.grant_batch =
       std::clamp(options_.grant_batch, 1u, kMaxGrantBatch);
+  cwnd_ = static_cast<double>(options_.window);
   auto& reg = tango::obs::MetricsRegistry::Default();
   depth_gauge_ = reg.GetGauge("log.pipeline.depth");
   grant_rpcs_ = reg.GetCounter("log.pipeline.grant_rpcs");
@@ -47,10 +48,53 @@ AppendPipeline::AppendPipeline(CorfuClient* client, Options options)
   grant_batch_hist_ = reg.GetHistogram("log.pipeline.grant_batch");
   grant_stage_us_ = reg.GetHistogram("log.append.stage.grant_us");
   write_stage_us_ = reg.GetHistogram("log.append.stage.write_us");
-  workers_.reserve(options_.window);
-  for (uint32_t i = 0; i < options_.window; ++i) {
+  cwnd_gauge_ = reg.GetGauge("overload.pipeline.cwnd");
+  shed_counter_ = reg.GetCounter("overload.pipeline.shed");
+  busy_counter_ = reg.GetCounter("overload.pipeline.busy");
+  deadline_timeouts_ = reg.GetCounter("overload.pipeline.deadline_timeouts");
+  cwnd_gauge_->Set(static_cast<int64_t>(cwnd_));
+  if (options_.token_deadline_ms > 0) {
+    deadline_runner_ = std::make_unique<tango::DeadlineRunner>();
+  }
+  uint32_t workers =
+      options_.workers != 0 ? options_.workers : options_.window;
+  workers_.reserve(workers);
+  for (uint32_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+}
+
+uint32_t AppendPipeline::WindowLimitLocked() const {
+  return std::max(1u, static_cast<uint32_t>(cwnd_));
+}
+
+uint32_t AppendPipeline::window_limit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WindowLimitLocked();
+}
+
+void AppendPipeline::ShrinkWindow() {
+  if (!options_.adaptive_window) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  cwnd_ = std::max(1.0, cwnd_ / 2.0);
+  cwnd_gauge_->Set(static_cast<int64_t>(cwnd_));
+}
+
+void AppendPipeline::GrowWindow() {
+  if (!options_.adaptive_window) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cwnd_ < static_cast<double>(options_.window)) {
+    cwnd_ = std::min(static_cast<double>(options_.window),
+                     cwnd_ + 1.0 / std::max(cwnd_, 1.0));
+    // The window may have widened past the current depth; admit a blocked
+    // submitter.
+    window_cv_.notify_one();
+  }
+  cwnd_gauge_->Set(static_cast<int64_t>(cwnd_));
 }
 
 AppendPipeline::~AppendPipeline() { Shutdown(); }
@@ -93,12 +137,28 @@ AppendPipeline::Handle AppendPipeline::Submit(
                kInvalidOffset);
       return handle;
     }
-    if (queue_.size() + active_ >= options_.window) {
+    if (queue_.size() + active_ >= WindowLimitLocked()) {
+      if (options_.shed_on_full) {
+        // Open-loop mode: a full window is an overload signal for the
+        // caller, not something to queue behind.  The hint scales with the
+        // depth a retry would have to wait out.
+        uint32_t hint = static_cast<uint32_t>(std::clamp<uint64_t>(
+            1000 * (queue_.size() + active_), 200, 100'000));
+        shed_counter_->Add();
+        lock.unlock();
+        {
+          std::lock_guard<std::mutex> slock(stats_mu_);
+          ++stats_.submitted;
+        }
+        Complete(work, Status::Busy(hint, "append window full"),
+                 kInvalidOffset);
+        return handle;
+      }
       // The submitter is actually blocked on the window — the stall the
       // flight recorder exists to explain after a crash.
       uint64_t stall_start_us = tango::NowMicros();
       window_cv_.wait(
-          lock, [&] { return queue_.size() + active_ < options_.window; });
+          lock, [&] { return queue_.size() + active_ < WindowLimitLocked(); });
       tango::obs::FlightRecorder::Default().Record(
           tango::obs::FlightKind::kPipelineStall, "append window stall",
           tango::NowMicros() - stall_start_us, options_.window);
@@ -134,6 +194,9 @@ void AppendPipeline::Shutdown() {
       w.join();
     }
   }
+  // Join any straggling deadline-bounded chain writes before junk-filling,
+  // so a late write either landed (Fill no-ops on it) or never will.
+  deadline_runner_.reset();
   // Every queued work has been processed; what remains are tokens that were
   // granted but never written.  Junk-fill them so the window leaves no holes
   // behind (first-writer-wins: Fill is a no-op where a real value landed).
@@ -221,6 +284,7 @@ void AppendPipeline::ProcessOne(Work& work) {
     st = TryOnce(work, &offset);
     if (st.ok()) {
       client_->appends_->Add();
+      GrowWindow();
       Complete(work, st, offset);
       return;
     }
@@ -228,6 +292,15 @@ void AppendPipeline::ProcessOne(Work& work) {
       // Lost the offset to another writer or to GC: no hole, just grab a
       // fresh token immediately.
       attempt.CountAttempt();
+      continue;
+    }
+    if (st == StatusCode::kBusy) {
+      // The sequencer or a storage node shed us: multiplicative decrease,
+      // then the hinted cooperative pause before re-driving on a fresh
+      // token.  No projection refresh — the cluster is alive, just loaded.
+      busy_counter_->Add();
+      ShrinkWindow();
+      attempt.BackoffSleep(st.retry_after_us());
       continue;
     }
     if (st == StatusCode::kSealedEpoch) {
@@ -239,6 +312,10 @@ void AppendPipeline::ProcessOne(Work& work) {
       continue;
     }
     if (st == StatusCode::kUnavailable || st == StatusCode::kTimeout) {
+      if (st == StatusCode::kTimeout) {
+        // A timed-out chain write is congestion evidence just like a shed.
+        ShrinkWindow();
+      }
       Status refreshed = client_->RefreshProjection();
       if (!refreshed.ok()) {
         st = refreshed;
@@ -288,7 +365,19 @@ Status AppendPipeline::TryOnce(const Work& work, LogOffset* out) {
   Status st;
   {
     tango::obs::ScopedTimer timer(write_stage_us_);
-    st = client_->ChainWrite(p, token.offset, *encoded);
+    st = BoundedChainWrite(p, token.offset, *encoded);
+  }
+  if (st == StatusCode::kBusy) {
+    // Storage shed the write: hold the token (abandoning it would mint one
+    // hole per shed) and retry the same offset a few times after the hinted
+    // pause before giving the token up.
+    tango::RetryPolicy::Attempt pause = client_->retry_.Begin();
+    for (int tries = 0; st == StatusCode::kBusy && tries < 3; ++tries) {
+      busy_counter_->Add();
+      pause.BackoffSleep(st.retry_after_us());
+      tango::obs::ScopedTimer timer(write_stage_us_);
+      st = BoundedChainWrite(p, token.offset, *encoded);
+    }
   }
   if (st.ok()) {
     *out = token.offset;
@@ -304,6 +393,39 @@ Status AppendPipeline::TryOnce(const Work& work, LogOffset* out) {
   // becomes a hole we owe a junk-fill for.
   Abandon(std::move(token));
   return st;
+}
+
+Status AppendPipeline::BoundedChainWrite(const Projection& p, LogOffset offset,
+                                         const std::vector<uint8_t>& bytes) {
+  if (deadline_runner_ == nullptr) {
+    return client_->ChainWrite(p, offset, bytes);
+  }
+  // The helper may outlive this frame, so it owns copies of everything it
+  // touches (client_ itself outlives the runner: Shutdown joins stragglers).
+  struct Ctx {
+    CorfuClient* client;
+    Projection p;
+    LogOffset offset;
+    std::vector<uint8_t> bytes;
+    Status st = Status::Ok();
+  };
+  auto ctx = std::make_shared<Ctx>();
+  ctx->client = client_;
+  ctx->p = p;
+  ctx->offset = offset;
+  ctx->bytes = bytes;
+  bool in_time = deadline_runner_->Run(
+      [ctx] { ctx->st = ctx->client->ChainWrite(ctx->p, ctx->offset,
+                                                ctx->bytes); },
+      static_cast<uint64_t>(options_.token_deadline_ms) * 1000);
+  if (!in_time) {
+    // The write is still in flight on the helper; whether it eventually
+    // lands or not, abandoning the token is safe — first-writer-wins, and
+    // Fill no-ops where a value landed.
+    deadline_timeouts_->Add();
+    return Status(StatusCode::kTimeout, "chain write exceeded token deadline");
+  }
+  return ctx->st;
 }
 
 Status AppendPipeline::AcquireToken(const Projection& p,
@@ -343,7 +465,8 @@ Status AppendPipeline::AcquireToken(const Projection& p,
       std::min(std::max(bucket.waiting, options_.grant_batch), kMaxGrantBatch);
   lock.unlock();
   Result<SequencerGrant> grant =
-      SequencerNext(client_->transport_, p.sequencer, p.epoch, count, streams);
+      SequencerNext(client_->transport_, p.sequencer, p.epoch, count, streams,
+                    client_->client_id_);
   lock.lock();
   bucket.grant_inflight = false;
   if (!grant.ok()) {

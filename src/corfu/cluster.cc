@@ -33,7 +33,8 @@ CorfuCluster::CorfuCluster(tango::Transport* transport, Options options)
 
   sequencer_ = std::make_unique<Sequencer>(transport_, options_.sequencer_node,
                                            /*epoch=*/0,
-                                           options_.backpointer_count);
+                                           options_.backpointer_count,
+                                           options_.admission);
   next_sequencer_node_ = options_.sequencer_node + 1000;
   next_spare_node_ =
       options_.storage_base + static_cast<NodeId>(options_.num_storage_nodes) +
@@ -85,7 +86,8 @@ tango::NodeId CorfuCluster::SpawnReplacementSequencer() {
   std::lock_guard<std::mutex> lock(spawn_mu_);
   NodeId node = next_sequencer_node_++;
   replacement_sequencers_.push_back(std::make_unique<Sequencer>(
-      transport_, node, /*epoch=*/0, options_.backpointer_count));
+      transport_, node, /*epoch=*/0, options_.backpointer_count,
+      options_.admission));
   return node;
 }
 
@@ -108,7 +110,8 @@ Status CorfuCluster::ReplaceSequencer(CorfuClient* client) {
   // The replacement starts empty at epoch 0 and is bootstrapped by
   // Reconfigure with the sealed tail + rebuilt backpointer state.
   sequencer_ = std::make_unique<Sequencer>(transport_, new_node, /*epoch=*/0,
-                                           options_.backpointer_count);
+                                           options_.backpointer_count,
+                                           options_.admission);
   return Reconfigure(client,
                      [new_node](Projection& p) { p.sequencer = new_node; });
 }

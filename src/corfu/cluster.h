@@ -45,6 +45,9 @@ class CorfuCluster {
     tango::NodeId storage_base = 100;
     tango::NodeId sequencer_node = 10;
     tango::NodeId projection_store_node = 11;
+    // Admission-control policy for the sequencer (and any replacement
+    // spawned by failover).  Defaults to off.
+    SequencerAdmission admission;
   };
 
   CorfuCluster(tango::Transport* transport, Options options);

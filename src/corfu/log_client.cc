@@ -3,7 +3,10 @@
 #include "src/obs/slo.h"
 #include "src/obs/trace.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -58,6 +61,14 @@ tango::RetryPolicy MakeRetryPolicy(const CorfuClient::Options& options) {
   return tango::RetryPolicy(retry);
 }
 
+// Process-unique client identity for the sequencer's per-client quotas;
+// the pid high bits keep ids distinct across processes sharing a sequencer.
+uint64_t NextClientId() {
+  static std::atomic<uint64_t> next{1};
+  return (static_cast<uint64_t>(::getpid()) << 40) |
+         next.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 CorfuClient::CorfuClient(tango::Transport* transport, NodeId projection_store,
@@ -65,13 +76,23 @@ CorfuClient::CorfuClient(tango::Transport* transport, NodeId projection_store,
     : transport_(transport),
       projection_store_(projection_store),
       options_(options),
-      retry_(MakeRetryPolicy(options)) {
+      retry_(MakeRetryPolicy(options)),
+      client_id_(NextClientId()) {
+  if (options_.enable_circuit_breaker) {
+    tango::CircuitBreakerTransport::Options b = options_.breaker;
+    if (!b.bypass) {
+      b.bypass = [](uint16_t method) { return IsControlPlaneRpc(method); };
+    }
+    breaker_ = std::make_unique<tango::CircuitBreakerTransport>(transport, b);
+    transport_ = breaker_.get();
+  }
   auto& reg = tango::obs::MetricsRegistry::Default();
   appends_ = reg.GetCounter("log.appends");
   append_retries_ = reg.GetCounter("log.append_retries");
   fills_ = reg.GetCounter("log.fills");
   epoch_refreshes_ = reg.GetCounter("log.epoch_refreshes");
   hole_timeouts_ = reg.GetCounter("log.hole_timeouts");
+  busy_backoffs_ = reg.GetCounter("overload.client.busy_backoffs");
   append_latency_ = reg.GetHistogram("log.append.latency_us");
   Status st = RefreshProjection();
   TANGO_CHECK(st.ok()) << "initial projection fetch failed: " << st.ToString();
@@ -115,18 +136,24 @@ Status CorfuClient::WithEpochRetry(
     const std::function<Status(const Projection&)>& op) {
   // kSealedEpoch means our projection is stale; kUnavailable may mean the
   // node we are calling was replaced by a reconfiguration we have not seen
-  // yet.  Both refresh and retry with backoff.
+  // yet.  Both refresh and retry with backoff.  kBusy means the node is
+  // alive but shedding load: no refresh, just the hinted cooperative pause.
   auto retryable = [](const Status& st) {
     return st == StatusCode::kSealedEpoch || st == StatusCode::kUnavailable ||
-           st == StatusCode::kTimeout;
+           st == StatusCode::kTimeout || st == StatusCode::kBusy;
   };
   tango::RetryPolicy::Attempt attempt = retry_.Begin();
   Status st = op(Snapshot());
   while (retryable(st) && attempt.ShouldRetry()) {
-    epoch_refreshes_->Add();
-    TANGO_RETURN_IF_ERROR(RefreshProjection());
+    if (st == StatusCode::kBusy) {
+      busy_backoffs_->Add();
+      attempt.BackoffSleep(st.retry_after_us());
+    } else {
+      epoch_refreshes_->Add();
+      TANGO_RETURN_IF_ERROR(RefreshProjection());
+    }
     st = op(Snapshot());
-    if (retryable(st)) {
+    if (retryable(st) && st != StatusCode::kBusy) {
       // A reconfiguration is mid-flight (sealed but not yet proposed); back
       // off — with jitter, so the retrying herd does not stampede the
       // projection store in lockstep — and let it land.
@@ -195,8 +222,15 @@ Result<LogOffset> CorfuClient::AppendToStreams(
     }
     Projection p = Snapshot();
     Result<SequencerGrant> grant = SequencerNext(
-        transport_, p.sequencer, p.epoch, /*count=*/1, streams);
+        transport_, p.sequencer, p.epoch, /*count=*/1, streams, client_id_);
     if (!grant.ok()) {
+      if (grant.status() == StatusCode::kBusy) {
+        // The sequencer shed the grant: it is alive, just overloaded.  Honor
+        // its retry-after hint (jittered) instead of refreshing anything.
+        busy_backoffs_->Add();
+        attempt.BackoffSleep(grant.status().retry_after_us());
+        continue;
+      }
       if (grant.status() == StatusCode::kSealedEpoch ||
           grant.status() == StatusCode::kUnavailable ||
           grant.status() == StatusCode::kTimeout) {
@@ -233,6 +267,15 @@ Result<LogOffset> CorfuClient::AppendToStreams(
     }
 
     Status st = ChainWrite(p, grant->start, *encoded);
+    while (st == StatusCode::kBusy && attempt.ShouldRetry()) {
+      // Storage shed the write.  Keep the granted token — abandoning it
+      // would leave a hole per shed — and retry the same offset after the
+      // hinted pause.
+      busy_backoffs_->Add();
+      append_retries_->Add();
+      attempt.BackoffSleep(st.retry_after_us());
+      st = ChainWrite(p, grant->start, *encoded);
+    }
     if (st.ok()) {
       appends_->Add();
       if (start_us != 0) {
@@ -347,7 +390,7 @@ Result<std::vector<CorfuClient::BatchedRead>> CorfuClient::ReadBatch(
       const std::vector<size_t>& group = *live[g];
       const Status& st = rpc_status[g];
       if (st == StatusCode::kSealedEpoch || st == StatusCode::kUnavailable ||
-          st == StatusCode::kTimeout) {
+          st == StatusCode::kTimeout || st == StatusCode::kBusy) {
         last_retryable = st;
         pending.insert(pending.end(), group.begin(), group.end());
         continue;

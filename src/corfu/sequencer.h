@@ -23,6 +23,7 @@
 #ifndef SRC_CORFU_SEQUENCER_H_
 #define SRC_CORFU_SEQUENCER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
@@ -62,10 +63,34 @@ struct SequencerTailInfo {
   std::vector<StreamTail> backpointers;
 };
 
+// Admission-control knobs for the sequencer's grant path.  The sequencer is
+// the one node every append crosses, so it is where overload concentrates
+// first; these bounds turn "queue until collapse" into "shed with a hint".
+// Only kSequencerNext sheds — Tail/Bootstrap/Dump are control-plane
+// (IsControlPlaneRpc) and always admitted.
+struct SequencerAdmission {
+  // Sustained token-grant rate admitted across all clients (tokens/sec).
+  // 0 disables admission control entirely (the pre-overload behavior).
+  uint64_t capacity_tokens_per_sec = 0;
+  // Token-bucket depth: how large a burst is absorbed before shedding.
+  // 0 = capacity/8 (125 ms of burst).
+  uint64_t burst_tokens = 0;
+  // Per-client fair share of capacity, in (0, 1]: each client id gets its
+  // own bucket refilled at capacity * share so one aggressive client cannot
+  // monopolize the grant rate.  0 disables per-client quotas.  Anonymous
+  // callers (client id 0) share a single bucket.
+  double per_client_share = 0.0;
+  // Bound on concurrently executing Next calls (the "grant queue"): beyond
+  // this the request is shed immediately instead of convoying on the
+  // sequencer mutex.  0 = unbounded.
+  uint32_t max_inflight = 0;
+};
+
 class Sequencer {
  public:
   Sequencer(tango::Transport* transport, tango::NodeId node, Epoch epoch,
-            uint32_t backpointer_count);
+            uint32_t backpointer_count,
+            SequencerAdmission admission = SequencerAdmission{});
   ~Sequencer();
 
   Sequencer(const Sequencer&) = delete;
@@ -73,9 +98,14 @@ class Sequencer {
 
   tango::NodeId node() const { return node_; }
 
-  // Direct in-process entry points (also reachable over RPC).
+  // Replaces the admission policy at runtime (benches flip this mid-run).
+  void set_admission(SequencerAdmission admission);
+
+  // Direct in-process entry points (also reachable over RPC).  client_id
+  // attributes the grant to a caller for per-client quotas; 0 = anonymous.
   tango::Result<SequencerGrant> Next(Epoch epoch, uint32_t count,
-                                     const std::vector<StreamId>& streams);
+                                     const std::vector<StreamId>& streams,
+                                     uint64_t client_id = 0);
   tango::Result<SequencerTailInfo> Tail(Epoch epoch,
                                         const std::vector<StreamId>& streams);
   tango::Status Bootstrap(Epoch epoch, LogOffset tail,
@@ -93,11 +123,26 @@ class Sequencer {
   size_t StreamCount() const;
 
  private:
+  // Continuous-refill token bucket; guarded by mu_.
+  struct Bucket {
+    double tokens = 0.0;
+    uint64_t last_refill_us = 0;
+  };
+
   tango::Status HandleNext(tango::ByteReader& req, tango::ByteWriter& resp);
   tango::Status HandleTail(tango::ByteReader& req, tango::ByteWriter& resp);
   tango::Status HandleBootstrap(tango::ByteReader& req,
                                 tango::ByteWriter& resp);
   tango::Status HandleDump(tango::ByteReader& req, tango::ByteWriter& resp);
+
+  // Refills `b` at `rate` tokens/sec capped at `burst`, then either deducts
+  // `count` (admitted, returns 0) or computes the deficit-based retry-after
+  // hint in microseconds (shed, returns nonzero).  Guarded by mu_.
+  uint64_t TakeOrHint(Bucket& b, double rate, double burst, uint32_t count,
+                      uint64_t now_us);
+  // Full admission decision for one Next(count) from client_id.  Guarded by
+  // mu_.  OK or kBusy with a retry-after hint.
+  tango::Status Admit(uint32_t count, uint64_t client_id, uint64_t now_us);
 
   tango::Transport* transport_;
   tango::NodeId node_;
@@ -108,12 +153,22 @@ class Sequencer {
   LogOffset tail_ = 0;
   std::unordered_map<StreamId, StreamTail> streams_;
 
+  SequencerAdmission admission_;
+  Bucket global_bucket_;
+  std::unordered_map<uint64_t, Bucket> client_buckets_;
+  std::atomic<uint32_t> next_inflight_{0};
+
   // Registry instruments (see DESIGN.md "Observability").
   tango::obs::Counter* tokens_;
   tango::obs::Counter* tail_checks_;
   tango::obs::Counter* sealed_rejects_;
   tango::obs::Gauge* tail_gauge_;
   tango::obs::Gauge* stream_gauge_;
+  tango::obs::Counter* shed_;
+  tango::obs::Counter* shed_client_quota_;
+  tango::obs::Counter* admitted_tokens_;
+  tango::obs::Histogram* retry_after_us_;
+  tango::obs::Gauge* inflight_gauge_;
 
   tango::RpcDispatcher dispatcher_;
 };
@@ -121,7 +176,8 @@ class Sequencer {
 // Client-side wrappers.
 tango::Result<SequencerGrant> SequencerNext(
     tango::Transport* transport, tango::NodeId sequencer, Epoch epoch,
-    uint32_t count, const std::vector<StreamId>& streams);
+    uint32_t count, const std::vector<StreamId>& streams,
+    uint64_t client_id = 0);
 tango::Result<SequencerTailInfo> SequencerTail(
     tango::Transport* transport, tango::NodeId sequencer, Epoch epoch,
     const std::vector<StreamId>& streams);

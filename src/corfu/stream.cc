@@ -22,6 +22,8 @@ StreamStore::StreamStore(CorfuClient* log, Options options)
   fetch_miss_ok_ = reg.GetCounter("store.fetch.miss_ok");
   fetch_trimmed_ = reg.GetCounter("store.fetch.trimmed");
   fetch_errors_ = reg.GetCounter("store.fetch.errors");
+  stale_syncs_ = reg.GetCounter("overload.stream.stale_syncs");
+  stale_streams_ = reg.GetGauge("overload.stream.stale");
 }
 
 StreamStore::~StreamStore() { DrainAsyncPrefetch(/*wait=*/true); }
@@ -346,14 +348,55 @@ Status StreamStore::Backfill(StreamId stream, StreamState& state,
   return Status::Ok();
 }
 
+namespace {
+
+// Sync failures that mean "the cluster is shedding or partially out", where
+// a stale answer beats no answer.  kSealedEpoch and hard errors are not
+// brown-out material: the former already retried inside the client, and the
+// latter would hide real bugs.
+bool BrownoutStatus(const Status& st) {
+  return st == StatusCode::kBusy || st == StatusCode::kUnavailable ||
+         st == StatusCode::kTimeout;
+}
+
+}  // namespace
+
+LogOffset StreamStore::ServeStaleTail(StreamState& state) {
+  stale_syncs_->Add();
+  if (!state.stale) {
+    state.stale = true;
+    stale_streams_->Add(1);
+  }
+  return state.synced_tail;
+}
+
+void StreamStore::MarkFresh(StreamState& state) {
+  if (state.stale) {
+    state.stale = false;
+    stale_streams_->Add(-1);
+  }
+}
+
+bool StreamStore::IsStale(StreamId stream) const {
+  auto it = streams_.find(stream);
+  return it != streams_.end() && it->second.stale;
+}
+
 Result<LogOffset> StreamStore::Sync(StreamId stream) {
   StreamState& state = StateFor(stream);
   Result<SequencerTailInfo> info = log_->StreamTails({stream});
   if (!info.ok()) {
+    if (options_.brownout_stale_reads && BrownoutStatus(info.status())) {
+      // Brown-out: the sequencer (or the path to it) is shedding.  Readers
+      // keep consuming everything already discovered — entries are
+      // immutable, so the list is correct, just possibly behind.
+      return ServeStaleTail(state);
+    }
     return info.status();
   }
   TANGO_RETURN_IF_ERROR(Backfill(stream, state, info->backpointers[0]));
   state.synced_tail = info->tail;
+  MarkFresh(state);
   return info->tail;
 }
 
@@ -412,6 +455,16 @@ Result<LogOffset> StreamStore::SyncAll(const std::vector<StreamId>& streams) {
   }
   Result<SequencerTailInfo> info = log_->StreamTails(streams);
   if (!info.ok()) {
+    if (options_.brownout_stale_reads && BrownoutStatus(info.status())) {
+      // Brown-out: every requested stream serves its last synced list; the
+      // returned tail is the most conservative one (all lists are complete
+      // up to the minimum).
+      LogOffset tail = kInvalidOffset;
+      for (StreamId stream : streams) {
+        tail = std::min(tail, ServeStaleTail(StateFor(stream)));
+      }
+      return tail;
+    }
     return info.status();
   }
   for (size_t i = 0; i < streams.size(); ++i) {
@@ -419,6 +472,7 @@ Result<LogOffset> StreamStore::SyncAll(const std::vector<StreamId>& streams) {
     TANGO_RETURN_IF_ERROR(
         Backfill(streams[i], state, info->backpointers[i]));
     state.synced_tail = info->tail;
+    MarkFresh(state);
   }
   return info->tail;
 }

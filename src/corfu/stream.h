@@ -55,6 +55,13 @@ class StreamStore {
     // lands them in the entry cache.  0 disables prefetching entirely (the
     // original one-RPC-per-entry path).
     size_t readahead = 0;
+    // Brown-out mode: when a Sync fails with an overload / outage status
+    // (kBusy, kUnavailable, kTimeout), serve the stream's last successfully
+    // synced tail — explicitly marked stale via IsStale — instead of
+    // erroring, so readers keep draining known offsets (and the LRU entry
+    // cache) while the cluster sheds.  Entries are immutable, so everything
+    // already discovered is still correct; only the tail is behind.
+    bool brownout_stale_reads = true;
   };
 
   // Which way FetchEntry prefetches through the known-offset list: forward
@@ -90,8 +97,15 @@ class StreamStore {
   tango::Result<StreamEntry> PeekNext(StreamId stream);
 
   // Syncs several streams with a single sequencer round trip; returns the
-  // global log tail.  Equivalent to calling Sync on each stream.
+  // global log tail.  Equivalent to calling Sync on each stream.  Under
+  // brown-out (every requested stream already synced once, overload
+  // failure) returns the most conservative stale tail: the minimum of the
+  // streams' last synced tails.
   tango::Result<LogOffset> SyncAll(const std::vector<StreamId>& streams);
+
+  // Whether the stream's last Sync served a stale (brown-out) tail rather
+  // than a fresh sequencer answer.
+  bool IsStale(StreamId stream) const;
 
   // Advances the cursor past exactly one known offset (junk included),
   // without fetching it.  Used by global-order playback, which steps all
@@ -161,7 +175,13 @@ class StreamStore {
     std::vector<LogOffset> offsets;  // ascending, complete up to synced_tail
     size_t cursor = 0;               // index into offsets
     LogOffset synced_tail = 0;       // log tail as of the last Sync
+    bool stale = false;              // last Sync was a brown-out answer
   };
+
+  // Marks `state` stale (metrics included) and returns its last synced
+  // tail; the brown-out path shared by Sync and SyncAll.
+  LogOffset ServeStaleTail(StreamState& state);
+  void MarkFresh(StreamState& state);
 
   // Walks backpointers (and, on junk dead-ends, scans) to discover every
   // offset of `stream` in (floor, start_set...], appending them ascending.
@@ -231,6 +251,8 @@ class StreamStore {
   tango::obs::Counter* fetch_miss_ok_;
   tango::obs::Counter* fetch_trimmed_;
   tango::obs::Counter* fetch_errors_;
+  tango::obs::Counter* stale_syncs_;
+  tango::obs::Gauge* stale_streams_;
 };
 
 }  // namespace corfu

@@ -77,6 +77,30 @@ enum RpcMethod : uint16_t {
   kStatsDump = 0x0500,
 };
 
+// Control-plane and health RPCs form a priority class that bypasses load
+// shedding and circuit breaking: starving them under overload converts
+// congestion into unavailability (missed heartbeats trigger spurious
+// failover, seals never land, reconfiguration cannot make progress).  They
+// are low-rate and cheap, so admitting them unconditionally cannot sustain
+// an overload on its own.  Data-plane RPCs (writes, reads, token grants)
+// are the ones that shed.
+constexpr bool IsControlPlaneRpc(uint16_t method) {
+  switch (method) {
+    case kStorageSeal:
+    case kStorageSealedEpoch:
+    case kStorageLocalTail:
+    case kSequencerTail:
+    case kSequencerBootstrap:
+    case kSequencerDump:
+    case kProjectionGet:
+    case kProjectionPropose:
+    case kStatsDump:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace corfu
 
 #endif  // SRC_CORFU_TYPES_H_

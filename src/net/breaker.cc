@@ -1,0 +1,96 @@
+#include "src/net/breaker.h"
+
+#include <algorithm>
+
+#include "src/util/threading.h"
+
+namespace tango {
+
+CircuitBreakerTransport::CircuitBreakerTransport(Transport* inner,
+                                                 Options options)
+    : inner_(inner), options_(options) {
+  options_.failure_threshold = std::max(options_.failure_threshold, 1u);
+  options_.open_ms = std::max(options_.open_ms, 1u);
+  options_.max_open_ms = std::max(options_.max_open_ms, options_.open_ms);
+  auto& reg = obs::MetricsRegistry::Default();
+  opens_ = reg.GetCounter("overload.breaker.opens");
+  fast_fails_ = reg.GetCounter("overload.breaker.fast_fails");
+  open_gauge_ = reg.GetGauge("overload.breaker.open_nodes");
+}
+
+void CircuitBreakerTransport::TripLocked(NodeState& s, uint64_t now_us) {
+  if (s.open_ms == 0) {
+    s.open_ms = options_.open_ms;
+    open_gauge_->Add(1);
+  } else {
+    s.open_ms = std::min(s.open_ms * 2, options_.max_open_ms);
+  }
+  s.open_until_us = now_us + static_cast<uint64_t>(s.open_ms) * 1000;
+  opens_->Add();
+}
+
+bool CircuitBreakerTransport::IsOpen(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(node);
+  return it != states_.end() && it->second.open_ms != 0;
+}
+
+Status CircuitBreakerTransport::Call(NodeId dest, uint16_t method,
+                                     std::span<const uint8_t> request,
+                                     std::vector<uint8_t>* response) {
+  if (options_.bypass && options_.bypass(method)) {
+    return inner_->Call(dest, method, request, response);
+  }
+  bool probe = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NodeState& s = states_[dest];
+    uint64_t now = NowMicros();
+    if (s.open_ms != 0) {
+      if (now < s.open_until_us || s.probing) {
+        // Open, or half-open with the single probe slot taken: fail fast
+        // with the remaining window as the retry-after hint.
+        fast_fails_->Add();
+        uint64_t remaining =
+            s.open_until_us > now ? s.open_until_us - now
+                                  : static_cast<uint64_t>(s.open_ms) * 1000;
+        return Status::Busy(
+            static_cast<uint32_t>(std::clamp<uint64_t>(remaining, 200,
+                                                       5'000'000)),
+            "circuit open");
+      }
+      // Half-open: this caller becomes the probe.
+      s.probing = true;
+      probe = true;
+    }
+  }
+
+  Status st = inner_->Call(dest, method, request, response);
+
+  bool transport_failure =
+      st == StatusCode::kUnavailable || st == StatusCode::kTimeout;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NodeState& s = states_[dest];
+    if (probe) {
+      s.probing = false;
+    }
+    if (transport_failure) {
+      ++s.consecutive_failures;
+      if (probe || s.consecutive_failures >= options_.failure_threshold) {
+        TripLocked(s, NowMicros());
+      }
+    } else {
+      // Any answer — success or a protocol error — proves the node is alive.
+      s.consecutive_failures = 0;
+      if (s.open_ms != 0) {
+        s.open_ms = 0;
+        s.open_until_us = 0;
+        open_gauge_->Add(-1);
+      }
+    }
+  }
+  return st;
+}
+
+}  // namespace tango

@@ -1,0 +1,89 @@
+// CircuitBreakerTransport: a per-node circuit breaker decorating a Transport.
+//
+// A node that stops answering (kUnavailable / kTimeout) costs every caller a
+// full transport timeout per attempt; under load those stalled calls pile up
+// in worker threads and RPC queues and turn one dead node into cluster-wide
+// latency.  The breaker converts that into a fast local failure: after
+// `failure_threshold` consecutive transport failures to a node the breaker
+// *opens* and subsequent calls fail immediately with kBusy and a retry-after
+// hint of the remaining open window.  When the window elapses the breaker is
+// *half-open*: exactly one probe call is let through; success closes the
+// breaker, failure re-opens it with a doubled window (capped at max_open_ms).
+//
+// Only data-plane calls trip or consult the breaker.  Methods matched by the
+// `bypass` predicate (typically corfu::IsControlPlaneRpc: seals, projection
+// fetches, health probes) always pass through — reconfiguration and failure
+// detection must keep working exactly when the breaker is open.
+//
+// Protocol-level errors (kWritten, kSealedEpoch, kBusy, ...) prove the node
+// is alive and therefore *close* the breaker; only transport-level failures
+// count toward opening it.
+
+#ifndef SRC_NET_BREAKER_H_
+#define SRC_NET_BREAKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/net/transport.h"
+#include "src/obs/metrics.h"
+#include "src/util/status.h"
+
+namespace tango {
+
+class CircuitBreakerTransport : public Transport {
+ public:
+  struct Options {
+    // Consecutive transport failures (kUnavailable/kTimeout) that open the
+    // breaker for a node.
+    uint32_t failure_threshold = 4;
+    // Initial open window; doubles on each failed half-open probe.
+    uint32_t open_ms = 100;
+    uint32_t max_open_ms = 5'000;
+    // Methods that never consult the breaker (control plane).  Unset = every
+    // method is data plane.
+    std::function<bool(uint16_t)> bypass;
+  };
+
+  CircuitBreakerTransport(Transport* inner, Options options);
+
+  Status Call(NodeId dest, uint16_t method, std::span<const uint8_t> request,
+              std::vector<uint8_t>* response) override;
+  void RegisterNode(NodeId node, RpcHandler handler) override {
+    inner_->RegisterNode(node, std::move(handler));
+  }
+  void UnregisterNode(NodeId node) override { inner_->UnregisterNode(node); }
+
+  // Whether `node`'s breaker is currently open (or half-open), for tests.
+  bool IsOpen(NodeId node) const;
+
+  Transport* inner() const { return inner_; }
+
+ private:
+  struct NodeState {
+    uint32_t consecutive_failures = 0;
+    // Nonzero while tripped (open or half-open); cleared on success.
+    uint32_t open_ms = 0;
+    uint64_t open_until_us = 0;
+    bool probing = false;  // a half-open probe is in flight
+  };
+
+  // Trips `s` (guarded by mu_), doubling the window on re-trips.
+  void TripLocked(NodeState& s, uint64_t now_us);
+
+  Transport* inner_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<NodeId, NodeState> states_;
+
+  obs::Counter* opens_;
+  obs::Counter* fast_fails_;
+  obs::Gauge* open_gauge_;  // nodes currently tripped
+};
+
+}  // namespace tango
+
+#endif  // SRC_NET_BREAKER_H_

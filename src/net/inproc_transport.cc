@@ -74,6 +74,11 @@ Status InProcTransport::Call(NodeId dest, uint16_t method,
   // flows into it through the thread-local; this scope is both the client's
   // round trip and the server-side execution span.
   uint64_t start_us = obs::MetricsEnabled() ? NowMicros() : 0;
+  // Occupancy gauge shared by every InProcTransport: dispatches currently
+  // executing a handler.  Sustained high values mean callers are piling into
+  // slow handlers — the in-process analogue of a deep server queue.
+  static obs::Gauge* inflight_gauge =
+      obs::MetricsRegistry::Default().GetGauge("net.inproc.inflight");
   ByteReader reader(request);
   ByteWriter writer;
   Status st;
@@ -82,7 +87,9 @@ Status InProcTransport::Call(NodeId dest, uint16_t method,
     // While the handler runs, this thread *is* the serving node, so calls it
     // issues in turn are attributed to `dest` for partition purposes.
     ScopedNetworkIdentity serving_as(dest);
+    inflight_gauge->Add(1);
     st = entry->handler(method, reader, writer);
+    inflight_gauge->Add(-1);
   }
   if (entry->in_flight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     // Notify under the drain lock so a concurrent UnregisterNode between

@@ -132,6 +132,30 @@ constexpr uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity cap
 // u16 method + u64 trace_id + u64 parent_span ahead of the payload.
 constexpr uint32_t kReqHeaderBytes = 2 + 8 + 8;
 
+// u8 status + u32 retry_after_us ahead of the (possibly empty) payload.  The
+// retry-after field carries the server's backoff hint on shed (kBusy)
+// responses; it is zero for every status the server did not hint.
+constexpr uint32_t kRespHeaderBytes = 1 + 4;
+
+// Queue-depth / occupancy gauges shared across all TcpTransport instances in
+// the process: overload shows up here (piled-up connections, in-flight
+// handlers) before it shows up as latency.
+struct TcpGauges {
+  obs::Gauge* connections;      // accepted server-side connections alive
+  obs::Gauge* server_inflight;  // requests currently inside a handler
+  obs::Gauge* client_inflight;  // Call()s currently waiting on a response
+};
+
+TcpGauges& TheTcpGauges() {
+  static TcpGauges g = [] {
+    auto& reg = obs::MetricsRegistry::Default();
+    return TcpGauges{reg.GetGauge("net.tcp.connections"),
+                     reg.GetGauge("net.tcp.server_inflight"),
+                     reg.GetGauge("net.tcp.client_inflight")};
+  }();
+  return g;
+}
+
 }  // namespace
 
 struct TcpTransport::Listener {
@@ -178,6 +202,7 @@ struct TcpTransport::Listener {
   }
 
   void ServeConnection(int fd) {
+    TheTcpGauges().connections->Add(1);
     std::vector<uint8_t> frame;
     while (!stopping.load()) {
       uint8_t len_buf[4];
@@ -207,19 +232,25 @@ struct TcpTransport::Listener {
         obs::TraceScope span(rpc.span_name, incoming, node);
         ByteReader reader(frame.data() + kReqHeaderBytes,
                           len - kReqHeaderBytes);
+        TheTcpGauges().server_inflight->Add(1);
         st = handler(method, reader, writer);
+        TheTcpGauges().server_inflight->Add(-1);
       }
 
       const std::vector<uint8_t>& payload = writer.bytes();
-      uint32_t resp_len = 1 + static_cast<uint32_t>(payload.size());
+      uint32_t resp_len =
+          kRespHeaderBytes + static_cast<uint32_t>(payload.size());
       std::vector<uint8_t> resp(4 + resp_len);
       PutU32Le(resp.data(), resp_len);
       resp[4] = static_cast<uint8_t>(st.code());
-      std::memcpy(resp.data() + 5, payload.data(), payload.size());
+      PutU32Le(resp.data() + 5, st.retry_after_us());
+      std::memcpy(resp.data() + 4 + kRespHeaderBytes, payload.data(),
+                  payload.size());
       if (WriteFull(fd, resp.data(), resp.size()) != IoResult::kOk) {
         break;
       }
     }
+    TheTcpGauges().connections->Add(-1);
   }
 
   void AcceptLoop() {
@@ -412,6 +443,10 @@ Status TcpTransport::Call(NodeId dest, uint16_t method,
   TANGO_ASSIGN_OR_RETURN(std::shared_ptr<Connection> conn,
                          GetConnection(dest));
 
+  TheTcpGauges().client_inflight->Add(1);
+  struct InflightGuard {
+    ~InflightGuard() { TheTcpGauges().client_inflight->Add(-1); }
+  } inflight_guard;
   std::lock_guard<std::mutex> lock(conn->mu);
   uint32_t timeout_ms = call_timeout_ms_.load(std::memory_order_relaxed);
   SetSocketTimeouts(conn->fd, timeout_ms);
@@ -452,7 +487,7 @@ Status TcpTransport::Call(NodeId dest, uint16_t method,
     return io_error(r, "recv from");
   }
   uint32_t resp_len = GetU32Le(len_buf);
-  if (resp_len < 1 || resp_len > kMaxFrame) {
+  if (resp_len < kRespHeaderBytes || resp_len > kMaxFrame) {
     DropConnection(dest);
     rpc.failures->Add();
     TANGO_LOG(kWarning) << "tcp: malformed response frame from node " << dest;
@@ -467,12 +502,15 @@ Status TcpTransport::Call(NodeId dest, uint16_t method,
     rpc.latency_us->Record(NowMicros() - start_us);
   }
   StatusCode code = static_cast<StatusCode>(resp[0]);
+  uint32_t retry_after_us = GetU32Le(resp.data() + 1);
   if (code != StatusCode::kOk) {
     rpc.failures->Add();
-    return Status(code);
+    Status st(code);
+    st.set_retry_after_us(retry_after_us);
+    return st;
   }
   if (response != nullptr) {
-    response->assign(resp.begin() + 1, resp.end());
+    response->assign(resp.begin() + kRespHeaderBytes, resp.end());
   }
   return Status::Ok();
 }

@@ -4,8 +4,10 @@
 // Wire format (all little-endian):
 //   request frame:  u32 length | u16 method | u64 trace_id | u64 parent_span
 //                   | payload...
-//   response frame: u32 length | u8 status  | payload...
-// `length` counts the bytes after the length field itself.  The 16-byte
+//   response frame: u32 length | u8 status | u32 retry_after_us | payload...
+// `length` counts the bytes after the length field itself.  retry_after_us
+// carries the server's backoff hint for kBusy sheds (0 otherwise), so
+// admission control survives the wire.  The 16-byte
 // trace envelope propagates the caller's trace context (src/obs/trace.h)
 // across the wire; trace_id 0 means the call is untraced and the server
 // records no spans for it.

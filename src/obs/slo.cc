@@ -18,6 +18,9 @@ uint64_t NowSecs() { return NowMicros() / 1'000'000; }
 constexpr uint64_t kDefaultAppendUs = 5'000;
 constexpr uint64_t kDefaultReadUs = 2'000;
 constexpr uint64_t kDefaultTxnUs = 10'000;
+// Admission records 0 on admit and the retry-after hint on shed, so the
+// objective is effectively "was the request shed with a nontrivial hint".
+constexpr uint64_t kDefaultAdmissionUs = 1'000;
 
 }  // namespace
 
@@ -29,6 +32,8 @@ const char* SloOpName(SloOp op) {
       return "read";
     case SloOp::kTxnCommit:
       return "txn_commit";
+    case SloOp::kAdmission:
+      return "admission";
   }
   return "unknown";
 }
@@ -47,6 +52,7 @@ SloTracker::SloTracker() {
   SetObjective(SloOp::kAppend, {kDefaultAppendUs, 0.999});
   SetObjective(SloOp::kRead, {kDefaultReadUs, 0.999});
   SetObjective(SloOp::kTxnCommit, {kDefaultTxnUs, 0.999});
+  SetObjective(SloOp::kAdmission, {kDefaultAdmissionUs, 0.999});
 }
 
 void SloTracker::SetObjective(SloOp op, SloObjective objective) {

@@ -36,8 +36,13 @@ enum class SloOp : uint8_t {
   kAppend = 0,
   kRead = 1,
   kTxnCommit = 2,
+  // Admission outcome at the shedding tiers (sequencer grants, storage
+  // writes): admitted requests record ~0, shed requests record their
+  // retry-after hint, so the burn rate tracks the shed fraction and the
+  // severity of the backoff the cluster is asking for.
+  kAdmission = 3,
 };
-inline constexpr int kNumSloOps = 3;
+inline constexpr int kNumSloOps = 4;
 
 const char* SloOpName(SloOp op);
 

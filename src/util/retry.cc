@@ -65,8 +65,37 @@ uint64_t RetryPolicy::Attempt::NextDelayMicros() {
   return delay;
 }
 
+uint64_t RetryPolicy::Attempt::NextDelayMicros(uint32_t hint_us) {
+  uint64_t nominal = NextDelayMicros();  // advances the schedule + attempt
+  if (hint_us == 0) {
+    return nominal;
+  }
+  // The hint is a floor, not a target: sleeping less than it just re-feeds
+  // the shedding server.  Jitter only upward so hinted clients fan out
+  // *after* the server expects capacity back.
+  double u = static_cast<double>(SplitMix(rng_state_) >> 11) *
+             (1.0 / 9007199254740992.0);  // uniform in [0, 1)
+  uint64_t hinted =
+      static_cast<uint64_t>(static_cast<double>(hint_us) * (1.0 + 0.5 * u));
+  uint64_t delay = std::max(nominal, hinted);
+  const Options& o = policy_->options();
+  if (o.deadline_ms != 0) {
+    uint64_t deadline = start_us_ + static_cast<uint64_t>(o.deadline_ms) * 1000;
+    uint64_t now = NowMicros();
+    delay = now >= deadline ? 0 : std::min(delay, deadline - now);
+  }
+  return delay;
+}
+
 void RetryPolicy::Attempt::BackoffSleep() {
   uint64_t delay = NextDelayMicros();
+  if (delay > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay));
+  }
+}
+
+void RetryPolicy::Attempt::BackoffSleep(uint32_t hint_us) {
+  uint64_t delay = NextDelayMicros(hint_us);
   if (delay > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(delay));
   }

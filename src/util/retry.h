@@ -55,6 +55,14 @@ class RetryPolicy {
     // Returns 0 when the deadline has already passed.
     uint64_t NextDelayMicros();
 
+    // Like NextDelayMicros() but cooperates with a server-computed
+    // retry-after hint (from a kBusy shed): the delay is at least the hint,
+    // stretched by up to +50% jitter so hinted clients do not re-arrive in
+    // one synchronized wave.  hint_us == 0 degrades to NextDelayMicros().
+    // The exponential schedule still advances underneath, so a client whose
+    // hints keep coming backs off further on its own.
+    uint64_t NextDelayMicros(uint32_t hint_us);
+
     // Consumes one attempt from the budget without sleeping (for retries
     // that need a fresh resource, not a cooled-down one — e.g. an append
     // that lost its offset to a hole-filler and just wants a new token).
@@ -62,6 +70,9 @@ class RetryPolicy {
 
     // NextDelayMicros() followed by a sleep of that long.
     void BackoffSleep();
+
+    // Hint-honoring variant: sleeps for NextDelayMicros(hint_us).
+    void BackoffSleep(uint32_t hint_us);
 
     int attempts() const { return attempt_; }
 

@@ -34,6 +34,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "OUT_OF_RANGE";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kBusy:
+      return "BUSY";
   }
   return "UNKNOWN";
 }

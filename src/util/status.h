@@ -47,6 +47,10 @@ enum class StatusCode : uint8_t {
   kOutOfRange,
   // Internal invariant violation; indicates a bug.
   kInternal,
+  // The server shed the request under overload.  Carries a server-computed
+  // retry-after hint (Status::retry_after_us) telling the client how long to
+  // back off before retrying; retrying sooner just feeds the storm.
+  kBusy,
 };
 
 // Returns a stable human-readable name for a status code.
@@ -63,9 +67,25 @@ class Status {
 
   static Status Ok() { return Status(); }
 
+  // A kBusy status carrying the server's backoff hint.
+  static Status Busy(uint32_t retry_after_us, std::string message = "") {
+    Status st(StatusCode::kBusy, std::move(message));
+    st.retry_after_us_ = retry_after_us;
+    return st;
+  }
+
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  // Server-computed backoff hint in microseconds; 0 when the server did not
+  // provide one.  Meaningful on kBusy (load shed) but transports preserve it
+  // for any non-OK code.
+  uint32_t retry_after_us() const { return retry_after_us_; }
+  Status& set_retry_after_us(uint32_t us) {
+    retry_after_us_ = us;
+    return *this;
+  }
 
   // Renders "CODE: message" (or just "CODE").
   std::string ToString() const;
@@ -75,6 +95,7 @@ class Status {
 
  private:
   StatusCode code_;
+  uint32_t retry_after_us_ = 0;
   std::string message_;
 };
 
