@@ -35,6 +35,10 @@ Result<Projection> Projection::Decode(ByteReader& r) {
   p.replica_sets.reserve(num_sets);
   for (uint32_t i = 0; i < num_sets && r.ok(); ++i) {
     uint32_t chain_len = r.GetU32();
+    if (chain_len == 0) {
+      return Status(StatusCode::kInvalidArgument,
+                    "malformed projection: empty replica chain");
+    }
     std::vector<NodeId> chain;
     chain.reserve(chain_len);
     for (uint32_t j = 0; j < chain_len; ++j) {
@@ -42,7 +46,10 @@ Result<Projection> Projection::Decode(ByteReader& r) {
     }
     p.replica_sets.push_back(std::move(chain));
   }
-  if (!r.ok() || p.replica_sets.empty()) {
+  // Valid() is the same guard the striping accessors (SetIndexFor /
+  // LocalOffsetFor) enforce by CHECK: no replica sets or a zero page size
+  // would turn offset math into division by zero.
+  if (!r.ok() || !p.Valid()) {
     return Status(StatusCode::kInvalidArgument, "malformed projection");
   }
   return p;

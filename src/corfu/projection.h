@@ -16,6 +16,7 @@
 
 #include "src/corfu/types.h"
 #include "src/net/transport.h"
+#include "src/util/logging.h"
 #include "src/util/serialize.h"
 #include "src/util/status.h"
 
@@ -29,16 +30,28 @@ struct Projection {
   // replica_sets[i] is the chain (head..tail) for extent i.
   std::vector<std::vector<tango::NodeId>> replica_sets;
 
+  // A projection is usable only when it names at least one replica set and a
+  // nonzero page size.  Decode() enforces this for anything off the wire; a
+  // hand-built projection must pass it before the striping math below, which
+  // would otherwise divide by zero.
+  bool Valid() const { return !replica_sets.empty() && page_size != 0; }
+
   // Deterministic mapping from the global address space to replica sets:
   // offset o lives on set (o mod S) at local offset (o div S).
   size_t SetIndexFor(LogOffset offset) const {
+    TANGO_CHECK(!replica_sets.empty())
+        << "projection has no replica sets (epoch " << epoch << ")";
     return static_cast<size_t>(offset % replica_sets.size());
   }
   LogOffset LocalOffsetFor(LogOffset offset) const {
+    TANGO_CHECK(!replica_sets.empty())
+        << "projection has no replica sets (epoch " << epoch << ")";
     return offset / replica_sets.size();
   }
   // Inverse: the global offset for local offset `local` on set `set`.
   LogOffset GlobalOffsetFor(size_t set, LogOffset local) const {
+    TANGO_CHECK(!replica_sets.empty())
+        << "projection has no replica sets (epoch " << epoch << ")";
     return local * replica_sets.size() + static_cast<LogOffset>(set);
   }
 

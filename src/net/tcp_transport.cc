@@ -166,8 +166,16 @@ struct TcpTransport::Listener {
   std::thread accept_thread;
   std::atomic<bool> stopping{false};
   std::mutex conns_mu;
-  std::vector<int> conn_fds;
-  std::vector<std::thread> conn_threads;
+  // Live connections, keyed by a serial so an exiting connection can hand
+  // its thread to the reap list.  A connection that ends (peer close, bad
+  // frame) closes its own fd, removes itself from `conns`, and parks its
+  // serial on `finished`; the accept loop joins finished threads before
+  // every accept, so connection churn never accumulates exited threads or
+  // their fds.
+  uint64_t next_serial = 0;
+  std::unordered_map<uint64_t, int> conn_fds;
+  std::unordered_map<uint64_t, std::thread> conn_threads;
+  std::vector<uint64_t> finished;
 
   ~Listener() {
     stopping.store(true);
@@ -177,31 +185,52 @@ struct TcpTransport::Listener {
     }
     {
       std::lock_guard<std::mutex> lock(conns_mu);
-      for (int fd : conn_fds) {
+      for (auto& [serial, fd] : conn_fds) {
         ::shutdown(fd, SHUT_RDWR);
       }
     }
     if (accept_thread.joinable()) {
       accept_thread.join();
     }
-    std::vector<std::thread> threads;
+    std::unordered_map<uint64_t, std::thread> threads;
     {
       std::lock_guard<std::mutex> lock(conns_mu);
       threads.swap(conn_threads);
     }
-    for (std::thread& t : threads) {
+    for (auto& [serial, t] : threads) {
       t.join();
     }
     {
       std::lock_guard<std::mutex> lock(conns_mu);
-      for (int fd : conn_fds) {
+      for (auto& [serial, fd] : conn_fds) {
         ::close(fd);
       }
       conn_fds.clear();
     }
   }
 
-  void ServeConnection(int fd) {
+  // Joins connection threads that have already exited.  Called off the
+  // accept loop; joining a finished thread does not block.
+  void ReapFinished() {
+    std::vector<std::thread> done;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      done.reserve(finished.size());
+      for (uint64_t serial : finished) {
+        auto it = conn_threads.find(serial);
+        if (it != conn_threads.end()) {
+          done.push_back(std::move(it->second));
+          conn_threads.erase(it);
+        }
+      }
+      finished.clear();
+    }
+    for (std::thread& t : done) {
+      t.join();
+    }
+  }
+
+  void ServeConnection(int fd, uint64_t serial) {
     TheTcpGauges().connections->Add(1);
     std::vector<uint8_t> frame;
     while (!stopping.load()) {
@@ -251,10 +280,23 @@ struct TcpTransport::Listener {
       }
     }
     TheTcpGauges().connections->Add(-1);
+    // Close and deregister our fd, then queue the thread for reaping.  The
+    // destructor may be concurrently shutting every fd down: the map erase
+    // under conns_mu decides who closes (exactly one side sees the entry).
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      auto it = conn_fds.find(serial);
+      if (it != conn_fds.end()) {
+        ::close(it->second);
+        conn_fds.erase(it);
+      }
+      finished.push_back(serial);
+    }
   }
 
   void AcceptLoop() {
     while (!stopping.load()) {
+      ReapFinished();
       int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd < 0) {
         if (stopping.load()) {
@@ -265,8 +307,10 @@ struct TcpTransport::Listener {
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       std::lock_guard<std::mutex> lock(conns_mu);
-      conn_fds.push_back(fd);
-      conn_threads.emplace_back([this, fd] { ServeConnection(fd); });
+      uint64_t serial = next_serial++;
+      conn_fds.emplace(serial, fd);
+      conn_threads.emplace(
+          serial, std::thread([this, fd, serial] { ServeConnection(fd, serial); }));
     }
   }
 };
@@ -420,7 +464,10 @@ Result<std::shared_ptr<TcpTransport::Connection>> TcpTransport::GetConnection(
   auto conn = std::make_shared<Connection>();
   conn->fd = fd;
   std::lock_guard<std::mutex> lock(mu_);
-  // Another thread may have raced us; keep the first one in.
+  // Another thread may have raced us; keep the first one in.  The losing
+  // racer's socket must not leak: `conn` drops its last reference on return
+  // and ~Connection closes the fd (regression-tested by
+  // ConcurrentFirstCallsDontLeakFds).
   auto [it, inserted] = connections_.emplace(dest, conn);
   return it->second;
 }

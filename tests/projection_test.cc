@@ -71,6 +71,45 @@ TEST(ProjectionTest, DecodeRejectsGarbage) {
   EXPECT_FALSE(Projection::Decode(r).ok());
 }
 
+TEST(ProjectionTest, DecodeRejectsZeroPageSize) {
+  Projection p = MakeProjection(2, 2);
+  p.page_size = 0;
+  tango::ByteWriter w;
+  p.Encode(w);
+  tango::ByteReader r(w.bytes());
+  auto decoded = Projection::Decode(r);
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProjectionTest, DecodeRejectsEmptyReplicaChain) {
+  Projection p = MakeProjection(2, 2);
+  p.replica_sets[1].clear();
+  tango::ByteWriter w;
+  p.Encode(w);
+  tango::ByteReader r(w.bytes());
+  auto decoded = Projection::Decode(r);
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProjectionTest, ValidFlagsDegenerateProjections) {
+  EXPECT_TRUE(MakeProjection(2, 2).Valid());
+  Projection no_sets;  // hand-built, never touched Decode
+  EXPECT_FALSE(no_sets.Valid());
+  Projection no_pages = MakeProjection(1, 1);
+  no_pages.page_size = 0;
+  EXPECT_FALSE(no_pages.Valid());
+}
+
+// The striping accessors divide by replica_sets.size(); a hand-built
+// projection with zero sets must die on a clear CHECK instead of SIGFPE.
+TEST(ProjectionDeathTest, StripingMathChecksOnZeroReplicaSets) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Projection empty;
+  EXPECT_DEATH((void)empty.SetIndexFor(3), "no replica sets");
+  EXPECT_DEATH((void)empty.LocalOffsetFor(3), "no replica sets");
+  EXPECT_DEATH((void)empty.GlobalOffsetFor(0, 3), "no replica sets");
+}
+
 TEST(ProjectionStoreTest, GetReturnsInitial) {
   tango::InProcTransport transport;
   ProjectionStore store(&transport, 50, MakeProjection(2, 2));

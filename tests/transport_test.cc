@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
+#include <fstream>
+#include <functional>
 #include <string>
 
 #include "src/net/inproc_transport.h"
@@ -297,6 +301,120 @@ TEST(TcpTransportTest, CallTimesOutOnStalledPeer) {
   EXPECT_GE(elapsed.count(), 50);
   EXPECT_LT(elapsed.count(), 5000);
   close(listener);
+}
+
+// --- resource-leak regression tests ------------------------------------------------
+//
+// Connection churn must not accumulate threads or fds: the paper's fan-in
+// shape (Fig 2) is many short-lived clients against one server, and a
+// transport that leaks a thread or socket per churned connection falls over
+// long before 10k concurrent clients.
+
+// Thread count of this process, from /proc/self/status (Linux-only, like the
+// rest of the TCP stack here).
+int CountThreads() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return std::atoi(line.c_str() + 8);
+    }
+  }
+  return -1;
+}
+
+// Open descriptors of this process, from /proc/self/fd.
+int CountOpenFds() {
+  int n = 0;
+  DIR* d = opendir("/proc/self/fd");
+  if (d == nullptr) {
+    return -1;
+  }
+  while (readdir(d) != nullptr) {
+    ++n;
+  }
+  closedir(d);
+  return n - 2;  // "." and ".."
+}
+
+// Polls until `pred` holds or ~5s elapse; returns its final value.
+bool EventuallyTrue(const std::function<bool()>& pred) {
+  for (int i = 0; i < 500; ++i) {
+    if (pred()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+TEST(TcpTransportTest, ConnectionChurnReapsThreadsAndFds) {
+  TcpTransport t;
+  t.RegisterNode(7, EchoHandler());
+  uint16_t port = t.LocalPort(7);
+  ASSERT_GT(port, 0);
+
+  const int base_threads = CountThreads();
+  const int base_fds = CountOpenFds();
+  ASSERT_GT(base_threads, 0);
+  ASSERT_GT(base_fds, 0);
+
+  // 1k short-lived connections: connect, (sometimes) exchange one frame,
+  // close.  Every one of these used to strand an exited thread and its fd
+  // on the listener until transport shutdown.
+  for (int i = 0; i < 1000; ++i) {
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+        << "connect " << i << ": " << strerror(errno);
+    close(fd);
+    if (i % 100 == 0) {
+      // Interleave real calls so the churn cannot wedge live traffic.
+      std::vector<uint8_t> resp;
+      ASSERT_TRUE(t.Call(7, 1, EchoRequest("alive"), &resp).ok());
+    }
+  }
+
+  // Exited connection threads unwind asynchronously; poll until the process
+  // is back near its baseline.  The bounds are deliberately loose (the
+  // transport may keep a bounded pool of loop/handler threads) but far
+  // below the 1000 threads/fds a leak would strand.
+  EXPECT_TRUE(EventuallyTrue([&] {
+    return CountThreads() <= base_threads + 8;
+  })) << "threads: " << CountThreads() << " vs baseline " << base_threads;
+  EXPECT_TRUE(EventuallyTrue([&] {
+    return CountOpenFds() <= base_fds + 16;
+  })) << "fds: " << CountOpenFds() << " vs baseline " << base_fds;
+
+  // The transport is still healthy after the churn.
+  std::vector<uint8_t> resp;
+  ASSERT_TRUE(t.Call(7, 1, EchoRequest("after"), &resp).ok());
+}
+
+TEST(TcpTransportTest, ConcurrentFirstCallsDontLeakFds) {
+  const int base_fds = CountOpenFds();
+  ASSERT_GT(base_fds, 0);
+
+  // Hammer the connection-cache race: many threads issue the *first* Call
+  // to a node at once, so all of them miss the cache, connect, and race to
+  // insert.  Every losing racer (and every failed handshake) must close its
+  // socket.  Fresh transport per round so every round re-races.
+  for (int round = 0; round < 20; ++round) {
+    TcpTransport t;
+    t.RegisterNode(7, EchoHandler());
+    RunParallel(8, [&](int) {
+      std::vector<uint8_t> resp;
+      ASSERT_TRUE(t.Call(7, 1, EchoRequest("race"), &resp).ok());
+    });
+  }
+
+  EXPECT_TRUE(EventuallyTrue([&] {
+    return CountOpenFds() <= base_fds + 8;
+  })) << "fds: " << CountOpenFds() << " vs baseline " << base_fds;
 }
 
 TEST(TcpTransportTest, TimeoutDoesNotBreakHealthyPeers) {
