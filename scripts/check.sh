@@ -24,6 +24,25 @@ assert a["priority_probe_failures"] == 0, a
 assert any(c["sheds"] > 0 for c in d["cells"]), "no cell ever shed"
 EOF
 
+echo "== transport smoke: fig_transport small sweep + JSON sanity =="
+# The full 36/1k/10k sweep is a longer run (see BENCH_transport.json); the
+# smoke keeps the child-fleet plumbing and the mux-vs-baseline comparison
+# honest at small connection counts.  Raise the fd limit for the fleets.
+cmake --build "$ROOT/build" -j "$JOBS" --target fig_transport
+ulimit -n "$(ulimit -Hn)" || true
+"$ROOT/build/bench/fig_transport" --conns=36,200 --baseline-conns=36 \
+  --duration-ms=300 --json="$ROOT/build/bench-transport-smoke.json"
+python3 - "$ROOT/build/bench-transport-smoke.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+a = d["acceptance"]
+assert a["pass_sustain"], a
+assert a["pass_threads"], a
+for c in d["cells"]:
+    assert c["connected"] == c["conns"], c
+    assert c["good_per_sec"] > 0, c
+EOF
+
 echo "== tier-2: ASan/UBSan build + ctest =="
 cmake -B "$ROOT/build-asan" -S "$ROOT" -DCMAKE_BUILD_TYPE=Asan
 cmake --build "$ROOT/build-asan" -j "$JOBS"
@@ -35,9 +54,10 @@ echo "== tier-3: TSan on the concurrency-heavy suites =="
 # per-thread trace/flight rings under concurrent multiplexed RPC.
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DCMAKE_BUILD_TYPE=Tsan
 cmake --build "$ROOT/build-tsan" -j "$JOBS" \
-  --target playback_test util_test runtime_test txn_test obs_test
+  --target playback_test util_test runtime_test txn_test obs_test \
+  transport_test
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" ctest \
   --test-dir "$ROOT/build-tsan" --output-on-failure -j "$JOBS" \
-  -R '^(playback_test|util_test|runtime_test|txn_test|obs_test)$'
+  -R '^(playback_test|util_test|runtime_test|txn_test|obs_test|transport_test)$'
 
 echo "check.sh: all green"

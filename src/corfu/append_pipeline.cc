@@ -241,6 +241,7 @@ AppendPipeline::Stats AppendPipeline::stats() const {
 }
 
 void AppendPipeline::WorkerLoop() {
+  tango::SetCurrentThreadName("tgo-append");
   for (;;) {
     Work work;
     {

@@ -99,6 +99,7 @@ void HealthMonitor::Stop() {
 }
 
 void HealthMonitor::Loop() {
+  tango::SetCurrentThreadName("tgo-health");
   while (true) {
     {
       std::unique_lock<std::mutex> lock(thread_mu_);

@@ -1,16 +1,18 @@
 #include "src/net/tcp_transport.h"
 
 #include <arpa/inet.h>
-#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <condition_variable>
 #include <cstring>
+#include <thread>
 
+#include "src/net/event_loop.h"
 #include "src/obs/rpc_metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/logging.h"
@@ -19,86 +21,6 @@
 namespace tango {
 
 namespace {
-
-// Outcome of a full-buffer I/O loop.  Partial transfers are retried inside
-// the loop; what escapes is either success, a peer that went away, or a
-// socket deadline (SO_RCVTIMEO/SO_SNDTIMEO) expiring mid-call.
-enum class IoResult { kOk, kClosed, kTimeout };
-
-// Reads exactly `len` bytes, riding out short reads and EINTR.
-IoResult ReadFull(int fd, void* buf, size_t len) {
-  uint8_t* p = static_cast<uint8_t*>(buf);
-  while (len > 0) {
-    ssize_t n = ::recv(fd, p, len, 0);
-    if (n == 0) {
-      return IoResult::kClosed;
-    }
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return IoResult::kTimeout;
-      }
-      return IoResult::kClosed;
-    }
-    p += n;
-    len -= static_cast<size_t>(n);
-  }
-  return IoResult::kOk;
-}
-
-// Writes exactly `len` bytes, riding out short writes and EINTR.
-IoResult WriteFull(int fd, const void* buf, size_t len) {
-  const uint8_t* p = static_cast<const uint8_t*>(buf);
-  while (len > 0) {
-    ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) {
-        continue;
-      }
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        return IoResult::kTimeout;
-      }
-      return IoResult::kClosed;
-    }
-    p += n;
-    len -= static_cast<size_t>(n);
-  }
-  return IoResult::kOk;
-}
-
-// Applies (or clears, with ms == 0) the per-call send/recv deadlines.
-void SetSocketTimeouts(int fd, uint32_t ms) {
-  timeval tv{};
-  tv.tv_sec = ms / 1000;
-  tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
-
-// connect(2) bounded by `ms` milliseconds (0 = blocking connect).
-bool ConnectWithTimeout(int fd, const sockaddr* addr, socklen_t addr_len,
-                        uint32_t ms) {
-  if (ms == 0) {
-    return ::connect(fd, addr, addr_len) == 0;
-  }
-  int flags = ::fcntl(fd, F_GETFL, 0);
-  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-  int rc = ::connect(fd, addr, addr_len);
-  bool connected = rc == 0;
-  if (!connected && errno == EINPROGRESS) {
-    pollfd pfd{fd, POLLOUT, 0};
-    if (::poll(&pfd, 1, static_cast<int>(ms)) == 1) {
-      int err = 0;
-      socklen_t err_len = sizeof(err);
-      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
-      connected = err == 0;
-    }
-  }
-  ::fcntl(fd, F_SETFL, flags);
-  return connected;
-}
 
 void PutU32Le(uint8_t* p, uint32_t v) {
   p[0] = static_cast<uint8_t>(v);
@@ -127,23 +49,41 @@ uint32_t GetU32Le(const uint8_t* p) {
          (static_cast<uint32_t>(p[3]) << 24);
 }
 
+uint16_t GetU16Le(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (static_cast<uint16_t>(p[1]) << 8));
+}
+
 constexpr uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity cap
 
-// u16 method + u64 trace_id + u64 parent_span ahead of the payload.
-constexpr uint32_t kReqHeaderBytes = 2 + 8 + 8;
+// u64 corr_id + u16 method + u64 trace_id + u64 parent_span ahead of the
+// request payload.
+constexpr uint32_t kReqHeaderBytes = 8 + 2 + 8 + 8;
 
-// u8 status + u32 retry_after_us ahead of the (possibly empty) payload.  The
-// retry-after field carries the server's backoff hint on shed (kBusy)
-// responses; it is zero for every status the server did not hint.
-constexpr uint32_t kRespHeaderBytes = 1 + 4;
+// u64 corr_id + u8 status + u32 retry_after_us ahead of the (possibly empty)
+// response payload.  The retry-after field carries the server's backoff hint
+// on shed (kBusy) responses; it is zero for every status the server did not
+// hint.
+constexpr uint32_t kRespHeaderBytes = 8 + 1 + 4;
+
+// Per-event read cap: level-triggered epoll re-fires if more remains, so a
+// firehose connection cannot starve its siblings on the loop.
+constexpr size_t kReadChunk = 64 * 1024;
+constexpr size_t kMaxReadPerEvent = 256 * 1024;
+
+// When a server connection's write queue backs up past the high watermark we
+// stop reading new requests from it (natural per-connection backpressure) and
+// resume once the queue drains below the low watermark.
+constexpr size_t kWriteHighWatermark = 8u << 20;
+constexpr size_t kWriteLowWatermark = 1u << 20;
 
 // Queue-depth / occupancy gauges shared across all TcpTransport instances in
 // the process: overload shows up here (piled-up connections, in-flight
-// handlers) before it shows up as latency.
+// handlers, backed-up write queues) before it shows up as latency.
 struct TcpGauges {
   obs::Gauge* connections;      // accepted server-side connections alive
   obs::Gauge* server_inflight;  // requests currently inside a handler
   obs::Gauge* client_inflight;  // Call()s currently waiting on a response
+  obs::Gauge* write_queue;      // bytes parked in loop-side write queues
 };
 
 TcpGauges& TheTcpGauges() {
@@ -151,196 +91,686 @@ TcpGauges& TheTcpGauges() {
     auto& reg = obs::MetricsRegistry::Default();
     return TcpGauges{reg.GetGauge("net.tcp.connections"),
                      reg.GetGauge("net.tcp.server_inflight"),
-                     reg.GetGauge("net.tcp.client_inflight")};
+                     reg.GetGauge("net.tcp.client_inflight"),
+                     reg.GetGauge("net.tcp.write_queue_bytes")};
   }();
   return g;
 }
 
+// Flat byte queue with a consumed-prefix offset: appends go at the tail,
+// parses and writes consume from the head without memmove.  The buffer
+// compacts when the dead prefix dominates.
+struct ByteQueue {
+  std::vector<uint8_t> data;
+  size_t start = 0;
+
+  bool empty() const { return start == data.size(); }
+  size_t size() const { return data.size() - start; }
+  const uint8_t* ptr() const { return data.data() + start; }
+
+  void Consume(size_t n) {
+    start += n;
+    if (start == data.size()) {
+      data.clear();
+      start = 0;
+    }
+  }
+
+  void Append(const uint8_t* p, size_t n) {
+    if (start > (1u << 20) && start > data.size() - start) {
+      data.erase(data.begin(), data.begin() + static_cast<ptrdiff_t>(start));
+      start = 0;
+    }
+    data.insert(data.end(), p, p + n);
+  }
+
+  void Clear() {
+    data.clear();
+    start = 0;
+  }
+};
+
+enum class ReadStatus { kMore, kEof, kError };
+
+// Drains the socket into `buf` until EAGAIN, EOF, error, or the per-event
+// fairness cap.
+ReadStatus ReadSome(int fd, ByteQueue* buf) {
+  uint8_t chunk[kReadChunk];
+  size_t total = 0;
+  while (total < kMaxReadPerEvent) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return ReadStatus::kEof;
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return ReadStatus::kMore;
+      }
+      return ReadStatus::kError;
+    }
+    buf->Append(chunk, static_cast<size_t>(n));
+    total += static_cast<size_t>(n);
+  }
+  return ReadStatus::kMore;  // cap hit; level-triggered epoll re-fires
+}
+
+// Keeps the shared write-queue gauge in sync with a connection's out queue.
+void SyncQueueGauge(size_t* gauged, size_t now) {
+  if (now != *gauged) {
+    TheTcpGauges().write_queue->Add(static_cast<int64_t>(now) -
+                                    static_cast<int64_t>(*gauged));
+    *gauged = now;
+  }
+}
+
 }  // namespace
 
-struct TcpTransport::Listener {
+// ---------------------------------------------------------------------------
+// Server side: Listener owns the accept socket and the in-flight barrier;
+// each accepted socket becomes a ServerConn whose buffers and framing state
+// live on the loop thread, with a mutex-guarded staging area where handler
+// threads park completed responses.
+// ---------------------------------------------------------------------------
+
+struct TcpTransport::Listener
+    : std::enable_shared_from_this<TcpTransport::Listener> {
+  EventLoop* loop = nullptr;
+  Executor* handlers = nullptr;
   int listen_fd = -1;
   uint16_t port = 0;
   NodeId node = kInvalidNodeId;
   RpcHandler handler;
-  std::thread accept_thread;
-  std::atomic<bool> stopping{false};
-  std::mutex conns_mu;
-  // Live connections, keyed by a serial so an exiting connection can hand
-  // its thread to the reap list.  A connection that ends (peer close, bad
-  // frame) closes its own fd, removes itself from `conns`, and parks its
-  // serial on `finished`; the accept loop joins finished threads before
-  // every accept, so connection churn never accumulates exited threads or
-  // their fds.
-  uint64_t next_serial = 0;
-  std::unordered_map<uint64_t, int> conn_fds;
-  std::unordered_map<uint64_t, std::thread> conn_threads;
-  std::vector<uint64_t> finished;
 
-  ~Listener() {
-    stopping.store(true);
-    if (listen_fd >= 0) {
-      ::shutdown(listen_fd, SHUT_RDWR);
-      ::close(listen_fd);
-    }
-    {
-      std::lock_guard<std::mutex> lock(conns_mu);
-      for (auto& [serial, fd] : conn_fds) {
-        ::shutdown(fd, SHUT_RDWR);
-      }
-    }
-    if (accept_thread.joinable()) {
-      accept_thread.join();
-    }
-    std::unordered_map<uint64_t, std::thread> threads;
-    {
-      std::lock_guard<std::mutex> lock(conns_mu);
-      threads.swap(conn_threads);
-    }
-    for (auto& [serial, t] : threads) {
-      t.join();
-    }
-    {
-      std::lock_guard<std::mutex> lock(conns_mu);
-      for (auto& [serial, fd] : conn_fds) {
-        ::close(fd);
-      }
-      conn_fds.clear();
-    }
-  }
+  // Set (before closing sockets) by UnregisterNode: no handler is invoked
+  // once this is observed true.
+  std::atomic<bool> closed{false};
 
-  // Joins connection threads that have already exited.  Called off the
-  // accept loop; joining a finished thread does not block.
-  void ReapFinished() {
-    std::vector<std::thread> done;
-    {
-      std::lock_guard<std::mutex> lock(conns_mu);
-      done.reserve(finished.size());
-      for (uint64_t serial : finished) {
-        auto it = conn_threads.find(serial);
-        if (it != conn_threads.end()) {
-          done.push_back(std::move(it->second));
-          conn_threads.erase(it);
-        }
-      }
-      finished.clear();
-    }
-    for (std::thread& t : done) {
-      t.join();
-    }
-  }
+  // Counts dispatched handler tasks; UnregisterNode waits for zero so the
+  // handler (and whatever it captures) is provably quiescent on return.
+  std::mutex inflight_mu;
+  std::condition_variable inflight_cv;
+  uint64_t inflight = 0;
 
-  void ServeConnection(int fd, uint64_t serial) {
+  // Loop-thread state.
+  std::unordered_map<int, std::shared_ptr<ServerConn>> conns;
+
+  // Connections holding staged responses.  The first handler to dirty a conn
+  // posts one FlushDirty to the loop, which then flushes every dirty conn in
+  // the batch — one loop wakeup per burst of responses across the whole
+  // listener, not one per response.
+  std::mutex dirty_mu;
+  std::vector<std::shared_ptr<ServerConn>> dirty;
+  bool flush_posted = false;
+
+  void OnAcceptable();
+  void Dispatch(const std::shared_ptr<ServerConn>& conn, uint64_t corr,
+                uint16_t method, obs::TraceContext ctx,
+                std::vector<uint8_t> payload);
+  void FlushDirty();
+  void HandlerDone();
+  void WaitIdle();
+};
+
+struct TcpTransport::ServerConn
+    : std::enable_shared_from_this<TcpTransport::ServerConn> {
+  EventLoop* loop = nullptr;
+  std::shared_ptr<Listener> listener;
+  int fd = -1;
+
+  // Loop-thread state: incremental framing buffers and epoll interest.
+  ByteQueue in;
+  ByteQueue out;
+  uint32_t interest = EPOLLIN;
+  bool read_paused = false;
+  bool closed = false;
+  size_t gauged = 0;
+
+  // Handler threads append completed response frames here; the first
+  // appender registers the conn on the listener's dirty list (which posts
+  // one batched flush for all dirty conns).
+  std::mutex staged_mu;
+  std::vector<uint8_t> staged;
+  bool flush_posted = false;
+
+  void OnEvent(uint32_t events);
+  void OnReadable();
+  void DrainWrites();
+  void UpdateInterest();
+  void StageResponse(uint64_t corr, const Status& st,
+                     const std::vector<uint8_t>& payload);
+  void FlushStaged();
+  void CloseOnLoop();
+};
+
+void TcpTransport::Listener::OnAcceptable() {
+  while (true) {
+    int cfd = ::accept4(listen_fd, nullptr, nullptr,
+                        SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (cfd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;
+      }
+      TANGO_LOG(kWarning) << "tcp: accept on node " << node
+                          << " failed: " << strerror(errno);
+      return;
+    }
+    int one = 1;
+    ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<ServerConn>();
+    conn->loop = loop;
+    conn->listener = shared_from_this();
+    conn->fd = cfd;
+    conns[cfd] = conn;
     TheTcpGauges().connections->Add(1);
-    std::vector<uint8_t> frame;
-    while (!stopping.load()) {
-      uint8_t len_buf[4];
-      if (ReadFull(fd, len_buf, sizeof(len_buf)) != IoResult::kOk) {
-        break;
-      }
-      uint32_t len = GetU32Le(len_buf);
-      if (len < kReqHeaderBytes || len > kMaxFrame) {
-        TANGO_LOG(kWarning) << "tcp: dropping malformed frame of " << len
-                            << " bytes";
-        break;
-      }
-      frame.resize(len);
-      if (ReadFull(fd, frame.data(), len) != IoResult::kOk) {
-        break;
-      }
-      uint16_t method =
-          static_cast<uint16_t>(frame[0] | (static_cast<uint16_t>(frame[1]) << 8));
-      obs::TraceContext incoming{GetU64Le(frame.data() + 2),
-                                 GetU64Le(frame.data() + 10)};
+    loop->Add(cfd, EPOLLIN, [conn](uint32_t ev) { conn->OnEvent(ev); });
+  }
+}
+
+void TcpTransport::Listener::Dispatch(const std::shared_ptr<ServerConn>& conn,
+                                      uint64_t corr, uint16_t method,
+                                      obs::TraceContext ctx,
+                                      std::vector<uint8_t> payload) {
+  if (closed.load(std::memory_order_acquire)) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu);
+    ++inflight;
+  }
+  auto self = shared_from_this();
+  auto work = [self, conn, corr, method, ctx,
+               payload = std::move(payload)]() {
+    // A task that raced UnregisterNode runs but must not invoke the handler.
+    if (!self->closed.load(std::memory_order_acquire)) {
       obs::RpcMethodStats& rpc = obs::RpcStatsFor(method);
       ByteWriter writer;
       Status st;
       {
-        // Close the span before the response goes out, so a traced caller
+        // Close the span before the response is staged, so a traced caller
         // sees the server-side span as soon as its Call returns.
-        obs::TraceScope span(rpc.span_name, incoming, node);
-        ByteReader reader(frame.data() + kReqHeaderBytes,
-                          len - kReqHeaderBytes);
+        obs::TraceScope span(rpc.span_name, ctx, self->node);
+        ByteReader reader(payload.data(), payload.size());
         TheTcpGauges().server_inflight->Add(1);
-        st = handler(method, reader, writer);
+        st = self->handler(method, reader, writer);
         TheTcpGauges().server_inflight->Add(-1);
       }
-
-      const std::vector<uint8_t>& payload = writer.bytes();
-      uint32_t resp_len =
-          kRespHeaderBytes + static_cast<uint32_t>(payload.size());
-      std::vector<uint8_t> resp(4 + resp_len);
-      PutU32Le(resp.data(), resp_len);
-      resp[4] = static_cast<uint8_t>(st.code());
-      PutU32Le(resp.data() + 5, st.retry_after_us());
-      std::memcpy(resp.data() + 4 + kRespHeaderBytes, payload.data(),
-                  payload.size());
-      if (WriteFull(fd, resp.data(), resp.size()) != IoResult::kOk) {
-        break;
-      }
+      conn->StageResponse(corr, st, writer.bytes());
     }
-    TheTcpGauges().connections->Add(-1);
-    // Close and deregister our fd, then queue the thread for reaping.  The
-    // destructor may be concurrently shutting every fd down: the map erase
-    // under conns_mu decides who closes (exactly one side sees the entry).
-    {
-      std::lock_guard<std::mutex> lock(conns_mu);
-      auto it = conn_fds.find(serial);
-      if (it != conn_fds.end()) {
-        ::close(it->second);
-        conn_fds.erase(it);
-      }
-      finished.push_back(serial);
+    self->HandlerDone();
+  };
+  if (handlers != nullptr) {
+    handlers->Submit(std::move(work));
+  } else {
+    // Inline mode: the handler runs on the loop thread itself — zero
+    // cross-thread handoffs per request.  Only safe because the owner
+    // promised (Options::handler_threads = -1) the handler never blocks.
+    work();
+  }
+}
+
+void TcpTransport::Listener::HandlerDone() {
+  std::lock_guard<std::mutex> lock(inflight_mu);
+  if (--inflight == 0) {
+    inflight_cv.notify_all();
+  }
+}
+
+void TcpTransport::Listener::WaitIdle() {
+  std::unique_lock<std::mutex> lock(inflight_mu);
+  inflight_cv.wait(lock, [this] { return inflight == 0; });
+}
+
+void TcpTransport::Listener::FlushDirty() {
+  std::vector<std::shared_ptr<ServerConn>> batch;
+  {
+    std::lock_guard<std::mutex> lock(dirty_mu);
+    batch.swap(dirty);
+    flush_posted = false;
+  }
+  for (const auto& conn : batch) {
+    conn->FlushStaged();
+  }
+}
+
+void TcpTransport::ServerConn::OnEvent(uint32_t events) {
+  if (closed) {
+    return;
+  }
+  if (events & EPOLLIN) {
+    OnReadable();
+    if (closed) {
+      return;
     }
   }
+  if (events & EPOLLOUT) {
+    DrainWrites();
+    if (closed) {
+      return;
+    }
+  }
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    CloseOnLoop();
+  }
+}
 
-  void AcceptLoop() {
-    while (!stopping.load()) {
-      ReapFinished();
-      int fd = ::accept(listen_fd, nullptr, nullptr);
-      if (fd < 0) {
-        if (stopping.load()) {
-          return;
-        }
+void TcpTransport::ServerConn::OnReadable() {
+  ReadStatus rs = ReadSome(fd, &in);
+  // Parse every complete frame buffered so far (pipelined requests arrive
+  // back to back), then handle EOF/error.
+  while (true) {
+    if (in.size() < 4) {
+      break;
+    }
+    uint32_t len = GetU32Le(in.ptr());
+    if (len < kReqHeaderBytes || len > kMaxFrame) {
+      TANGO_LOG(kWarning) << "tcp: dropping malformed frame of " << len
+                          << " bytes";
+      CloseOnLoop();
+      return;
+    }
+    if (in.size() < 4 + static_cast<size_t>(len)) {
+      break;
+    }
+    const uint8_t* p = in.ptr() + 4;
+    uint64_t corr = GetU64Le(p);
+    uint16_t method = GetU16Le(p + 8);
+    obs::TraceContext ctx{GetU64Le(p + 10), GetU64Le(p + 18)};
+    std::vector<uint8_t> payload(p + kReqHeaderBytes, p + len);
+    listener->Dispatch(shared_from_this(), corr, method, ctx,
+                       std::move(payload));
+    in.Consume(4 + len);
+  }
+  if (rs != ReadStatus::kMore) {
+    CloseOnLoop();
+  }
+}
+
+void TcpTransport::ServerConn::DrainWrites() {
+  while (!out.empty()) {
+    ssize_t n = ::send(fd, out.ptr(), out.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
         continue;
       }
-      int one = 1;
-      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      std::lock_guard<std::mutex> lock(conns_mu);
-      uint64_t serial = next_serial++;
-      conn_fds.emplace(serial, fd);
-      conn_threads.emplace(
-          serial, std::thread([this, fd, serial] { ServeConnection(fd, serial); }));
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      CloseOnLoop();
+      return;
+    }
+    out.Consume(static_cast<size_t>(n));
+  }
+  SyncQueueGauge(&gauged, out.size());
+  UpdateInterest();
+}
+
+void TcpTransport::ServerConn::UpdateInterest() {
+  if (!read_paused && out.size() >= kWriteHighWatermark) {
+    read_paused = true;
+  } else if (read_paused && out.size() <= kWriteLowWatermark) {
+    read_paused = false;
+  }
+  uint32_t want = (read_paused ? 0u : EPOLLIN) | (out.empty() ? 0u : EPOLLOUT);
+  if (want != interest) {
+    interest = want;
+    loop->Update(fd, want);
+  }
+}
+
+void TcpTransport::ServerConn::StageResponse(
+    uint64_t corr, const Status& st, const std::vector<uint8_t>& payload) {
+  uint32_t resp_len = kRespHeaderBytes + static_cast<uint32_t>(payload.size());
+  bool newly_dirty = false;
+  {
+    // The response frame is serialized straight into the staging buffer —
+    // no intermediate frame allocation on the per-response hot path.
+    std::lock_guard<std::mutex> lock(staged_mu);
+    size_t off = staged.size();
+    staged.resize(off + 4 + resp_len);
+    PutU32Le(staged.data() + off, resp_len);
+    PutU64Le(staged.data() + off + 4, corr);
+    staged[off + 12] = static_cast<uint8_t>(st.code());
+    PutU32Le(staged.data() + off + 13, st.retry_after_us());
+    if (!payload.empty()) {
+      std::memcpy(staged.data() + off + 4 + kRespHeaderBytes, payload.data(),
+                  payload.size());
+    }
+    if (!flush_posted) {
+      flush_posted = true;
+      newly_dirty = true;
     }
   }
-};
+  if (!newly_dirty) {
+    return;  // an earlier response already queued this conn for flushing
+  }
+  bool need_post = false;
+  {
+    std::lock_guard<std::mutex> lock(listener->dirty_mu);
+    listener->dirty.push_back(shared_from_this());
+    if (!listener->flush_posted) {
+      listener->flush_posted = true;
+      need_post = true;
+    }
+  }
+  if (need_post) {
+    auto l = listener;
+    // A false return means the loop is gone — the transport is being torn
+    // down and the connection with it; the response is moot.
+    (void)loop->Post([l] { l->FlushDirty(); });
+  }
+}
 
-struct TcpTransport::Connection {
+void TcpTransport::ServerConn::FlushStaged() {
+  std::vector<uint8_t> bytes;
+  {
+    std::lock_guard<std::mutex> lock(staged_mu);
+    bytes.swap(staged);
+    flush_posted = false;
+  }
+  if (closed || bytes.empty()) {
+    return;
+  }
+  out.Append(bytes.data(), bytes.size());
+  DrainWrites();
+}
+
+void TcpTransport::ServerConn::CloseOnLoop() {
+  if (closed) {
+    return;
+  }
+  closed = true;
+  auto self = shared_from_this();  // conns.erase below may drop the last ref
+  TheTcpGauges().connections->Add(-1);
+  SyncQueueGauge(&gauged, 0);
+  out.Clear();
+  in.Clear();
+  loop->Remove(fd);
+  ::close(fd);
+  listener->conns.erase(fd);
+  fd = -1;
+}
+
+// ---------------------------------------------------------------------------
+// Client side: one shared ClientConn per destination carries every caller's
+// frames, correlated by id.  Callers enqueue under `mu` and park on a
+// per-call notification; the loop thread writes queued frames and demuxes
+// responses back to their waiters.
+// ---------------------------------------------------------------------------
+
+struct TcpTransport::ClientConn
+    : std::enable_shared_from_this<TcpTransport::ClientConn> {
+  TcpTransport* transport = nullptr;
+  EventLoop* loop = nullptr;
+  NodeId dest = kInvalidNodeId;
   int fd = -1;
-  std::mutex mu;  // serializes request/response pairs on this socket
 
-  ~Connection() {
-    if (fd >= 0) {
-      ::close(fd);
+  struct PendingCall {
+    Notification done;
+    Status status = Status::Ok();
+    std::vector<uint8_t> payload;
+    // True when the status was synthesized by the transport (socket death,
+    // shutdown) rather than returned by the remote handler.
+    bool transport_failure = false;
+  };
+
+  enum class State { kConnecting, kReady, kDead };
+
+  // Cross-thread state: callers enqueue, the loop thread demuxes.  The loop
+  // fills and notifies a PendingCall while holding `mu` and removes it from
+  // `pending` in the same critical section, so a timed-out caller that fails
+  // to erase its id knows the notification has already fired.
+  std::mutex mu;
+  State state = State::kConnecting;
+  uint64_t next_corr = 1;
+  std::unordered_map<uint64_t, PendingCall*> pending;
+  std::vector<uint8_t> staged;  // frames not yet handed to the loop
+  bool flush_posted = false;
+
+  // Loop-thread state.
+  ByteQueue in;
+  ByteQueue out;
+  uint32_t interest = EPOLLIN | EPOLLOUT;  // EPOLLOUT resolves the connect
+  bool closed = false;
+  size_t gauged = 0;
+
+  void OnEvent(uint32_t events);
+  void OnReadable();
+  void DrainWrites();
+  void UpdateInterest();
+  void FlushStaged();
+  void Die(const char* why);
+};
+
+void TcpTransport::ClientConn::OnEvent(uint32_t events) {
+  if (closed) {
+    return;
+  }
+  bool connecting;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    connecting = state == State::kConnecting;
+  }
+  if (connecting) {
+    // First event on a nonblocking connect: SO_ERROR tells us whether the
+    // handshake succeeded.
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
+      err = errno;
+    }
+    if (err != 0 || (events & (EPOLLERR | EPOLLHUP))) {
+      Die("connect failed");
+      return;
+    }
+    std::vector<uint8_t> bytes;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      state = State::kReady;
+      bytes.swap(staged);
+    }
+    if (!bytes.empty()) {
+      out.Append(bytes.data(), bytes.size());
+    }
+    DrainWrites();  // also narrows interest to EPOLLIN once drained
+    return;
+  }
+  if (events & EPOLLIN) {
+    OnReadable();
+    if (closed) {
+      return;
     }
   }
-};
+  if (events & EPOLLOUT) {
+    DrainWrites();
+    if (closed) {
+      return;
+    }
+  }
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    Die("socket error");
+  }
+}
+
+void TcpTransport::ClientConn::OnReadable() {
+  ReadStatus rs = ReadSome(fd, &in);
+  while (true) {
+    if (in.size() < 4) {
+      break;
+    }
+    uint32_t len = GetU32Le(in.ptr());
+    if (len < kRespHeaderBytes || len > kMaxFrame) {
+      TANGO_LOG(kWarning) << "tcp: malformed response frame from node "
+                          << dest;
+      Die("malformed response frame");
+      return;
+    }
+    if (in.size() < 4 + static_cast<size_t>(len)) {
+      break;
+    }
+    const uint8_t* p = in.ptr() + 4;
+    uint64_t corr = GetU64Le(p);
+    StatusCode code = static_cast<StatusCode>(p[8]);
+    uint32_t retry_after_us = GetU32Le(p + 9);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      auto it = pending.find(corr);
+      if (it != pending.end()) {
+        PendingCall* pc = it->second;
+        pending.erase(it);
+        pc->status = Status(code);
+        pc->status.set_retry_after_us(retry_after_us);
+        pc->payload.assign(p + kRespHeaderBytes, p + len);
+        pc->done.Notify();
+      }
+      // Unknown id: the caller timed out and abandoned it — drop.
+    }
+    in.Consume(4 + len);
+  }
+  if (rs != ReadStatus::kMore) {
+    Die("peer closed connection");
+  }
+}
+
+void TcpTransport::ClientConn::DrainWrites() {
+  while (!out.empty()) {
+    ssize_t n = ::send(fd, out.ptr(), out.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      Die("send failed");
+      return;
+    }
+    out.Consume(static_cast<size_t>(n));
+  }
+  SyncQueueGauge(&gauged, out.size());
+  UpdateInterest();
+}
+
+void TcpTransport::ClientConn::UpdateInterest() {
+  uint32_t want = EPOLLIN | (out.empty() ? 0u : EPOLLOUT);
+  if (want != interest) {
+    interest = want;
+    loop->Update(fd, want);
+  }
+}
+
+void TcpTransport::ClientConn::FlushStaged() {
+  std::vector<uint8_t> bytes;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    flush_posted = false;
+    if (state != State::kReady) {
+      // Still connecting: the ready transition drains `staged` itself.
+      // Dead: the frames are moot (their calls were already failed).
+      return;
+    }
+    bytes.swap(staged);
+  }
+  if (closed || bytes.empty()) {
+    return;
+  }
+  out.Append(bytes.data(), bytes.size());
+  DrainWrites();
+}
+
+void TcpTransport::ClientConn::Die(const char* why) {
+  if (closed) {
+    return;
+  }
+  closed = true;
+  auto self = shared_from_this();
+  SyncQueueGauge(&gauged, 0);
+  out.Clear();
+  in.Clear();
+  loop->Remove(fd);
+  ::close(fd);
+  fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    state = State::kDead;
+    staged.clear();
+    for (auto& [corr, pc] : pending) {
+      pc->status = Status(StatusCode::kUnavailable, why);
+      pc->transport_failure = true;
+      pc->done.Notify();
+    }
+    pending.clear();
+  }
+  transport->DropConnectionIfSame(dest, this);
+}
+
+// ---------------------------------------------------------------------------
+// TcpTransport
+// ---------------------------------------------------------------------------
 
 TcpTransport::TcpTransport(Options options)
-    : call_timeout_ms_(options.call_timeout_ms) {}
+    : handler_threads_opt_(options.handler_threads),
+      call_timeout_ms_(options.call_timeout_ms),
+      loop_(std::make_unique<EventLoop>()) {}
 
 TcpTransport::~TcpTransport() {
-  std::unordered_map<NodeId, std::unique_ptr<Listener>> listeners;
-  std::unordered_map<NodeId, std::shared_ptr<Connection>> connections;
+  std::vector<std::shared_ptr<Listener>> listeners;
+  std::vector<std::shared_ptr<ClientConn>> conns;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    listeners.swap(listeners_);
-    connections.swap(connections_);
+    for (auto& [node, l] : listeners_) {
+      listeners.push_back(l);
+    }
+    listeners_.clear();
+    for (auto& [node, c] : connections_) {
+      conns.push_back(c);
+    }
+    connections_.clear();
+    routes_.clear();
   }
-  // Destructors close sockets and join threads.
+  for (auto& l : listeners) {
+    ShutdownListener(l);
+  }
+  if (!conns.empty()) {
+    loop_->PostAndWait([&conns] {
+      for (auto& c : conns) {
+        c->Die("transport shutting down");
+      }
+    });
+  }
+  // Handler tasks have all finished (WaitIdle above); destroying the
+  // executor before the loop keeps the "tasks may post to a live loop"
+  // invariant for anything still draining.
+  handlers_.reset();
+  loop_.reset();
+}
+
+void TcpTransport::ShutdownListener(const std::shared_ptr<Listener>& listener) {
+  listener->closed.store(true, std::memory_order_release);
+  loop_->PostAndWait([listener] {
+    if (listener->listen_fd >= 0) {
+      listener->loop->Remove(listener->listen_fd);
+      ::close(listener->listen_fd);
+      listener->listen_fd = -1;
+    }
+    auto conns = std::move(listener->conns);
+    listener->conns.clear();
+    for (auto& [fd, conn] : conns) {
+      conn->CloseOnLoop();
+    }
+  });
+  // After this, no dispatched handler task is running and none will start.
+  listener->WaitIdle();
 }
 
 void TcpTransport::RegisterNode(NodeId node, RpcHandler handler) {
+  UnregisterNode(node);  // replace semantics: tear down any previous listener
+
   uint16_t requested_port = 0;
   std::string address;
   {
@@ -350,13 +780,24 @@ void TcpTransport::RegisterNode(NodeId node, RpcHandler handler) {
       requested_port = it->second;
     }
     address = listen_address_;
+    // handler_threads < 0 selects inline dispatch (no pool at all); the
+    // listener's null `handlers` pointer is the marker.
+    if (!handlers_ && handler_threads_opt_ >= 0) {
+      unsigned hw = std::thread::hardware_concurrency();
+      int n = handler_threads_opt_ > 0
+                  ? handler_threads_opt_
+                  : static_cast<int>(hw < 4 ? 4 : hw);
+      handlers_ = std::make_unique<Executor>(n);
+    }
   }
 
-  auto listener = std::make_unique<Listener>();
+  auto listener = std::make_shared<Listener>();
+  listener->loop = loop_.get();
+  listener->handlers = handlers_.get();
   listener->node = node;
   listener->handler = std::move(handler);
 
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   TANGO_CHECK(fd >= 0) << "socket() failed";
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -369,14 +810,17 @@ void TcpTransport::RegisterNode(NodeId node, RpcHandler handler) {
   addr.sin_port = htons(requested_port);
   TANGO_CHECK(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
       << "bind() failed for node " << node << " port " << requested_port;
-  TANGO_CHECK(::listen(fd, 128) == 0) << "listen() failed";
+  TANGO_CHECK(::listen(fd, 1024) == 0) << "listen() failed";
 
   socklen_t addr_len = sizeof(addr);
   ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
   listener->listen_fd = fd;
   listener->port = ntohs(addr.sin_port);
-  Listener* raw = listener.get();
-  listener->accept_thread = std::thread([raw] { raw->AcceptLoop(); });
+
+  loop_->PostAndWait([listener] {
+    listener->loop->Add(listener->listen_fd, EPOLLIN,
+                        [listener](uint32_t) { listener->OnAcceptable(); });
+  });
 
   std::lock_guard<std::mutex> lock(mu_);
   routes_[node] = {"127.0.0.1", listener->port};
@@ -398,18 +842,28 @@ void TcpTransport::SetListenAddress(const std::string& address) {
 }
 
 void TcpTransport::UnregisterNode(NodeId node) {
-  std::unique_ptr<Listener> listener;
+  std::shared_ptr<Listener> listener;
+  std::shared_ptr<ClientConn> conn;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = listeners_.find(node);
     if (it != listeners_.end()) {
-      listener = std::move(it->second);
+      listener = it->second;
       listeners_.erase(it);
     }
     routes_.erase(node);
-    connections_.erase(node);
+    auto cit = connections_.find(node);
+    if (cit != connections_.end()) {
+      conn = cit->second;
+      connections_.erase(cit);
+    }
   }
-  // Listener destructor runs outside the lock (joins threads).
+  if (conn) {
+    loop_->PostAndWait([conn] { conn->Die("node unregistered"); });
+  }
+  if (listener) {
+    ShutdownListener(listener);
+  }
 }
 
 void TcpTransport::AddRoute(NodeId node, const std::string& host,
@@ -424,7 +878,7 @@ uint16_t TcpTransport::LocalPort(NodeId node) const {
   return it == listeners_.end() ? 0 : it->second->port;
 }
 
-Result<std::shared_ptr<TcpTransport::Connection>> TcpTransport::GetConnection(
+Result<std::shared_ptr<TcpTransport::ClientConn>> TcpTransport::GetConnection(
     NodeId dest) {
   std::string host;
   uint16_t port = 0;
@@ -442,7 +896,7 @@ Result<std::shared_ptr<TcpTransport::Connection>> TcpTransport::GetConnection(
     port = route->second.second;
   }
 
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     return Status(StatusCode::kUnavailable, "socket() failed");
   }
@@ -453,28 +907,51 @@ Result<std::shared_ptr<TcpTransport::Connection>> TcpTransport::GetConnection(
     ::close(fd);
     return Status(StatusCode::kInvalidArgument, "bad host address");
   }
-  if (!ConnectWithTimeout(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr),
-                          call_timeout_ms_.load(std::memory_order_relaxed))) {
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
     ::close(fd);
     return Status(StatusCode::kUnavailable, "connect() failed");
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
-  auto conn = std::make_shared<Connection>();
+  auto conn = std::make_shared<ClientConn>();
+  conn->transport = this;
+  conn->loop = loop_.get();
+  conn->dest = dest;
   conn->fd = fd;
-  std::lock_guard<std::mutex> lock(mu_);
-  // Another thread may have raced us; keep the first one in.  The losing
-  // racer's socket must not leak: `conn` drops its last reference on return
-  // and ~Connection closes the fd (regression-tested by
-  // ConcurrentFirstCallsDontLeakFds).
-  auto [it, inserted] = connections_.emplace(dest, conn);
-  return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = connections_.emplace(dest, conn);
+    if (!inserted) {
+      // Another thread raced us; keep the first one in.  The losing racer's
+      // socket must not leak — it was never registered with the loop, so
+      // closing it here is the whole cleanup (regression-tested by
+      // ConcurrentFirstCallsDontLeakFds).
+      ::close(fd);
+      return it->second;
+    }
+  }
+  if (!loop_->Post([conn] {
+        conn->loop->Add(conn->fd, EPOLLIN | EPOLLOUT,
+                        [conn](uint32_t ev) { conn->OnEvent(ev); });
+      })) {
+    DropConnectionIfSame(dest, conn.get());
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->state = ClientConn::State::kDead;
+    ::close(conn->fd);
+    conn->fd = -1;
+    return Status(StatusCode::kUnavailable, "transport shutting down");
+  }
+  return conn;
 }
 
-void TcpTransport::DropConnection(NodeId dest) {
+void TcpTransport::DropConnectionIfSame(NodeId dest, const ClientConn* conn) {
   std::lock_guard<std::mutex> lock(mu_);
-  connections_.erase(dest);
+  auto it = connections_.find(dest);
+  if (it != connections_.end() && it->second.get() == conn) {
+    connections_.erase(it);
+  }
 }
 
 Status TcpTransport::Call(NodeId dest, uint16_t method,
@@ -486,80 +963,127 @@ Status TcpTransport::Call(NodeId dest, uint16_t method,
   // under this round-trip span.
   obs::TraceScope span(rpc.span_name, dest);
   obs::TraceContext ctx = obs::CurrentTrace();
-
-  TANGO_ASSIGN_OR_RETURN(std::shared_ptr<Connection> conn,
-                         GetConnection(dest));
-
-  TheTcpGauges().client_inflight->Add(1);
-  struct InflightGuard {
-    ~InflightGuard() { TheTcpGauges().client_inflight->Add(-1); }
-  } inflight_guard;
-  std::lock_guard<std::mutex> lock(conn->mu);
-  uint32_t timeout_ms = call_timeout_ms_.load(std::memory_order_relaxed);
-  SetSocketTimeouts(conn->fd, timeout_ms);
-  // Maps an I/O failure to the caller-visible status: a deadline expiring is
-  // kTimeout (the peer may be hung, not gone); a closed socket is
-  // kUnavailable.  Either way the cached connection is poisoned mid-frame
-  // and must be dropped.
-  auto io_error = [&](IoResult r, const char* what) {
-    DropConnection(dest);
-    rpc.drops->Add();
-    TANGO_LOG(kWarning) << "tcp: " << what << " node " << dest << " ("
-                        << obs::RpcMethodName(method) << ") "
-                        << (r == IoResult::kTimeout ? "timed out"
-                                                    : "failed")
-                        << "; dropping connection";
-    return r == IoResult::kTimeout
-               ? Status(StatusCode::kTimeout, "call timed out")
-               : Status(StatusCode::kUnavailable, "peer closed connection");
-  };
   uint64_t start_us = obs::MetricsEnabled() ? NowMicros() : 0;
+  uint32_t timeout_ms = call_timeout_ms_.load(std::memory_order_relaxed);
+
+  // Build the frame once; the correlation id at offset 4 is patched when the
+  // call is enqueued on a live connection.
   uint32_t req_len = kReqHeaderBytes + static_cast<uint32_t>(request.size());
   std::vector<uint8_t> frame(4 + req_len);
   PutU32Le(frame.data(), req_len);
-  frame[4] = static_cast<uint8_t>(method);
-  frame[5] = static_cast<uint8_t>(method >> 8);
-  PutU64Le(frame.data() + 6, ctx.trace_id);
-  PutU64Le(frame.data() + 14, ctx.span_id);
-  std::memcpy(frame.data() + 4 + kReqHeaderBytes, request.data(),
-              request.size());
-  if (IoResult w = WriteFull(conn->fd, frame.data(), frame.size());
-      w != IoResult::kOk) {
-    return io_error(w, "send to");
+  frame[12] = static_cast<uint8_t>(method);
+  frame[13] = static_cast<uint8_t>(method >> 8);
+  PutU64Le(frame.data() + 14, ctx.trace_id);
+  PutU64Le(frame.data() + 22, ctx.span_id);
+  if (!request.empty()) {
+    std::memcpy(frame.data() + 4 + kReqHeaderBytes, request.data(),
+                request.size());
   }
 
-  uint8_t len_buf[4];
-  if (IoResult r = ReadFull(conn->fd, len_buf, sizeof(len_buf));
-      r != IoResult::kOk) {
-    return io_error(r, "recv from");
+  ClientConn::PendingCall pc;
+  std::shared_ptr<ClientConn> conn;
+  uint64_t corr = 0;
+  bool enqueued = false;
+  // Two attempts: a cached connection that died since its last use is
+  // evicted and replaced with a fresh socket.  A call that was already
+  // enqueued is never retried here — the server may have executed it.
+  for (int attempt = 0; attempt < 2 && !enqueued; ++attempt) {
+    auto got = GetConnection(dest);
+    if (!got.ok()) {
+      rpc.drops->Add();
+      TANGO_LOG(kWarning) << "tcp: call to node " << dest << " ("
+                          << obs::RpcMethodName(method)
+                          << ") failed: " << got.status().message();
+      return got.status();
+    }
+    conn = *got;
+    bool need_post = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->state != ClientConn::State::kDead) {
+        corr = conn->next_corr++;
+        PutU64Le(frame.data() + 4, corr);
+        conn->pending.emplace(corr, &pc);
+        conn->staged.insert(conn->staged.end(), frame.begin(), frame.end());
+        if (!conn->flush_posted) {
+          conn->flush_posted = true;
+          need_post = true;
+        }
+        enqueued = true;
+      }
+    }
+    if (!enqueued) {
+      DropConnectionIfSame(dest, conn.get());
+      continue;
+    }
+    if (need_post) {
+      auto c = conn;
+      if (!loop_->Post([c] { c->FlushStaged(); })) {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->pending.erase(corr);
+        rpc.drops->Add();
+        return Status(StatusCode::kUnavailable, "transport shutting down");
+      }
+    }
   }
-  uint32_t resp_len = GetU32Le(len_buf);
-  if (resp_len < kRespHeaderBytes || resp_len > kMaxFrame) {
-    DropConnection(dest);
-    rpc.failures->Add();
-    TANGO_LOG(kWarning) << "tcp: malformed response frame from node " << dest;
-    return Status(StatusCode::kInternal, "bad response frame");
+  if (!enqueued) {
+    rpc.drops->Add();
+    TANGO_LOG(kWarning) << "tcp: connection to node " << dest
+                        << " repeatedly unavailable";
+    return Status(StatusCode::kUnavailable, "connection unavailable");
   }
-  std::vector<uint8_t> resp(resp_len);
-  if (IoResult r = ReadFull(conn->fd, resp.data(), resp_len);
-      r != IoResult::kOk) {
-    return io_error(r, "recv from");
+
+  TheTcpGauges().client_inflight->Add(1);
+  bool done = true;
+  if (timeout_ms == 0) {
+    pc.done.WaitForNotification();
+  } else {
+    done = pc.done.WaitForNotificationWithTimeout(
+        std::chrono::milliseconds(timeout_ms));
+  }
+  if (!done) {
+    bool erased;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      erased = conn->pending.erase(corr) > 0;
+    }
+    if (erased) {
+      // Abandon the call but keep the connection: with multiplexed framing a
+      // slow response no longer poisons the stream.  Repeated timeouts are
+      // the circuit breaker's business.
+      TheTcpGauges().client_inflight->Add(-1);
+      rpc.drops->Add();
+      TANGO_LOG(kWarning) << "tcp: call to node " << dest << " ("
+                          << obs::RpcMethodName(method) << ") timed out after "
+                          << timeout_ms << " ms";
+      return Status(StatusCode::kTimeout, "call timed out");
+    }
+    // The response raced in: the loop filled and notified `pc` under
+    // conn->mu before removing the id, so this wait returns immediately.
+    pc.done.WaitForNotification();
+  }
+  TheTcpGauges().client_inflight->Add(-1);
+
+  if (pc.transport_failure) {
+    rpc.drops->Add();
+    TANGO_LOG(kWarning) << "tcp: call to node " << dest << " ("
+                        << obs::RpcMethodName(method)
+                        << ") failed: " << pc.status.message()
+                        << "; connection dropped";
+    return pc.status;
   }
   if (start_us != 0) {
     rpc.latency_us->Record(NowMicros() - start_us);
   }
-  StatusCode code = static_cast<StatusCode>(resp[0]);
-  uint32_t retry_after_us = GetU32Le(resp.data() + 1);
-  if (code != StatusCode::kOk) {
+  if (!pc.status.ok()) {
     rpc.failures->Add();
-    Status st(code);
-    st.set_retry_after_us(retry_after_us);
-    return st;
+    return pc.status;
   }
   if (response != nullptr) {
-    response->assign(resp.begin() + kRespHeaderBytes, resp.end());
+    *response = std::move(pc.payload);
   }
   return Status::Ok();
 }
 
 }  // namespace tango
+

@@ -1,23 +1,34 @@
 // TCP transport: the same RPC contract as InProcTransport, over real POSIX
-// sockets on localhost or a LAN.
+// sockets — multiplexed over a nonblocking epoll event loop (EventLoop).
 //
-// Wire format (all little-endian):
-//   request frame:  u32 length | u16 method | u64 trace_id | u64 parent_span
+// Wire format v2 (all little-endian):
+//   request frame:  u32 length | u64 corr_id | u16 method | u64 trace_id
+//                   | u64 parent_span | payload...
+//   response frame: u32 length | u64 corr_id | u8 status | u32 retry_after_us
 //                   | payload...
-//   response frame: u32 length | u8 status | u32 retry_after_us | payload...
-// `length` counts the bytes after the length field itself.  retry_after_us
-// carries the server's backoff hint for kBusy sheds (0 otherwise), so
-// admission control survives the wire.  The 16-byte
-// trace envelope propagates the caller's trace context (src/obs/trace.h)
-// across the wire; trace_id 0 means the call is untraced and the server
-// records no spans for it.
+// `length` counts the bytes after the length field itself.  corr_id pairs a
+// response with its request, so many RPCs can be in flight on one connection
+// and responses may return in any order.  retry_after_us carries the server's
+// backoff hint for kBusy sheds (0 otherwise), so admission control survives
+// the wire.  The 16-byte trace envelope propagates the caller's trace context
+// (src/obs/trace.h); trace_id 0 means the call is untraced.
 //
-// Each registered node owns a listening socket and an accept thread; each
-// accepted connection is served by a dedicated thread running a simple
-// read-dispatch-write loop.  Client-side, one cached connection per
-// (transport, destination) pair is used, serialized by a per-connection
-// mutex — CORFU clients issue strictly sequential RPCs per chain hop, so this
-// matches the access pattern.
+// Architecture: one EventLoop thread per transport owns every socket —
+// listeners, accepted server connections, and cached client connections.
+// All socket I/O is nonblocking with per-connection read/write buffers and
+// incremental framing; nothing on the loop ever blocks.  Decoded requests
+// are dispatched to a fixed-size handler Executor (handlers may block on
+// fsync etc.), and completed responses are staged back to the loop for
+// writing.  Client-side, Call() assigns a correlation id, enqueues its frame
+// on the shared per-destination connection, and parks on a notification until
+// the loop demuxes the matching response — so 10k concurrent callers cost
+// 10k sockets, not 10k threads.
+//
+// Timeouts: Options::call_timeout_ms bounds each Call end to end (connect
+// included).  A timed-out call abandons its correlation id but leaves the
+// connection intact — later responses for abandoned ids are dropped.  Only a
+// socket-level failure kills a connection (failing every pending call on it
+// with kUnavailable).
 
 #ifndef SRC_NET_TCP_TRANSPORT_H_
 #define SRC_NET_TCP_TRANSPORT_H_
@@ -27,7 +38,6 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -35,13 +45,24 @@
 
 namespace tango {
 
+class EventLoop;
+class Executor;
+
 class TcpTransport : public Transport {
  public:
   struct Options {
-    // Per-call I/O deadline in milliseconds: connect, send and recv are each
-    // bounded by this, so a hung or unreachable peer surfaces as kTimeout
+    // Per-call deadline in milliseconds, covering connect, queueing and the
+    // server round trip: a hung or unreachable peer surfaces as kTimeout
     // instead of blocking the caller forever.  0 = block indefinitely.
     uint32_t call_timeout_ms = 0;
+
+    // Worker threads executing RPC handlers (handlers may block, so they
+    // never run on the event loop).  0 = max(4, hardware_concurrency).
+    // -1 = inline mode: handlers run directly on the loop thread, removing
+    // the per-request executor handoff.  Only for handlers that NEVER block
+    // (e.g. a pure in-memory sequencer); a blocking inline handler stalls
+    // every connection on the transport.
+    int handler_threads = 0;
   };
 
   TcpTransport() : TcpTransport(Options{}) {}
@@ -57,7 +78,11 @@ class TcpTransport : public Transport {
   // Starts a listener on 127.0.0.1 with an OS-assigned port and serves
   // `handler` on it.  The chosen address is registered so Call() on this
   // transport can reach it; remote processes would use AddRoute().
+  // Re-registering a node replaces its listener (new port unless pinned).
   void RegisterNode(NodeId node, RpcHandler handler) override;
+
+  // Stops the listener and waits for in-flight handlers: once this returns,
+  // `handler` is not executing and will never be invoked again.
   void UnregisterNode(NodeId node) override;
 
   // Maps a node id to an explicit host:port (for cross-process setups).
@@ -81,16 +106,26 @@ class TcpTransport : public Transport {
 
  private:
   struct Listener;
-  struct Connection;
+  struct ServerConn;
+  struct ClientConn;
 
-  Result<std::shared_ptr<Connection>> GetConnection(NodeId dest);
-  void DropConnection(NodeId dest);
+  Result<std::shared_ptr<ClientConn>> GetConnection(NodeId dest);
+  // Evicts `conn` from the cache iff it is still the cached entry for
+  // `dest` — a dying connection must not evict its replacement.
+  void DropConnectionIfSame(NodeId dest, const ClientConn* conn);
+  void ShutdownListener(const std::shared_ptr<Listener>& listener);
 
+  const int handler_threads_opt_;
   std::atomic<uint32_t> call_timeout_ms_{0};
+  // Declared before handlers_ so it is destroyed after: draining handler
+  // tasks may still post response flushes to the loop.
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<Executor> handlers_;  // created at first RegisterNode
+
   mutable std::mutex mu_;
-  std::unordered_map<NodeId, std::unique_ptr<Listener>> listeners_;
+  std::unordered_map<NodeId, std::shared_ptr<Listener>> listeners_;
   std::unordered_map<NodeId, std::pair<std::string, uint16_t>> routes_;
-  std::unordered_map<NodeId, std::shared_ptr<Connection>> connections_;
+  std::unordered_map<NodeId, std::shared_ptr<ClientConn>> connections_;
   std::unordered_map<NodeId, uint16_t> listen_ports_;
   std::string listen_address_ = "127.0.0.1";
 };

@@ -1,5 +1,7 @@
 #include "src/obs/http.h"
 
+#include <pthread.h>
+
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -135,12 +137,15 @@ void ObsHttpServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) {
     return;
   }
+  // shutdown() unblocks a parked accept() (EINVAL); the fd itself is
+  // closed only after the join so the accept thread never reads a
+  // reassigned listen_fd_ — or worse, accepts on a recycled fd number.
   ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
 }
 
 void ObsHttpServer::Handle(const std::string& path,
@@ -149,6 +154,8 @@ void ObsHttpServer::Handle(const std::string& path,
 }
 
 void ObsHttpServer::AcceptLoop() {
+  // obs sits below util in the layering; name the thread directly.
+  pthread_setname_np(pthread_self(), "tgo-http");
   while (running_.load(std::memory_order_acquire)) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {

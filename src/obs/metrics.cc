@@ -1,5 +1,7 @@
 #include "src/obs/metrics.h"
 
+#include <pthread.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -336,6 +338,8 @@ PeriodicStatsDumper::~PeriodicStatsDumper() {
 }
 
 void PeriodicStatsDumper::Loop(uint32_t interval_ms) {
+  // obs sits below util in the layering; name the thread directly.
+  pthread_setname_np(pthread_self(), "tgo-stats");
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_.load()) {
     cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),

@@ -8,6 +8,7 @@
 #include "src/util/crc32c.h"
 #include "src/util/logging.h"
 #include "src/util/serialize.h"
+#include "src/util/threading.h"
 
 namespace corfu::storage {
 
@@ -751,6 +752,7 @@ bool SegmentStoreBackend::failed() const {
 }
 
 void SegmentStoreBackend::FlusherLoop() {
+  tango::SetCurrentThreadName("tgo-flush");
   while (true) {
     {
       std::unique_lock<std::mutex> flk(flusher_mu_);

@@ -1,10 +1,20 @@
 #include "src/util/threading.h"
 
+#include <pthread.h>
+
 #include <algorithm>
 
 #include "src/obs/metrics.h"
 
 namespace tango {
+
+void SetCurrentThreadName(const char* name) {
+#if defined(__linux__)
+  pthread_setname_np(pthread_self(), name);
+#else
+  (void)name;
+#endif
+}
 
 namespace {
 
@@ -63,6 +73,7 @@ void Executor::Submit(std::function<void()> task) {
 }
 
 void Executor::WorkerLoop() {
+  SetCurrentThreadName("tgo-exec");
   while (true) {
     std::function<void()> task;
     {
@@ -175,6 +186,7 @@ bool DeadlineRunner::Run(std::function<void()> fn, uint64_t deadline_us) {
 }
 
 void DeadlineRunner::WorkerLoop(std::shared_ptr<Worker> worker) {
+  SetCurrentThreadName("tgo-deadline");
   for (;;) {
     std::function<void()> fn;
     std::shared_ptr<TaskState> state;

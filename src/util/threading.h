@@ -16,6 +16,12 @@
 
 namespace tango {
 
+// Names the calling thread for /proc/<pid>/task/<tid>/comm, debuggers and
+// profilers (15-char limit on Linux; silently truncated).  Every long-lived
+// background thread in the codebase names itself so a thread listing of a
+// wedged process reads as a component inventory.
+void SetCurrentThreadName(const char* name);
+
 // One-shot event: threads block in WaitForNotification() until Notify().
 class Notification {
  public:

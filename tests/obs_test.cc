@@ -408,6 +408,66 @@ TEST(SamplingTest, ConcurrentTcpCallsPropagateContextCleanly) {
   }
 }
 
+// Out-of-order multiplexing: concurrent traced calls asking for different
+// server-side delays complete in roughly reverse submission order over one
+// shared connection.  Every trace must still contain exactly its own
+// client-side rpc span (under its root) and exactly one adopted server span
+// (under that client span) — a demultiplexing mix-up would cross-wire the
+// trace envelopes.
+TEST(SamplingTest, OutOfOrderMultiplexedResponsesKeepTracesIntact) {
+  ScopedTracer tracer;
+  TcpTransport transport;
+  transport.RegisterNode(9, [](uint16_t, ByteReader& req, ByteWriter& resp) {
+    uint32_t delay_ms = req.GetU32();
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+    resp.PutU32(delay_ms);
+    return Status::Ok();
+  });
+
+  constexpr int kCalls = 6;
+  RunParallel(kCalls, [&](int i) {
+    // Later threads ask for shorter handler delays.
+    uint32_t delay_ms = static_cast<uint32_t>((kCalls - 1 - i) * 60);
+    TraceScope root("tcp.mux.root");
+    ByteWriter w;
+    w.PutU32(delay_ms);
+    std::vector<uint8_t> resp;
+    ASSERT_TRUE(transport.Call(9, /*method=*/1, w.Take(), &resp).ok());
+    ByteReader r(resp);
+    EXPECT_EQ(r.GetU32(), delay_ms);  // the response demuxed to its caller
+  });
+
+  std::vector<Span> spans = Tracer::Default().Spans();
+  std::map<uint64_t, const Span*> roots;
+  for (const Span& s : spans) {
+    if (s.name == "tcp.mux.root") {
+      roots[s.trace_id] = &s;
+    }
+  }
+  ASSERT_EQ(roots.size(), static_cast<size_t>(kCalls));
+  for (const auto& [trace_id, root] : roots) {
+    const Span* client = nullptr;
+    for (const Span& s : spans) {
+      if (s.trace_id == trace_id && s.name == "rpc:other" &&
+          s.parent_id == root->span_id) {
+        ASSERT_EQ(client, nullptr) << "duplicate client span in " << trace_id;
+        client = &s;
+      }
+    }
+    ASSERT_NE(client, nullptr) << "no client rpc span in trace " << trace_id;
+    int server_spans = 0;
+    for (const Span& s : spans) {
+      if (s.trace_id == trace_id && s.name == "rpc:other" &&
+          s.parent_id == client->span_id) {
+        ++server_spans;
+      }
+    }
+    EXPECT_EQ(server_spans, 1) << "trace " << trace_id;
+  }
+}
+
 // --- exemplars ---------------------------------------------------------------------
 
 TEST(ExemplarTest, RecordStampsActiveTraceIntoBucketRange) {

@@ -219,60 +219,103 @@ TEST_F(PersistenceTest, WholeClusterRestartPreservesObjectsOnSegmentStore) {
   EXPECT_EQ(*value, "v12");
 }
 
-TEST_F(PersistenceTest, KillNineClusterLosesNoAcknowledgedAppend) {
-  // A storage daemon dies mid-storm (SIGKILL — no destructors, no flush);
-  // on restart, every append the client saw acknowledged must be readable.
+// Cluster shape shared by the kill -9 storm child and the recovery check.
+corfu::CorfuCluster::Options CrashClusterOptions(const std::string& dir) {
   corfu::CorfuCluster::Options options;
   options.num_storage_nodes = 2;
   options.replication_factor = 2;
-  options.data_dir = dir_.string();
+  options.data_dir = dir;
   options.storage.fsync_batch = 8;
   options.storage.flush_interval_ms = 2;
+  return options;
+}
 
+// Child body for KillNineClusterLosesNoAcknowledgedAppend: build a durable
+// cluster on TANGO_CRASH_CHILD_DIR and stream (offset, id) ack pairs to
+// stdout until SIGKILLed.  Runs from a global initializer — before gtest —
+// so the re-exec'd child never enters the test runner.
+int CrashChildMain() {
+  const char* dir = ::getenv("TANGO_CRASH_CHILD_DIR");
+  if (dir == nullptr) {
+    return 0;  // normal test run
+  }
+  tango::InProcTransport transport;
+  corfu::CorfuCluster cluster(&transport, CrashClusterOptions(dir));
+  auto client = cluster.MakeClient();
+  for (uint64_t i = 0; i < 20000; ++i) {
+    auto payload = Bytes("crash-entry-" + std::to_string(i));
+    auto offset = client->Append(payload);
+    if (!offset.ok()) {
+      ::_exit(3);
+    }
+    // Ack only AFTER the append returned: (global offset, payload id).
+    uint64_t msg[2] = {*offset, i};
+    if (::write(STDOUT_FILENO, msg, sizeof(msg)) !=
+        static_cast<ssize_t>(sizeof(msg))) {
+      ::_exit(4);
+    }
+  }
+  ::_exit(0);
+}
+
+const int kRunCrashChild = CrashChildMain();
+
+TEST_F(PersistenceTest, KillNineClusterLosesNoAcknowledgedAppend) {
+  // A storage daemon dies mid-storm (SIGKILL — no destructors, no flush);
+  // on restart, every append the client saw acknowledged must be readable.
+  // The storming cluster runs in a re-exec'd child (CrashChildMain above),
+  // not a bare fork: earlier tests leave the process-wide shared executor's
+  // threads running, and spawning threads in the fork child of a
+  // multi-threaded parent is undefined enough that TSan outright refuses it.
+  // exec resets the child to a single thread.
   int pipefd[2];
   ASSERT_EQ(::pipe(pipefd), 0);
   pid_t child = ::fork();
   ASSERT_GE(child, 0);
   if (child == 0) {
     ::close(pipefd[0]);
-    tango::InProcTransport transport;
-    corfu::CorfuCluster cluster(&transport, options);
-    auto client = cluster.MakeClient();
-    for (uint64_t i = 0; i < 20000; ++i) {
-      auto payload = Bytes("crash-entry-" + std::to_string(i));
-      auto offset = client->Append(payload);
-      if (!offset.ok()) {
-        ::_exit(3);
-      }
-      // Ack only AFTER the append returned: (global offset, payload id).
-      uint64_t msg[2] = {*offset, i};
-      if (::write(pipefd[1], msg, sizeof(msg)) != sizeof(msg)) {
-        ::_exit(4);
-      }
+    if (::dup2(pipefd[1], STDOUT_FILENO) < 0) {
+      ::_exit(5);
     }
-    ::_exit(0);
+    ::setenv("TANGO_CRASH_CHILD_DIR", dir_.string().c_str(), 1);
+    char exe[4096];
+    ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+    if (n <= 0) {
+      ::_exit(5);
+    }
+    exe[n] = '\0';
+    ::execl(exe, exe, static_cast<char*>(nullptr));
+    ::_exit(6);
   }
 
   ::close(pipefd[1]);
   std::map<uint64_t, uint64_t> acked;  // global offset -> payload id
-  std::thread drainer([&] {
-    uint64_t msg[2];
-    while (::read(pipefd[0], msg, sizeof(msg)) ==
-           static_cast<ssize_t>(sizeof(msg))) {
-      acked[msg[0]] = msg[1];
+  uint64_t msg[2];
+  // Let a healthy batch of acks land, then SIGKILL mid-storm.  Each 16-byte
+  // ack is written atomically (well under PIPE_BUF), so reads never split a
+  // record.
+  while (acked.size() < 64) {
+    if (::read(pipefd[0], msg, sizeof(msg)) !=
+        static_cast<ssize_t>(sizeof(msg))) {
+      break;  // child exited before the storm finished
     }
-  });
-  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    acked[msg[0]] = msg[1];
+  }
   ::kill(child, SIGKILL);
+  // Acks already sitting in the pipe buffer were acknowledged before the
+  // kill landed — they count, so drain to EOF.
+  while (::read(pipefd[0], msg, sizeof(msg)) ==
+         static_cast<ssize_t>(sizeof(msg))) {
+    acked[msg[0]] = msg[1];
+  }
   int status = 0;
   ::waitpid(child, &status, 0);
-  drainer.join();
   ::close(pipefd[0]);
   ASSERT_FALSE(acked.empty()) << "child died before acking anything";
 
   // Restart the cluster on the same segment directories and recover.
   tango::InProcTransport transport;
-  corfu::CorfuCluster cluster(&transport, options);
+  corfu::CorfuCluster cluster(&transport, CrashClusterOptions(dir_.string()));
   auto client = cluster.MakeClient();
   ASSERT_TRUE(Reconfigure(client.get(), [](Projection&) {}).ok());
   for (const auto& [offset, id] : acked) {

@@ -6,12 +6,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstring>
 #include <fstream>
 #include <functional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "src/net/inproc_transport.h"
 #include "src/net/tcp_transport.h"
@@ -426,6 +429,147 @@ TEST(TcpTransportTest, TimeoutDoesNotBreakHealthyPeers) {
   ASSERT_TRUE(t.Call(7, 1, EchoRequest("quick"), &resp).ok());
   ByteReader r(resp);
   EXPECT_EQ(r.GetString(), "quick");
+}
+
+// --- multiplexing tests ------------------------------------------------------------
+//
+// Many RPCs share one connection, correlated by id: responses may return in
+// any order and each must land on exactly the caller that issued it.
+
+RpcHandler MuxHandler() {
+  return [](uint16_t method, ByteReader& req, ByteWriter& resp) {
+    switch (method) {
+      case 1: {  // echo
+        resp.PutString(req.GetString());
+        return Status::Ok();
+      }
+      case 3: {  // delayed echo: u32 delay_ms | string
+        uint32_t delay_ms = req.GetU32();
+        std::string s = req.GetString();
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+        resp.PutString(s);
+        return Status::Ok();
+      }
+      case 4: {  // busy shed echoing the requested hint: u32 retry_after_us
+        Status st(StatusCode::kBusy, "shed");
+        st.set_retry_after_us(req.GetU32());
+        return st;
+      }
+      default:
+        return Status(StatusCode::kInvalidArgument, "unknown method");
+    }
+  };
+}
+
+TEST(TcpTransportTest, MultiplexedResponsesReturnOutOfOrder) {
+  TcpTransport t;
+  t.RegisterNode(7, MuxHandler());
+  // Warm the connection so every call below shares one socket.
+  ASSERT_TRUE(t.Call(7, 1, EchoRequest("warm"), nullptr).ok());
+
+  // Call 0 parks in its handler while the rest complete: the slow response
+  // arrives after the fast ones on the same connection, so each caller's
+  // payload proves demultiplexing by correlation id, not arrival order.
+  constexpr int kCalls = 6;
+  std::array<uint64_t, kCalls> done_at{};
+  RunParallel(kCalls, [&](int i) {
+    ByteWriter w;
+    w.PutU32(i == 0 ? 400 : 0);
+    w.PutString("mux-" + std::to_string(i));
+    std::vector<uint8_t> resp;
+    Status st = t.Call(7, 3, w.Take(), &resp);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    done_at[i] = NowMicros();
+    ByteReader r(resp);
+    EXPECT_EQ(r.GetString(), "mux-" + std::to_string(i));
+  });
+  for (int i = 1; i < kCalls; ++i) {
+    EXPECT_LT(done_at[i], done_at[0])
+        << "fast call " << i << " should complete before the delayed call";
+  }
+}
+
+TEST(TcpTransportTest, InflightCallsShareOneConnection) {
+  TcpTransport t;
+  t.RegisterNode(7, MuxHandler());
+  ASSERT_TRUE(t.Call(7, 1, EchoRequest("warm"), nullptr).ok());
+  const int base_fds = CountOpenFds();
+  ASSERT_GT(base_fds, 0);
+
+  constexpr int kCalls = 12;
+  std::vector<std::thread> callers;
+  callers.reserve(kCalls);
+  for (int i = 0; i < kCalls; ++i) {
+    callers.emplace_back([&t, i] {
+      ByteWriter w;
+      w.PutU32(300);
+      w.PutString(std::to_string(i));
+      std::vector<uint8_t> resp;
+      Status st = t.Call(7, 3, w.Take(), &resp);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      ByteReader r(resp);
+      EXPECT_EQ(r.GetString(), std::to_string(i));
+    });
+  }
+  // Mid-flight: a dozen outstanding RPCs, still just the warm connection's
+  // socket pair — in-flight calls cost correlation ids, not sockets.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_LE(CountOpenFds(), base_fds + 1);
+  for (auto& caller : callers) {
+    caller.join();
+  }
+}
+
+TEST(TcpTransportTest, BusyHintsDemuxToTheRightCalls) {
+  TcpTransport t;
+  t.RegisterNode(7, MuxHandler());
+  ASSERT_TRUE(t.Call(7, 1, EchoRequest("warm"), nullptr).ok());
+
+  // Interleave shed and served calls concurrently over the one connection:
+  // every kBusy response must carry the hint its own caller requested.
+  RunParallel(8, [&](int i) {
+    for (int iter = 0; iter < 25; ++iter) {
+      if (i % 2 == 0) {
+        uint32_t want = 1000u * static_cast<uint32_t>(i + 1) +
+                        static_cast<uint32_t>(iter);
+        ByteWriter w;
+        w.PutU32(want);
+        Status st = t.Call(7, 4, w.Take(), nullptr);
+        EXPECT_EQ(st.code(), StatusCode::kBusy);
+        EXPECT_EQ(st.retry_after_us(), want);
+      } else {
+        std::string payload =
+            "ok-" + std::to_string(i) + "-" + std::to_string(iter);
+        std::vector<uint8_t> resp;
+        Status st = t.Call(7, 1, EchoRequest(payload), &resp);
+        ASSERT_TRUE(st.ok()) << st.ToString();
+        ByteReader r(resp);
+        EXPECT_EQ(r.GetString(), payload);
+      }
+    }
+  });
+}
+
+TEST(TcpTransportTest, UnregisterWaitsForInflightHandlers) {
+  TcpTransport t;
+  std::atomic<bool> torn_down{false};
+  std::atomic<int> running{0};
+  t.RegisterNode(7, [&](uint16_t, ByteReader&, ByteWriter&) {
+    running.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    // UnregisterNode must not return (and the handler's state must not be
+    // torn down) while this handler is still executing.
+    EXPECT_FALSE(torn_down.load());
+    return Status::Ok();
+  });
+  std::thread caller(
+      [&t] { (void)t.Call(7, 1, EchoRequest("inflight"), nullptr); });
+  while (running.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  t.UnregisterNode(7);
+  torn_down.store(true);
+  caller.join();
 }
 
 }  // namespace
